@@ -1,0 +1,142 @@
+//! Criterion benchmarks for the rewriting generator: the Figure 6/8
+//! timing experiments, the §5.2 grouping ablation, and the baseline
+//! comparisons against the naive Theorem 3.1 search and MiniCon.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use viewplan_core::{minicon_rewritings, naive_gmrs, CoreCover, CoreCoverConfig};
+use viewplan_workload::{generate, WorkloadConfig};
+
+/// Figure 6(a)/6(b): time for CoreCover to produce all GMRs of a star
+/// query as the number of views grows.
+fn corecover_star(c: &mut Criterion) {
+    let mut group = c.benchmark_group("corecover_star");
+    group.sample_size(20);
+    for nondist in [0usize, 1] {
+        for views in [100usize, 500, 1000] {
+            let w = rewritable(|seed| WorkloadConfig::star(views, nondist, seed));
+            group.bench_with_input(
+                BenchmarkId::new(format!("nondist{nondist}"), views),
+                &w,
+                |b, w| b.iter(|| CoreCover::new(&w.query, &w.views).run()),
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Figure 8(a)/8(b): the chain-query timing series.
+fn corecover_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("corecover_chain");
+    group.sample_size(20);
+    for nondist in [0usize, 1] {
+        for views in [100usize, 500, 1000] {
+            let w = rewritable(|seed| WorkloadConfig::chain(views, nondist, seed));
+            group.bench_with_input(
+                BenchmarkId::new(format!("nondist{nondist}"), views),
+                &w,
+                |b, w| b.iter(|| CoreCover::new(&w.query, &w.views).run()),
+            );
+        }
+    }
+    group.finish();
+}
+
+/// §5.2 ablation: grouping views/view-tuples into equivalence classes is
+/// what keeps CoreCover flat in the number of views.
+fn grouping_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grouping_ablation");
+    group.sample_size(10);
+    for views in [200usize, 600] {
+        let w = rewritable(|seed| WorkloadConfig::star(views, 0, seed));
+        group.bench_with_input(BenchmarkId::new("grouped", views), &w, |b, w| {
+            b.iter(|| CoreCover::new(&w.query, &w.views).run())
+        });
+        let config = CoreCoverConfig {
+            group_equivalent_views: false,
+            group_view_tuples: false,
+            ..CoreCoverConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("ungrouped", views), &w, |b, w| {
+            b.iter(|| {
+                CoreCover::new(&w.query, &w.views)
+                    .with_config(config.clone())
+                    .run()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// CoreCover vs the naive Theorem 3.1 enumeration vs MiniCon (adapted to
+/// equivalent rewritings), at small view counts where the baselines are
+/// feasible.
+fn generator_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generator_baselines");
+    group.sample_size(10);
+    for views in [8usize, 16] {
+        let w = rewritable(|seed| WorkloadConfig::chain(views, 0, seed));
+        group.bench_with_input(BenchmarkId::new("corecover", views), &w, |b, w| {
+            b.iter(|| CoreCover::new(&w.query, &w.views).run())
+        });
+        group.bench_with_input(BenchmarkId::new("naive_thm31", views), &w, |b, w| {
+            b.iter(|| naive_gmrs(&w.query, &w.views))
+        });
+        group.bench_with_input(BenchmarkId::new("minicon", views), &w, |b, w| {
+            b.iter(|| minicon_rewritings(&w.query, &w.views, true, 500))
+        });
+    }
+    group.finish();
+}
+
+/// Example 4.2 at growing k: CoreCover stays flat while MiniCon's
+/// combination space grows.
+fn example42_family(c: &mut Criterion) {
+    let mut group = c.benchmark_group("example42");
+    group.sample_size(10);
+    for k in [3usize, 5, 7] {
+        let (q, views) = example42(k);
+        group.bench_with_input(BenchmarkId::new("corecover", k), &k, |b, _| {
+            b.iter(|| CoreCover::new(&q, &views).run())
+        });
+        group.bench_with_input(BenchmarkId::new("minicon", k), &k, |b, _| {
+            b.iter(|| minicon_rewritings(&q, &views, true, 500))
+        });
+    }
+    group.finish();
+}
+
+fn example42(k: usize) -> (viewplan_cq::ConjunctiveQuery, viewplan_cq::ViewSet) {
+    let body: Vec<String> = (1..=k)
+        .map(|i| format!("a{i}(X, Z{i}), b{i}(Z{i}, Y)"))
+        .collect();
+    let q = viewplan_cq::parse_query(&format!("q(X, Y) :- {}", body.join(", "))).unwrap();
+    let mut src = format!("v(X, Y) :- {}.\n", body.join(", "));
+    for i in 1..k {
+        src.push_str(&format!("v{i}(X, Y) :- a{i}(X, Z), b{i}(Z, Y).\n"));
+    }
+    (q, viewplan_cq::parse_views(&src).unwrap())
+}
+
+/// Finds a workload (by seed) that has at least one rewriting, so the
+/// benchmark measures the interesting path.
+fn rewritable(
+    mk: impl Fn(u64) -> WorkloadConfig,
+) -> viewplan_workload::Workload {
+    for seed in 0..50 {
+        let w = generate(&mk(seed));
+        if !CoreCover::new(&w.query, &w.views).run().rewritings().is_empty() {
+            return w;
+        }
+    }
+    panic!("no rewritable workload found in 50 seeds");
+}
+
+criterion_group!(
+    benches,
+    corecover_star,
+    corecover_chain,
+    grouping_ablation,
+    generator_baselines,
+    example42_family
+);
+criterion_main!(benches);

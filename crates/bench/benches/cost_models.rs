@@ -1,0 +1,99 @@
+//! Criterion benchmarks for the cost-model half: M2 subset-DP planning,
+//! the M3 dropping policies on Example 6.1, and CoreCover* generation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use viewplan_core::CoreCover;
+use viewplan_cost::{optimal_m2_order, optimal_m3_plan, plan_with_order, DropPolicy, ExactOracle};
+use viewplan_cq::{parse_query, parse_views, ConjunctiveQuery, ViewSet};
+use viewplan_engine::{materialize_views, Database, Value};
+use viewplan_workload::{generate, random_database, WorkloadConfig};
+
+fn example61() -> (ConjunctiveQuery, ViewSet, Database) {
+    let q = parse_query("q(A) :- r(A, A), t(A, B), s(B, B)").unwrap();
+    let views = parse_views(
+        "v1(A, B) :- r(A, A), s(B, B).\n\
+         v2(A, B) :- t(A, B), s(B, B).",
+    )
+    .unwrap();
+    let mut base = Database::new();
+    base.insert_int("r", &[&[1, 1], &[2, 2], &[4, 4], &[6, 6], &[8, 8]]);
+    base.insert_int("s", &[&[2, 2], &[4, 4], &[6, 6], &[8, 8]]);
+    base.insert_int("t", &[&[1, 2], &[3, 4], &[5, 6], &[7, 8]]);
+    let vdb = materialize_views(&views, &base);
+    (q, views, vdb)
+}
+
+/// The three dropping policies on the paper's Example 6.1 (Figure 5).
+fn m3_dropping(c: &mut Criterion) {
+    let (q, views, vdb) = example61();
+    let p2 = parse_query("q(A) :- v1(A, B), v2(A, B)").unwrap();
+    let mut group = c.benchmark_group("m3_dropping");
+    for (policy, name) in [
+        (DropPolicy::Supplementary, "supplementary"),
+        (DropPolicy::SmartAggressive, "smart_aggressive"),
+        (DropPolicy::SmartCostBased, "smart_cost_based"),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut oracle = ExactOracle::new(&vdb);
+                plan_with_order(&q, &views, &p2, &[0, 1], policy, &mut oracle)
+            })
+        });
+    }
+    group.bench_function("optimal_plan_smart", |b| {
+        b.iter(|| {
+            let mut oracle = ExactOracle::new(&vdb);
+            optimal_m3_plan(&q, &views, &p2, DropPolicy::SmartCostBased, &mut oracle)
+        })
+    });
+    group.finish();
+}
+
+/// M2 subset-DP planning over rewritings of generated chain workloads with
+/// real (materialized) view databases.
+fn m2_planning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("m2_planning");
+    group.sample_size(10);
+    for rows in [50usize, 200] {
+        let w = generate(&WorkloadConfig::chain(20, 0, 3));
+        let result = CoreCover::new(&w.query, &w.views).run();
+        let Some(r) = result.rewritings().first().cloned() else {
+            continue;
+        };
+        let mut base = Database::new();
+        // Keep rows below the domain so chain joins shrink per step (a
+        // rows/domain ratio above 1 grows bindings multiplicatively and
+        // can exhaust memory on an 8-subgoal all-distinguished query).
+        for (name, data) in random_database(&w.query, rows, 4 * rows as i64, 1) {
+            for row in data {
+                base.insert(name, row.into_iter().map(Value::Int).collect());
+            }
+        }
+        let vdb = materialize_views(&w.views, &base);
+        group.bench_with_input(BenchmarkId::new("exact_dp", rows), &rows, |b, _| {
+            b.iter(|| {
+                let mut oracle = ExactOracle::new(&vdb);
+                optimal_m2_order(&r.body, &mut oracle)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// CoreCover* (all minimal rewritings, Theorem 5.1's M2 space) vs
+/// CoreCover (GMRs only).
+fn corecover_star_vs_all(c: &mut Criterion) {
+    let mut group = c.benchmark_group("corecover_vs_corecover_star");
+    group.sample_size(10);
+    let w = generate(&WorkloadConfig::chain(100, 0, 5));
+    group.bench_function("gmrs_only", |b| {
+        b.iter(|| CoreCover::new(&w.query, &w.views).run())
+    });
+    group.bench_function("all_minimal", |b| {
+        b.iter(|| CoreCover::new(&w.query, &w.views).run_all_minimal())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, m3_dropping, m2_planning, corecover_star_vs_all);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Criterion benchmarks for the §8 extensions and the remaining
+//! baselines: constraint-set reasoning, UCQ containment (the
+//! ordering-refinement test), inverse rules vs. the MiniCon union, and the
+//! bucket algorithm vs. CoreCover.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use viewplan_core::{bucket_rewritings, CoreCover};
+use viewplan_cq::{parse_query, parse_views, Term};
+use viewplan_engine::{materialize_views, Database, Value};
+use viewplan_extended::{
+    certain_answers, evaluate_union, is_contained_in_union, maximally_contained_rewriting,
+    parse_conditional, CompOp, Comparison, ConditionalQuery, ConstraintSet, UnionQuery,
+};
+use viewplan_workload::{generate, WorkloadConfig};
+
+/// Constraint-closure throughput: satisfiability + implication over
+/// growing chains of order constraints.
+fn constraint_solving(c: &mut Criterion) {
+    let mut group = c.benchmark_group("constraint_solving");
+    for n in [4usize, 8, 16] {
+        let cs = ConstraintSet::from_comparisons((0..n).map(|i| {
+            Comparison {
+                lhs: Term::var(&format!("X{i}")),
+                op: if i % 2 == 0 { CompOp::Le } else { CompOp::Lt },
+                rhs: Term::var(&format!("X{}", i + 1)),
+            }
+        }));
+        let goal = Comparison::lt(Term::var("X0"), Term::var(&format!("X{n}")));
+        group.bench_with_input(BenchmarkId::new("implies_chain", n), &n, |b, _| {
+            b.iter(|| cs.implies(&goal))
+        });
+    }
+    group.finish();
+}
+
+/// The §8 case-split containment proof at growing term counts (the
+/// ordering-refinement enumeration is the cost driver).
+fn ucq_containment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ucq_containment");
+    group.sample_size(10);
+    for extra in [0usize, 1, 2] {
+        // Pad the query with `extra` independent subgoals to grow the
+        // linearized term set.
+        let pads: String = (0..extra).map(|i| format!(", p{i}(Z{i})")).collect();
+        let q = ConditionalQuery::plain(
+            parse_query(&format!("s(X, Y) :- r(X, Y){pads}")).unwrap(),
+        );
+        let u = UnionQuery::new(vec![
+            parse_conditional(&format!("s(X, Y) :- r(X, Y){pads}"), &["X <= Y"]).unwrap(),
+            parse_conditional(&format!("s(X, Y) :- r(X, Y){pads}"), &["Y <= X"]).unwrap(),
+        ]);
+        let terms = 2 + extra;
+        group.bench_with_input(BenchmarkId::new("case_split", terms), &terms, |b, _| {
+            b.iter(|| is_contained_in_union(&q, &u, 8))
+        });
+    }
+    group.finish();
+}
+
+/// Certain-answer computation: inverse rules (bottom-up, Skolem) vs. the
+/// maximally-contained MiniCon union (rewrite, then evaluate).
+fn certain_answer_paths(c: &mut Criterion) {
+    let q = parse_query("q(X, Y) :- e(X, Y)").unwrap();
+    let views = parse_views(
+        "va(A, B) :- e(A, B), red(A).\n\
+         vb(A, B) :- e(A, B), blue(A).",
+    )
+    .unwrap();
+    let mut base = Database::new();
+    for i in 0..300i64 {
+        base.insert("e", vec![Value::Int(i), Value::Int(i + 1)]);
+        if i % 2 == 0 {
+            base.insert("red", vec![Value::Int(i)]);
+        }
+        if i % 3 == 0 {
+            base.insert("blue", vec![Value::Int(i)]);
+        }
+    }
+    let vdb = materialize_views(&views, &base);
+    let union = maximally_contained_rewriting(&q, &views, 100).expect("exists");
+
+    let mut group = c.benchmark_group("certain_answers");
+    group.bench_function("inverse_rules", |b| {
+        b.iter(|| certain_answers(&q, &views, &vdb))
+    });
+    group.bench_function("minicon_union_eval", |b| {
+        b.iter(|| evaluate_union(&union, &vdb))
+    });
+    group.bench_function("minicon_union_build_and_eval", |b| {
+        b.iter(|| {
+            let u = maximally_contained_rewriting(&q, &views, 100).expect("exists");
+            evaluate_union(&u, &vdb)
+        })
+    });
+    group.finish();
+}
+
+/// Bucket algorithm vs CoreCover: the Cartesian-product validation cost.
+fn bucket_vs_corecover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bucket_vs_corecover");
+    group.sample_size(10);
+    for views in [8usize, 16] {
+        let w = (0..50)
+            .map(|seed| generate(&WorkloadConfig::chain(views, 0, seed)))
+            .find(|w| !CoreCover::new(&w.query, &w.views).run().rewritings().is_empty())
+            .expect("rewritable workload");
+        group.bench_with_input(BenchmarkId::new("corecover", views), &views, |b, _| {
+            b.iter(|| CoreCover::new(&w.query, &w.views).run())
+        });
+        group.bench_with_input(BenchmarkId::new("bucket", views), &views, |b, _| {
+            b.iter(|| bucket_rewritings(&w.query, &w.views, 50_000))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    constraint_solving,
+    ucq_containment,
+    certain_answer_paths,
+    bucket_vs_corecover
+);
+criterion_main!(benches);

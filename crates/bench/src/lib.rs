@@ -1,0 +1,200 @@
+//! The experiment harness: reusable sweep machinery shared by the
+//! `figures` binary (which regenerates every figure of §7 as CSV) and the
+//! Criterion benchmarks.
+//!
+//! A *sweep* fixes a workload family (star/chain, number of
+//! nondistinguished variables) and, for each view count, generates
+//! `queries_per_point` workloads, discards those without rewritings (as
+//! the paper does), runs `CoreCover` to all GMRs, and averages the
+//! quantities Figures 6–9 plot.
+
+use std::time::Instant;
+use viewplan_core::{CoreCover, CoreCoverConfig};
+use viewplan_workload::{generate, WorkloadConfig};
+
+/// Which §7 workload family a sweep runs.
+#[derive(Clone, Copy, Debug)]
+pub enum Family {
+    /// Star queries (§7.1).
+    Star,
+    /// Chain queries (§7.2).
+    Chain,
+    /// Random queries (mentioned alongside \[23\]).
+    Random,
+}
+
+/// One averaged data point of a sweep.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// Number of views at this point.
+    pub views: usize,
+    /// Queries that actually had rewritings (the denominator).
+    pub queries: usize,
+    /// Average wall-clock time of `CoreCover::run`, in milliseconds
+    /// (includes view/tuple grouping, as in the paper).
+    pub avg_ms: f64,
+    /// Average number of view equivalence classes (Figures 7a / 9a).
+    pub view_classes: f64,
+    /// Average number of view tuples (Figures 7b / 9b, upper series).
+    pub view_tuples: f64,
+    /// Average number of representative view tuples (lower series).
+    pub representative_tuples: f64,
+    /// Average number of GMRs found.
+    pub gmrs: f64,
+}
+
+/// Sweep parameters.
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// Workload family.
+    pub family: Family,
+    /// Number of nondistinguished variables (0 = all distinguished).
+    pub nondistinguished: usize,
+    /// View counts to measure (the paper: 100, 200, …, 1000).
+    pub view_counts: Vec<usize>,
+    /// Queries averaged per point (the paper: 40).
+    pub queries_per_point: usize,
+    /// Base RNG seed.
+    pub base_seed: u64,
+    /// CoreCover configuration (grouping on by default; the ablation bench
+    /// turns it off).
+    pub corecover: CoreCoverConfig,
+}
+
+impl SweepConfig {
+    /// The paper's settings for one family: 40 queries per point over
+    /// 100..=1000 views.
+    pub fn paper(family: Family, nondistinguished: usize) -> SweepConfig {
+        SweepConfig {
+            family,
+            nondistinguished,
+            view_counts: (1..=10).map(|k| k * 100).collect(),
+            queries_per_point: 40,
+            base_seed: 20010521, // SIGMOD 2001, May 21
+            corecover: CoreCoverConfig::default(),
+        }
+    }
+
+    /// A scaled-down variant for quick runs and Criterion.
+    pub fn quick(family: Family, nondistinguished: usize) -> SweepConfig {
+        SweepConfig {
+            queries_per_point: 8,
+            view_counts: vec![100, 300, 600, 1000],
+            ..SweepConfig::paper(family, nondistinguished)
+        }
+    }
+}
+
+fn workload_config(c: &SweepConfig, views: usize, seed: u64) -> WorkloadConfig {
+    match c.family {
+        Family::Star => WorkloadConfig::star(views, c.nondistinguished, seed),
+        Family::Chain => WorkloadConfig::chain(views, c.nondistinguished, seed),
+        Family::Random => WorkloadConfig::random(views, c.nondistinguished, seed),
+    }
+}
+
+/// Runs a sweep, returning one point per view count.
+pub fn run_sweep(config: &SweepConfig) -> Vec<SweepPoint> {
+    config
+        .view_counts
+        .iter()
+        .map(|&views| run_point(config, views))
+        .collect()
+}
+
+/// Runs one data point: `queries_per_point` accepted queries (skipping
+/// rewriting-less ones, bounded retries), averaged.
+pub fn run_point(config: &SweepConfig, views: usize) -> SweepPoint {
+    let mut accepted = 0usize;
+    let mut attempts = 0usize;
+    let max_attempts = config.queries_per_point * 5;
+    let mut total_ms = 0.0;
+    let mut classes = 0.0;
+    let mut tuples = 0.0;
+    let mut reps = 0.0;
+    let mut gmrs = 0.0;
+    while accepted < config.queries_per_point && attempts < max_attempts {
+        let seed = config
+            .base_seed
+            .wrapping_add((views as u64) << 20)
+            .wrapping_add(attempts as u64);
+        attempts += 1;
+        let w = generate(&workload_config(config, views, seed));
+        let start = Instant::now();
+        let result = CoreCover::new(&w.query, &w.views)
+            .with_config(config.corecover.clone())
+            .run();
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        if result.rewritings().is_empty() {
+            continue; // "we ignored queries that did not have rewritings"
+        }
+        accepted += 1;
+        total_ms += elapsed;
+        classes += result.stats.view_classes as f64;
+        tuples += result.stats.view_tuples as f64;
+        reps += result.stats.representative_tuples as f64;
+        gmrs += result.stats.rewritings as f64;
+    }
+    let n = accepted.max(1) as f64;
+    SweepPoint {
+        views,
+        queries: accepted,
+        avg_ms: total_ms / n,
+        view_classes: classes / n,
+        view_tuples: tuples / n,
+        representative_tuples: reps / n,
+        gmrs: gmrs / n,
+    }
+}
+
+/// Formats sweep points as a CSV with a header row.
+pub fn to_csv(points: &[SweepPoint]) -> String {
+    let mut out = String::from(
+        "views,queries,avg_ms,view_classes,view_tuples,representative_tuples,gmrs\n",
+    );
+    for p in points {
+        out.push_str(&format!(
+            "{},{},{:.3},{:.1},{:.1},{:.1},{:.1}\n",
+            p.views,
+            p.queries,
+            p.avg_ms,
+            p.view_classes,
+            p.view_tuples,
+            p.representative_tuples,
+            p.gmrs
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_produces_points() {
+        let mut config = SweepConfig::quick(Family::Chain, 0);
+        config.view_counts = vec![50];
+        config.queries_per_point = 3;
+        let points = run_sweep(&config);
+        assert_eq!(points.len(), 1);
+        assert!(points[0].queries >= 1);
+        assert!(points[0].view_tuples >= points[0].representative_tuples);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let p = SweepPoint {
+            views: 100,
+            queries: 40,
+            avg_ms: 1.5,
+            view_classes: 20.0,
+            view_tuples: 30.0,
+            representative_tuples: 10.0,
+            gmrs: 4.0,
+        };
+        let csv = to_csv(&[p]);
+        assert!(csv.starts_with("views,"));
+        assert!(csv.contains("100,40,1.500"));
+    }
+}

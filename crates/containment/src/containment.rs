@@ -1,0 +1,137 @@
+//! Query containment and equivalence (Definition 2.1).
+
+use crate::homomorphism::HomomorphismSearch;
+use viewplan_cq::{ConjunctiveQuery, Substitution, Term};
+
+/// Builds the initial bindings that pin the head of `from` onto the head of
+/// `onto` (a containment mapping must map head to head). Returns `None` if
+/// the heads are incompatible (different predicate, arity, or conflicting
+/// constants / repeated variables). Exposed for extensions that enumerate
+/// homomorphisms under additional side conditions (e.g. containment with
+/// comparison predicates).
+pub fn head_bindings(from: &ConjunctiveQuery, onto: &ConjunctiveQuery) -> Option<Substitution> {
+    if from.head.predicate != onto.head.predicate || from.head.arity() != onto.head.arity() {
+        return None;
+    }
+    let mut subst = Substitution::new();
+    for (f, o) in from.head.terms.iter().zip(&onto.head.terms) {
+        match *f {
+            Term::Const(fc) => match *o {
+                Term::Const(oc) if fc == oc => {}
+                _ => return None,
+            },
+            Term::Var(v) => match subst.get(v) {
+                Some(existing) if existing != *o => return None,
+                Some(_) => {}
+                None => {
+                    subst.bind(v, *o);
+                }
+            },
+        }
+    }
+    Some(subst)
+}
+
+/// Finds a containment mapping from `from` onto `onto`: a homomorphism
+/// mapping `from`'s head to `onto`'s head and every body subgoal of `from`
+/// to a body subgoal of `onto`. Its existence proves `onto ⊑ from`
+/// (Chandra & Merlin).
+pub fn containment_mapping(
+    from: &ConjunctiveQuery,
+    onto: &ConjunctiveQuery,
+) -> Option<Substitution> {
+    let initial = head_bindings(from, onto)?;
+    HomomorphismSearch::with_initial(&from.body, &onto.body, initial).find()
+}
+
+/// True iff `q1 ⊑ q2`: for every database, `q1`'s answer is a subset of
+/// `q2`'s. Decided by searching for a containment mapping from `q2` to
+/// `q1`.
+pub fn is_contained_in(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> bool {
+    containment_mapping(q2, q1).is_some()
+}
+
+/// True iff the queries are equivalent (contained in each other).
+pub fn are_equivalent(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> bool {
+    is_contained_in(q1, q2) && is_contained_in(q2, q1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viewplan_cq::parse_query;
+
+    #[test]
+    fn longer_path_is_contained_in_shorter() {
+        let q1 = parse_query("q(X) :- e(X, Y), e(Y, Z)").unwrap();
+        let q2 = parse_query("q(X) :- e(X, Y)").unwrap();
+        assert!(is_contained_in(&q1, &q2));
+        assert!(!is_contained_in(&q2, &q1));
+        assert!(!are_equivalent(&q1, &q2));
+    }
+
+    #[test]
+    fn chain_with_loop_equivalences() {
+        // q(X) :- e(X,Y), e(Y,Y) is equivalent to itself with an extra
+        // redundant step into the loop.
+        let q1 = parse_query("q(X) :- e(X, Y), e(Y, Y)").unwrap();
+        let q2 = parse_query("q(X) :- e(X, Y), e(Y, Z), e(Z, Z)").unwrap();
+        assert!(is_contained_in(&q1, &q2));
+        assert!(!is_contained_in(&q2, &q1));
+    }
+
+    #[test]
+    fn head_constants_must_match() {
+        let q1 = parse_query("q(a) :- e(X, X)").unwrap();
+        let q2 = parse_query("q(b) :- e(X, X)").unwrap();
+        assert!(!is_contained_in(&q1, &q2));
+        assert!(are_equivalent(&q1, &q1));
+    }
+
+    #[test]
+    fn head_var_to_constant_is_a_valid_direction() {
+        // q(a) :- e(a) is contained in q(X) :- e(X).
+        let specific = parse_query("q(a) :- e(a)").unwrap();
+        let general = parse_query("q(X) :- e(X)").unwrap();
+        assert!(is_contained_in(&specific, &general));
+        assert!(!is_contained_in(&general, &specific));
+    }
+
+    #[test]
+    fn repeated_head_variable_pins_both_positions() {
+        let diag = parse_query("q(X, X) :- e(X, X)").unwrap();
+        let free = parse_query("q(X, Y) :- e(X, Y)").unwrap();
+        assert!(is_contained_in(&diag, &free));
+        assert!(!is_contained_in(&free, &diag));
+    }
+
+    #[test]
+    fn different_head_predicates_are_incomparable() {
+        let q1 = parse_query("p(X) :- e(X, X)").unwrap();
+        let q2 = parse_query("q(X) :- e(X, X)").unwrap();
+        assert!(!is_contained_in(&q1, &q2));
+        assert!(!is_contained_in(&q2, &q1));
+    }
+
+    #[test]
+    fn paper_expansion_equivalence_example() {
+        // P1exp and P2exp from Example 1.1 / §2.1 are equivalent.
+        let p1exp = parse_query(
+            "q1(S, C) :- car(M, a), loc(a, C1), car(M1, a), loc(a, C), part(S, M, C)",
+        )
+        .unwrap();
+        let p2exp = parse_query("q1(S, C) :- car(M, a), loc(a, C), part(S, M, C)").unwrap();
+        assert!(are_equivalent(&p1exp, &p2exp));
+    }
+
+    #[test]
+    fn containment_mapping_is_returned_and_maps_head() {
+        let q1 = parse_query("q(X) :- e(X, Y), e(Y, Z)").unwrap();
+        let q2 = parse_query("q(A) :- e(A, B)").unwrap();
+        let m = containment_mapping(&q2, &q1).unwrap();
+        assert_eq!(
+            m.apply(viewplan_cq::Term::var("A")),
+            viewplan_cq::Term::var("X")
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Query minimization: computing the core of a conjunctive query.
+//!
+//! A body subgoal `g` of `Q` is redundant iff the query without `g` is
+//! still equivalent to `Q`; since dropping a subgoal only weakens a query,
+//! this reduces to a single containment test `Q\{g} ⊑ Q`, i.e. a
+//! containment mapping from `Q` into `Q\{g}`. Repeating to a fixpoint
+//! yields the **minimal equivalent query** (unique up to variable renaming
+//! — Chandra & Merlin), which is step (1) of `CoreCover` (Figure 4).
+
+use crate::containment::containment_mapping;
+use viewplan_cq::ConjunctiveQuery;
+
+/// Returns the minimal equivalent of `q` (its core).
+///
+/// Exact duplicate subgoals are removed first, then subgoals are removed
+/// greedily while a containment mapping from `q` into the reduced query
+/// exists. Greedy removal is sound: query equivalence is transitive, so
+/// once a subgoal is removed the remaining query is still equivalent to
+/// the original, and the fixpoint has no redundant subgoal.
+pub fn minimize(q: &ConjunctiveQuery) -> ConjunctiveQuery {
+    let mut current = q.dedup_subgoals();
+    let mut i = 0;
+    while i < current.body.len() {
+        if current.body.len() == 1 {
+            break; // a single-subgoal safe query is already minimal
+        }
+        let candidate = current.without_subgoal(i);
+        // candidate ⊒ current always; equivalence needs current ⊑ candidate,
+        // i.e. a containment mapping current → candidate. We map from the
+        // *original-sized* current, which is equivalent to q throughout.
+        if containment_mapping(&current, &candidate).is_some() {
+            current = candidate;
+            // restart scanning from the beginning: removing one subgoal can
+            // expose redundancy in earlier positions.
+            i = 0;
+        } else {
+            i += 1;
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::containment::are_equivalent;
+    use viewplan_cq::parse_query;
+
+    #[test]
+    fn removes_duplicate_subgoals() {
+        let q = parse_query("q(X) :- e(X, Y), e(X, Y)").unwrap();
+        assert_eq!(minimize(&q).body.len(), 1);
+    }
+
+    #[test]
+    fn removes_subsumed_subgoals() {
+        // e(X, Z) is subsumed by e(X, Y) when both Z and Y are existential.
+        let q = parse_query("q(X) :- e(X, Y), e(X, Z)").unwrap();
+        let m = minimize(&q);
+        assert_eq!(m.body.len(), 1);
+        assert!(are_equivalent(&q, &m));
+    }
+
+    #[test]
+    fn keeps_genuinely_needed_subgoals() {
+        let q = parse_query("q(X, Z) :- e(X, Y), e(Y, Z)").unwrap();
+        assert_eq!(minimize(&q).body.len(), 2);
+    }
+
+    #[test]
+    fn self_loop_absorbs_tail() {
+        // q(X) :- e(X,Y), e(Y,Z), e(Z,Z): can Z-chain fold into itself?
+        // Mapping X->X, Y->Y, Z->Z cannot drop anything, but mapping the
+        // whole chain into e(X,Y),e(Y,Y) requires e(Y,Y) which is absent.
+        let q = parse_query("q(X) :- e(X, Y), e(Y, Z), e(Z, Z)").unwrap();
+        let m = minimize(&q);
+        // e(Y,Z) maps to e(Z,Z) only if Y==Z; not forced, so check via
+        // equivalence: the minimized query must stay equivalent.
+        assert!(are_equivalent(&q, &m));
+        // and must be locally non-redundant:
+        for i in 0..m.body.len() {
+            assert!(!are_equivalent(&m, &m.without_subgoal(i)));
+        }
+    }
+
+    #[test]
+    fn paper_p1exp_minimizes_to_p2exp() {
+        // Example 1.1: P1's expansion minimizes to P2's expansion.
+        let p1exp = parse_query(
+            "q1(S, C) :- car(M, a), loc(a, C1), car(M1, a), loc(a, C), part(S, M, C)",
+        )
+        .unwrap();
+        let p2exp = parse_query("q1(S, C) :- car(M, a), loc(a, C), part(S, M, C)").unwrap();
+        let m = minimize(&p1exp);
+        assert_eq!(m.body.len(), 3);
+        assert!(are_equivalent(&m, &p2exp));
+    }
+
+    #[test]
+    fn already_minimal_query_is_unchanged() {
+        let q =
+            parse_query("q1(S, C) :- car(M, a), loc(a, C), part(S, M, C)").unwrap();
+        assert_eq!(minimize(&q), q);
+    }
+
+    #[test]
+    fn triangle_is_minimal() {
+        let q = parse_query("q(X) :- e(X, Y), e(Y, Z), e(Z, X)").unwrap();
+        assert_eq!(minimize(&q).body.len(), 3);
+    }
+
+    #[test]
+    fn constants_block_folding() {
+        let q = parse_query("q(X) :- e(X, a), e(X, b)").unwrap();
+        assert_eq!(minimize(&q).body.len(), 2);
+    }
+
+    #[test]
+    fn single_subgoal_is_untouched() {
+        let q = parse_query("q(X) :- e(X, X)").unwrap();
+        assert_eq!(minimize(&q), q);
+    }
+}

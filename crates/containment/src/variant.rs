@@ -1,0 +1,165 @@
+//! Variant checking: query equality up to variable renaming.
+//!
+//! The paper identifies rewritings that differ only by variable renaming
+//! (§3.3, footnote 2). Two queries are *variants* iff there is a bijective
+//! variable renaming mapping one onto the other: head onto head, and the
+//! body atom multiset onto the body atom multiset.
+
+use viewplan_cq::{Atom, ConjunctiveQuery, Substitution, Symbol, Term};
+
+/// True iff `q1` and `q2` are equal up to a bijective renaming of
+/// variables.
+pub fn is_variant(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> bool {
+    if q1.body.len() != q2.body.len()
+        || q1.head.predicate != q2.head.predicate
+        || q1.head.arity() != q2.head.arity()
+    {
+        return false;
+    }
+    let mut fwd = Substitution::new();
+    let mut used = std::collections::HashSet::new();
+    // The head must match position-by-position under the renaming.
+    if !unify_renaming(&q1.head, &q2.head, &mut fwd, &mut used, &mut Vec::new()) {
+        return false;
+    }
+    let mut taken = vec![false; q2.body.len()];
+    match_bodies(&q1.body, &q2.body, 0, &mut fwd, &mut used, &mut taken)
+}
+
+/// Backtracking perfect matching between the two bodies under a growing
+/// bijective renaming.
+fn match_bodies(
+    b1: &[Atom],
+    b2: &[Atom],
+    i: usize,
+    fwd: &mut Substitution,
+    used: &mut std::collections::HashSet<Term>,
+    taken: &mut [bool],
+) -> bool {
+    if i == b1.len() {
+        return true;
+    }
+    for j in 0..b2.len() {
+        if taken[j] || b1[i].predicate != b2[j].predicate || b1[i].arity() != b2[j].arity() {
+            continue;
+        }
+        let mut bound: Vec<Symbol> = Vec::new();
+        if unify_renaming(&b1[i], &b2[j], fwd, used, &mut bound) {
+            taken[j] = true;
+            if match_bodies(b1, b2, i + 1, fwd, used, taken) {
+                return true;
+            }
+            taken[j] = false;
+        }
+        for v in bound {
+            let t = fwd.unbind(v).expect("was bound during unify");
+            used.remove(&t);
+        }
+    }
+    false
+}
+
+/// Extends a bijective variable renaming so `a1` maps exactly onto `a2`.
+/// Constants must be identical; variables map to variables injectively.
+fn unify_renaming(
+    a1: &Atom,
+    a2: &Atom,
+    fwd: &mut Substitution,
+    used: &mut std::collections::HashSet<Term>,
+    bound: &mut Vec<Symbol>,
+) -> bool {
+    for (t1, t2) in a1.terms.iter().zip(&a2.terms) {
+        match (*t1, *t2) {
+            (Term::Const(c1), Term::Const(c2)) => {
+                if c1 != c2 {
+                    return false;
+                }
+            }
+            (Term::Var(v), t @ Term::Var(_)) => match fwd.get(v) {
+                Some(existing) => {
+                    if existing != t {
+                        return false;
+                    }
+                }
+                None => {
+                    if !used.insert(t) {
+                        return false; // injectivity violated
+                    }
+                    fwd.bind(v, t);
+                    bound.push(v);
+                }
+            },
+            _ => return false, // var vs const is not a renaming
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viewplan_cq::parse_query;
+
+    #[test]
+    fn renamed_query_is_a_variant() {
+        let q1 = parse_query("q(X, Y) :- e(X, Z), f(Z, Y)").unwrap();
+        let q2 = parse_query("q(A, B) :- e(A, C), f(C, B)").unwrap();
+        assert!(is_variant(&q1, &q2));
+        assert!(is_variant(&q2, &q1));
+    }
+
+    #[test]
+    fn body_order_does_not_matter() {
+        let q1 = parse_query("q(X) :- e(X, Y), f(Y)").unwrap();
+        let q2 = parse_query("q(X) :- f(Z), e(X, Z)").unwrap();
+        assert!(is_variant(&q1, &q2));
+    }
+
+    #[test]
+    fn equivalent_but_not_variant() {
+        // Equivalent as queries (both minimize to one subgoal) but not
+        // renamings of each other.
+        let q1 = parse_query("q(X) :- e(X, Y), e(X, Z)").unwrap();
+        let q2 = parse_query("q(X) :- e(X, Y)").unwrap();
+        assert!(!is_variant(&q1, &q2));
+    }
+
+    #[test]
+    fn injectivity_is_required() {
+        // Collapsing two variables onto one is not a renaming.
+        let q1 = parse_query("q(X) :- e(X, Y), e(Y, X)").unwrap();
+        let q2 = parse_query("q(X) :- e(X, X), e(X, X)").unwrap();
+        assert!(!is_variant(&q1, &q2));
+    }
+
+    #[test]
+    fn constants_must_match_exactly() {
+        let q1 = parse_query("q(X) :- e(X, a)").unwrap();
+        let q2 = parse_query("q(X) :- e(X, b)").unwrap();
+        let q3 = parse_query("q(X) :- e(X, Y)").unwrap();
+        assert!(!is_variant(&q1, &q2));
+        assert!(!is_variant(&q1, &q3));
+    }
+
+    #[test]
+    fn repeated_variables_shape_matters() {
+        let q1 = parse_query("q(X) :- e(X, X)").unwrap();
+        let q2 = parse_query("q(X) :- e(X, Y)").unwrap();
+        assert!(!is_variant(&q1, &q2));
+    }
+
+    #[test]
+    fn identical_queries_are_variants() {
+        let q = parse_query("q1(S, C) :- car(M, a), loc(a, C), part(S, M, C)").unwrap();
+        assert!(is_variant(&q, &q));
+    }
+
+    #[test]
+    fn duplicate_atoms_match_multiset_wise() {
+        let q1 = parse_query("q(X) :- e(X, Y), e(X, Y)").unwrap();
+        let q2 = parse_query("q(A) :- e(A, B), e(A, B)").unwrap();
+        let q3 = parse_query("q(A) :- e(A, B), e(A, C)").unwrap();
+        assert!(is_variant(&q1, &q2));
+        assert!(!is_variant(&q1, &q3));
+    }
+}

@@ -1,0 +1,533 @@
+//! The `CoreCover` algorithm (Figure 4) and its `CoreCover*` variant (§5).
+//!
+//! ```text
+//! (1) Minimize Q by removing redundant subgoals → Q_m.
+//! (2) Build the canonical database D_Qm; compute T(Q_m, V) by applying
+//!     the view definitions to it.
+//! (3) For each view tuple, compute its tuple-core.
+//! (4) Cover the subgoals of Q_m with the minimum number of nonempty
+//!     tuple-cores; each cover yields a globally-minimal rewriting.
+//! ```
+//!
+//! `CoreCover*` differs only in step (4): it enumerates *all* irredundant
+//! covers, giving all minimal rewritings using view tuples — the space
+//! guaranteed to contain an M2-optimal rewriting (Theorem 5.1). View
+//! tuples with an *empty* tuple-core are excluded from covering but kept
+//! as **filter candidates** (like `v3(S)` in rewriting `P3` of the paper's
+//! running example), which the downstream optimizer may graft onto a
+//! rewriting when a selective view relation pays for itself.
+//!
+//! The §5.2 concise representation — views grouped into classes
+//! equivalent as queries, view tuples grouped by tuple-core — is on by
+//! default and is what makes the algorithm scale to a thousand views
+//! (Figures 6–9).
+
+use crate::classes::{view_equivalence_classes, view_tuple_classes};
+use crate::cover::{all_irredundant_covers, all_minimum_covers};
+use crate::rewriting::{dedup_variants, Rewriting};
+use crate::tuple_core::{tuple_core, TupleCore};
+use crate::view_tuple::{view_tuples, ViewTuple};
+use viewplan_cq::{ConjunctiveQuery, ViewSet};
+use viewplan_containment::{are_equivalent, expand, minimize};
+
+/// Tuning knobs for [`CoreCover`].
+#[derive(Clone, Debug)]
+pub struct CoreCoverConfig {
+    /// Group views into classes equivalent as queries and use one
+    /// representative per class (§5.2 step 1). Default `true`.
+    pub group_equivalent_views: bool,
+    /// Group view tuples by tuple-core and cover with one representative
+    /// per class (§5.2 step 2). Default `true`.
+    pub group_view_tuples: bool,
+    /// Verify each produced rewriting by expanding it and checking
+    /// equivalence with the query. Theorem 4.1 makes this redundant —
+    /// covers *are* rewritings — so it defaults to `false`; debug builds
+    /// always assert it.
+    pub verify_rewritings: bool,
+    /// Cap on the number of rewritings enumerated by `CoreCover*`.
+    pub max_rewritings: usize,
+}
+
+impl Default for CoreCoverConfig {
+    fn default() -> CoreCoverConfig {
+        CoreCoverConfig {
+            group_equivalent_views: true,
+            group_view_tuples: true,
+            verify_rewritings: false,
+            max_rewritings: 10_000,
+        }
+    }
+}
+
+/// Counters describing one run (these are the series plotted in the
+/// paper's Figures 7 and 9).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CoreCoverStats {
+    /// Number of input views.
+    pub views: usize,
+    /// Number of view equivalence classes (= `views` when grouping is
+    /// off).
+    pub view_classes: usize,
+    /// Number of view tuples computed from the representative views.
+    pub view_tuples: usize,
+    /// Number of representative view tuples used for covering
+    /// (= `view_tuples` when tuple grouping is off; empty-core classes are
+    /// not counted).
+    pub representative_tuples: usize,
+    /// Number of view tuples with an empty tuple-core (filter candidates).
+    pub empty_core_tuples: usize,
+    /// Number of rewritings produced.
+    pub rewritings: usize,
+}
+
+/// The output of a [`CoreCover`] run.
+#[derive(Clone, Debug)]
+pub struct CoreCoverResult {
+    /// The minimized query the rewritings are equivalent to.
+    pub minimized_query: ConjunctiveQuery,
+    /// All view tuples of the (representative) views.
+    pub view_tuples: Vec<ViewTuple>,
+    /// Tuple-cores aligned with `view_tuples`.
+    pub cores: Vec<TupleCore>,
+    /// View-tuple classes (indices into `view_tuples`), grouped by core.
+    pub tuple_classes: Vec<Vec<usize>>,
+    /// Run counters.
+    pub stats: CoreCoverStats,
+    rewritings: Vec<Rewriting>,
+}
+
+impl CoreCoverResult {
+    /// The rewritings found (globally minimal for [`CoreCover::run`], all
+    /// minimal for [`CoreCover::run_all_minimal`]).
+    pub fn rewritings(&self) -> &[Rewriting] {
+        &self.rewritings
+    }
+
+    /// View tuples with empty tuple-cores — candidates for filtering
+    /// subgoals under cost model M2 (§5.1).
+    pub fn filter_tuples(&self) -> Vec<&ViewTuple> {
+        self.view_tuples
+            .iter()
+            .zip(&self.cores)
+            .filter(|(_, c)| c.is_empty())
+            .map(|(t, _)| t)
+            .collect()
+    }
+
+    /// The §5.2 advantage (4): view tuples interchangeable with `tuple`
+    /// (same tuple-core class). Substituting any of them for `tuple` in a
+    /// rewriting yields another rewriting of the query, letting the
+    /// optimizer pick the class member with the cheapest view relation.
+    pub fn interchangeable_tuples(&self, tuple: &ViewTuple) -> Vec<&ViewTuple> {
+        let Some(idx) = self.view_tuples.iter().position(|t| t == tuple) else {
+            return Vec::new();
+        };
+        self.tuple_classes
+            .iter()
+            .find(|class| class.contains(&idx))
+            .map(|class| {
+                class
+                    .iter()
+                    .filter(|&&i| i != idx)
+                    .map(|&i| &self.view_tuples[i])
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Substitutes `from` with `to` in a rewriting's body (both must be in
+    /// the same tuple-core class for the result to stay a rewriting —
+    /// debug builds assert nothing here; the caller chooses from
+    /// [`CoreCoverResult::interchangeable_tuples`]).
+    pub fn swap_tuple(
+        &self,
+        rewriting: &Rewriting,
+        from: &ViewTuple,
+        to: &ViewTuple,
+    ) -> Rewriting {
+        let mut out = rewriting.clone();
+        for atom in &mut out.body {
+            if *atom == from.atom {
+                *atom = to.atom.clone();
+            }
+        }
+        out
+    }
+}
+
+/// The algorithm driver. See the module docs for the four steps.
+pub struct CoreCover<'a> {
+    query: &'a ConjunctiveQuery,
+    views: &'a ViewSet,
+    config: CoreCoverConfig,
+}
+
+impl<'a> CoreCover<'a> {
+    /// Prepares a run with the default configuration.
+    pub fn new(query: &'a ConjunctiveQuery, views: &'a ViewSet) -> CoreCover<'a> {
+        CoreCover {
+            query,
+            views,
+            config: CoreCoverConfig::default(),
+        }
+    }
+
+    /// Overrides the configuration.
+    pub fn with_config(mut self, config: CoreCoverConfig) -> CoreCover<'a> {
+        self.config = config;
+        self
+    }
+
+    /// Runs `CoreCover`: all globally-minimal rewritings.
+    pub fn run(&self) -> CoreCoverResult {
+        self.run_inner(true)
+    }
+
+    /// Runs `CoreCover*`: all minimal rewritings using view tuples (the
+    /// M2 search space of Theorem 5.1), capped at
+    /// [`CoreCoverConfig::max_rewritings`].
+    pub fn run_all_minimal(&self) -> CoreCoverResult {
+        self.run_inner(false)
+    }
+
+    fn run_inner(&self, minimum_only: bool) -> CoreCoverResult {
+        // Step 1: minimize the query.
+        let qm = minimize(self.query);
+
+        // Step 1b (§5.2): group views into equivalence classes.
+        let (active_views, view_classes) = if self.config.group_equivalent_views {
+            let classes = view_equivalence_classes(self.views);
+            let reps = ViewSet::from_views(
+                classes
+                    .iter()
+                    .map(|c| self.views.as_slice()[c[0]].clone()),
+            );
+            (reps, classes.len())
+        } else {
+            (self.views.clone(), self.views.len())
+        };
+
+        // Step 2: view tuples from the canonical database.
+        let tuples = view_tuples(&qm, &active_views);
+
+        // Step 3: tuple-cores.
+        let cores: Vec<TupleCore> = tuples
+            .iter()
+            .map(|t| tuple_core(&qm, t, &active_views))
+            .collect();
+        let tuple_classes = view_tuple_classes(&cores);
+
+        // Step 4: cover the query subgoals.
+        let universe: u64 = if qm.body.is_empty() {
+            0
+        } else {
+            // `1u64 << 64` overflows, and tuple_core admits exactly 64
+            // subgoals; shift from the top instead.
+            u64::MAX >> (64 - qm.body.len())
+        };
+        let candidate_indices: Vec<usize> = if self.config.group_view_tuples {
+            tuple_classes
+                .iter()
+                .map(|class| class[0])
+                .filter(|&i| !cores[i].is_empty())
+                .collect()
+        } else {
+            (0..tuples.len()).filter(|&i| !cores[i].is_empty()).collect()
+        };
+        let masks: Vec<u64> = candidate_indices.iter().map(|&i| cores[i].bitmask()).collect();
+        let covers = if minimum_only {
+            all_minimum_covers(universe, &masks)
+        } else {
+            all_irredundant_covers(universe, &masks, self.config.max_rewritings)
+        };
+
+        let mut rewritings: Vec<Rewriting> = covers
+            .iter()
+            .map(|cover| {
+                ConjunctiveQuery::new(
+                    qm.head.clone(),
+                    cover
+                        .iter()
+                        .map(|&k| tuples[candidate_indices[k]].atom.clone())
+                        .collect(),
+                )
+            })
+            .collect();
+        rewritings = dedup_variants(rewritings);
+
+        if self.config.verify_rewritings || cfg!(debug_assertions) {
+            for r in &rewritings {
+                let exp = expand(r, &active_views)
+                    .expect("rewritings are built from view tuples of known views");
+                debug_assert!(
+                    are_equivalent(&exp, &qm),
+                    "CoreCover produced a non-equivalent rewriting: {r}"
+                );
+                if self.config.verify_rewritings {
+                    assert!(
+                        are_equivalent(&exp, &qm),
+                        "CoreCover produced a non-equivalent rewriting: {r}"
+                    );
+                }
+            }
+        }
+
+        let stats = CoreCoverStats {
+            views: self.views.len(),
+            view_classes,
+            view_tuples: tuples.len(),
+            representative_tuples: candidate_indices.len(),
+            empty_core_tuples: cores.iter().filter(|c| c.is_empty()).count(),
+            rewritings: rewritings.len(),
+        };
+        CoreCoverResult {
+            minimized_query: qm,
+            view_tuples: tuples,
+            cores,
+            tuple_classes,
+            stats,
+            rewritings,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viewplan_cq::{parse_query, parse_views};
+
+    fn carlocpart() -> (ConjunctiveQuery, ViewSet) {
+        (
+            parse_query("q1(S, C) :- car(M, a), loc(a, C), part(S, M, C)").unwrap(),
+            parse_views(
+                "v1(M, D, C) :- car(M, D), loc(D, C).\n\
+                 v2(S, M, C) :- part(S, M, C).\n\
+                 v3(S) :- car(M, a), loc(a, C), part(S, M, C).\n\
+                 v4(M, D, C, S) :- car(M, D), loc(D, C), part(S, M, C).\n\
+                 v5(M, D, C) :- car(M, D), loc(D, C).",
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn carlocpart_gmr_is_p4() {
+        // §4.2: the unique minimum cover uses v4(M, a, C, S) → GMR P4.
+        let (q, views) = carlocpart();
+        let result = CoreCover::new(&q, &views).run();
+        let gmrs = result.rewritings();
+        assert_eq!(gmrs.len(), 1);
+        assert_eq!(gmrs[0].to_string(), "q1(S, C) :- v4(M, a, C, S)");
+    }
+
+    #[test]
+    fn carlocpart_stats() {
+        let (q, views) = carlocpart();
+        let result = CoreCover::new(&q, &views).run();
+        let s = result.stats;
+        assert_eq!(s.views, 5);
+        assert_eq!(s.view_classes, 4); // v1 ≡ v5
+        assert_eq!(s.view_tuples, 4); // one per representative view
+        assert_eq!(s.empty_core_tuples, 1); // v3(S)
+        assert_eq!(s.representative_tuples, 3);
+        assert_eq!(
+            result
+                .filter_tuples()
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>(),
+            ["v3(S)"]
+        );
+    }
+
+    #[test]
+    fn example41_gmr() {
+        let q = parse_query("q(X, Y) :- a(X, Z), a(Z, Z), b(Z, Y)").unwrap();
+        let views = parse_views(
+            "v1(A, B) :- a(A, B), a(B, B).\n\
+             v2(C, D) :- a(C, E), b(C, D).",
+        )
+        .unwrap();
+        let gmrs = CoreCover::new(&q, &views).run();
+        assert_eq!(gmrs.rewritings().len(), 1);
+        assert_eq!(
+            gmrs.rewritings()[0].to_string(),
+            "q(X, Y) :- v1(X, Z), v2(Z, Y)"
+        );
+    }
+
+    #[test]
+    fn example42_minicon_comparison_case() {
+        // Example 4.2 (k = 3): CoreCover finds the single-subgoal GMR.
+        let q = parse_query(
+            "q(X, Y) :- a1(X, Z1), b1(Z1, Y), a2(X, Z2), b2(Z2, Y), a3(X, Z3), b3(Z3, Y)",
+        )
+        .unwrap();
+        let views = parse_views(
+            "v(X, Y) :- a1(X, Z1), b1(Z1, Y), a2(X, Z2), b2(Z2, Y), a3(X, Z3), b3(Z3, Y).\n\
+             v1(X, Y) :- a1(X, Z1), b1(Z1, Y).\n\
+             v2(X, Y) :- a2(X, Z2), b2(Z2, Y).",
+        )
+        .unwrap();
+        let gmrs = CoreCover::new(&q, &views).run();
+        assert_eq!(gmrs.rewritings().len(), 1);
+        assert_eq!(gmrs.rewritings()[0].to_string(), "q(X, Y) :- v(X, Y)");
+    }
+
+    #[test]
+    fn no_rewriting_gives_empty_result() {
+        let q = parse_query("q(X) :- a(X, Y), b(Y, X)").unwrap();
+        let views = parse_views("v(A, B) :- a(A, B)").unwrap();
+        let result = CoreCover::new(&q, &views).run();
+        assert!(result.rewritings().is_empty());
+    }
+
+    #[test]
+    fn section32_gmr_that_is_not_cmr() {
+        // §3.2: Q: q(X) :- e(X, X); V: v(A, B) :- e(A, A), e(A, B).
+        // Both P1: q(X) :- v(X, B) and P2: q(X) :- v(X, X) are GMRs.
+        let q = parse_query("q(X) :- e(X, X)").unwrap();
+        let views = parse_views("v(A, B) :- e(A, A), e(A, B)").unwrap();
+        let result = CoreCover::new(&q, &views).run();
+        let printed: Vec<String> =
+            result.rewritings().iter().map(|r| r.to_string()).collect();
+        // The view-tuple space contains v(X, X) (from the canonical
+        // database {e(x, x)}), giving P2. P1 uses a fresh variable B and is
+        // outside the view-tuple space — the paper's point that a GMR need
+        // not be a CMR, but some view-tuple GMR of the same size exists.
+        assert_eq!(printed, ["q(X) :- v(X, X)"]);
+    }
+
+    #[test]
+    fn all_minimal_includes_non_minimum_rewritings() {
+        // Both one chain view covering everything and two half-views exist:
+        // CoreCover* returns the 1-subgoal GMR and the 2-subgoal minimal.
+        let q = parse_query("q(X, Y) :- e(X, Z), f(Z, Y)").unwrap();
+        let views = parse_views(
+            "vall(X, Y) :- e(X, Z), f(Z, Y).\n\
+             ve(X, Z) :- e(X, Z).\n\
+             vf(Z, Y) :- f(Z, Y).",
+        )
+        .unwrap();
+        let gmrs = CoreCover::new(&q, &views).run();
+        assert_eq!(gmrs.rewritings().len(), 1);
+        let all = CoreCover::new(&q, &views).run_all_minimal();
+        let printed: Vec<String> = all.rewritings().iter().map(|r| r.to_string()).collect();
+        assert_eq!(printed.len(), 2);
+        assert!(printed.contains(&"q(X, Y) :- vall(X, Y)".to_string()));
+        assert!(printed.contains(&"q(X, Y) :- ve(X, Z), vf(Z, Y)".to_string()));
+    }
+
+    #[test]
+    fn grouping_off_recovers_duplicate_rewritings() {
+        let (q, views) = carlocpart();
+        let config = CoreCoverConfig {
+            group_equivalent_views: false,
+            group_view_tuples: false,
+            ..CoreCoverConfig::default()
+        };
+        let result = CoreCover::new(&q, &views).with_config(config).run();
+        // Without grouping, v1/v5 both produce tuples; the GMR is still
+        // unique (v4 covers alone and is the only size-1 cover).
+        assert_eq!(result.stats.view_classes, 5);
+        assert_eq!(result.stats.view_tuples, 5);
+        assert_eq!(result.rewritings().len(), 1);
+    }
+
+    #[test]
+    fn query_minimization_happens_first() {
+        // The redundant subgoal must not inflate the universe.
+        let q = parse_query("q(X) :- e(X, Y), e(X, Z)").unwrap();
+        let views = parse_views("v(A) :- e(A, B)").unwrap();
+        let result = CoreCover::new(&q, &views).run();
+        assert_eq!(result.minimized_query.body.len(), 1);
+        assert_eq!(result.rewritings().len(), 1);
+        assert_eq!(result.rewritings()[0].to_string(), "q(X) :- v(X)");
+    }
+
+    #[test]
+    fn interchangeable_tuples_swap_into_valid_rewritings() {
+        // §5.2 advantage (4): v1 and v5 share a tuple-core class, so the
+        // optimizer may swap one for the other in any rewriting.
+        let (q, views) = carlocpart();
+        let config = CoreCoverConfig {
+            group_equivalent_views: false, // keep both v1 and v5 tuples
+            group_view_tuples: true,
+            ..CoreCoverConfig::default()
+        };
+        let result = CoreCover::new(&q, &views).with_config(config).run_all_minimal();
+        let v1_tuple = result
+            .view_tuples
+            .iter()
+            .find(|t| t.view.as_str() == "v1")
+            .unwrap()
+            .clone();
+        let alts = result.interchangeable_tuples(&v1_tuple);
+        assert!(alts.iter().any(|t| t.view.as_str() == "v5"));
+        // Swap v1 → v5 in a rewriting that uses v1; it must remain a
+        // rewriting.
+        let with_v1 = result
+            .rewritings()
+            .iter()
+            .find(|r| r.body.iter().any(|a| a.predicate.as_str() == "v1"))
+            .expect("some rewriting uses v1")
+            .clone();
+        let v5_tuple = alts
+            .iter()
+            .find(|t| t.view.as_str() == "v5")
+            .copied()
+            .cloned()
+            .unwrap();
+        let swapped = result.swap_tuple(&with_v1, &v1_tuple, &v5_tuple);
+        assert!(swapped.body.iter().any(|a| a.predicate.as_str() == "v5"));
+        let exp = expand(&swapped, &views).unwrap();
+        assert!(are_equivalent(&exp, &result.minimized_query));
+    }
+
+    #[test]
+    fn interchangeable_tuples_of_unknown_tuple_is_empty() {
+        let (q, views) = carlocpart();
+        let result = CoreCover::new(&q, &views).run();
+        let bogus = crate::view_tuple::ViewTuple {
+            view: viewplan_cq::Symbol::new("nope"),
+            atom: viewplan_cq::parse_atom("nope(X)").unwrap(),
+        };
+        assert!(result.interchangeable_tuples(&bogus).is_empty());
+    }
+
+    #[test]
+    fn verification_mode_accepts_valid_rewritings() {
+        let (q, views) = carlocpart();
+        let config = CoreCoverConfig {
+            verify_rewritings: true,
+            ..CoreCoverConfig::default()
+        };
+        let result = CoreCover::new(&q, &views).with_config(config).run();
+        assert_eq!(result.rewritings().len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod wide_query_tests {
+    use super::*;
+    use viewplan_cq::{parse_query, parse_views};
+
+    /// Regression: a minimized query with many subgoals must not overflow
+    /// the 64-bit universe mask (`1u64 << 64` panics).
+    #[test]
+    fn very_wide_queries_do_not_overflow_the_mask() {
+        // 64 distinct unary subgoals, all head variables: nothing minimizes
+        // away.
+        let body: Vec<String> = (0..64).map(|i| format!("p{i}(X{i})")).collect();
+        let head: Vec<String> = (0..64).map(|i| format!("X{i}")).collect();
+        let q = parse_query(&format!("q({}) :- {}", head.join(", "), body.join(", "))).unwrap();
+        let mut vs = String::new();
+        for i in 0..64 {
+            vs.push_str(&format!("v{i}(A) :- p{i}(A).\n"));
+        }
+        let views = parse_views(&vs).unwrap();
+        let result = CoreCover::new(&q, &views).run();
+        assert_eq!(result.rewritings().len(), 1);
+        assert_eq!(result.rewritings()[0].body.len(), 64);
+    }
+}

@@ -1,0 +1,212 @@
+//! Set-cover enumeration over subgoal bitmasks.
+//!
+//! Step (4) of `CoreCover` (Figure 4) models "use the minimum number of
+//! view tuples to cover all query subgoals" as classic set covering \[8\].
+//! The universe is the set of subgoals of the minimized query (≤ 64,
+//! bitmask-encoded); the sets are the nonempty tuple-cores. Two
+//! enumerations are provided:
+//!
+//! * [`all_minimum_covers`] — every cover of minimum cardinality: each is
+//!   a globally-minimal rewriting (Corollary 4.1).
+//! * [`all_irredundant_covers`] — every cover from which no member can be
+//!   dropped: the `CoreCover*` space of §5, whose rewritings are the
+//!   minimal rewritings using view tuples (Theorem 5.1 guarantees this
+//!   space contains an M2-optimal rewriting).
+//!
+//! Subsets are enumerated in increasing index order, so each cover is
+//! produced exactly once; branch-and-bound prunes on the best size found.
+
+/// Every minimum-cardinality cover of `universe` using `sets`, as sorted
+/// index vectors. Empty result iff `universe` cannot be covered.
+pub fn all_minimum_covers(universe: u64, sets: &[u64]) -> Vec<Vec<usize>> {
+    if universe == 0 {
+        return vec![Vec::new()];
+    }
+    // Quick feasibility check.
+    if sets.iter().fold(0u64, |a, &s| a | s) & universe != universe {
+        return Vec::new();
+    }
+    let mut best_size = usize::MAX;
+    let mut covers: Vec<Vec<usize>> = Vec::new();
+    let mut chosen: Vec<usize> = Vec::new();
+    minimum_dfs(universe, sets, 0, 0, &mut chosen, &mut best_size, &mut covers);
+    covers
+}
+
+fn minimum_dfs(
+    universe: u64,
+    sets: &[u64],
+    start: usize,
+    covered: u64,
+    chosen: &mut Vec<usize>,
+    best_size: &mut usize,
+    covers: &mut Vec<Vec<usize>>,
+) {
+    if covered & universe == universe {
+        match chosen.len().cmp(best_size) {
+            std::cmp::Ordering::Less => {
+                *best_size = chosen.len();
+                covers.clear();
+                covers.push(chosen.clone());
+            }
+            std::cmp::Ordering::Equal => covers.push(chosen.clone()),
+            std::cmp::Ordering::Greater => {}
+        }
+        return;
+    }
+    if chosen.len() >= *best_size {
+        return; // cannot match the best size anymore
+    }
+    // Bound: remaining sets must be able to finish the job.
+    let rest: u64 = sets[start..].iter().fold(0u64, |a, &s| a | s);
+    if (covered | rest) & universe != universe {
+        return;
+    }
+    for i in start..sets.len() {
+        if sets[i] & universe & !covered == 0 {
+            continue; // contributes nothing new: never part of a *minimum* cover at this point
+        }
+        chosen.push(i);
+        minimum_dfs(
+            universe,
+            sets,
+            i + 1,
+            covered | sets[i],
+            chosen,
+            best_size,
+            covers,
+        );
+        chosen.pop();
+    }
+}
+
+/// Every irredundant cover: a cover where each member covers at least one
+/// subgoal no other member covers. Produced in increasing-index subset
+/// order; `limit` caps the number of covers returned (the count can grow
+/// combinatorially — the paper's §5.2 concise representation exists for a
+/// reason).
+pub fn all_irredundant_covers(universe: u64, sets: &[u64], limit: usize) -> Vec<Vec<usize>> {
+    if universe == 0 {
+        return vec![Vec::new()];
+    }
+    if sets.iter().fold(0u64, |a, &s| a | s) & universe != universe {
+        return Vec::new();
+    }
+    let mut covers: Vec<Vec<usize>> = Vec::new();
+    let mut chosen: Vec<usize> = Vec::new();
+    irredundant_dfs(universe, sets, 0, 0, &mut chosen, limit, &mut covers);
+    covers
+}
+
+fn irredundant_dfs(
+    universe: u64,
+    sets: &[u64],
+    start: usize,
+    covered: u64,
+    chosen: &mut Vec<usize>,
+    limit: usize,
+    covers: &mut Vec<Vec<usize>>,
+) {
+    if covers.len() >= limit {
+        return;
+    }
+    if covered & universe == universe {
+        // Irredundancy check: every member must cover something unique.
+        let masks: Vec<u64> = chosen.iter().map(|&i| sets[i] & universe).collect();
+        let irredundant = masks.iter().enumerate().all(|(k, &m)| {
+            let others: u64 = masks
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != k)
+                .fold(0u64, |a, (_, &x)| a | x);
+            m & !others != 0
+        });
+        if irredundant {
+            covers.push(chosen.clone());
+        }
+        return;
+    }
+    let rest: u64 = sets[start..].iter().fold(0u64, |a, &s| a | s);
+    if (covered | rest) & universe != universe {
+        return;
+    }
+    for i in start..sets.len() {
+        if sets[i] & universe & !covered == 0 {
+            continue; // adding a no-progress set can never stay irredundant
+        }
+        chosen.push(i);
+        irredundant_dfs(universe, sets, i + 1, covered | sets[i], chosen, limit, covers);
+        chosen.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_covering_set_wins() {
+        // Universe {0,1,2}; sets: {0,1}, {2}, {0,1,2}.
+        let covers = all_minimum_covers(0b111, &[0b011, 0b100, 0b111]);
+        assert_eq!(covers, vec![vec![2]]);
+    }
+
+    #[test]
+    fn enumerates_all_ties() {
+        // Two ways to cover with 2 sets.
+        let covers = all_minimum_covers(0b111, &[0b011, 0b100, 0b110, 0b001]);
+        assert_eq!(covers, vec![vec![0, 1], vec![0, 2], vec![2, 3]]);
+    }
+
+    #[test]
+    fn infeasible_universe_gives_no_covers() {
+        assert!(all_minimum_covers(0b111, &[0b011]).is_empty());
+        assert!(all_irredundant_covers(0b111, &[0b011], 100).is_empty());
+    }
+
+    #[test]
+    fn empty_universe_has_the_empty_cover() {
+        assert_eq!(all_minimum_covers(0, &[0b1]), vec![Vec::<usize>::new()]);
+    }
+
+    #[test]
+    fn irredundant_covers_include_non_minimum_ones() {
+        // {0,1} + {1,2} is irredundant (each has a unique element) even
+        // though {0,1,2} covers alone.
+        let sets = [0b011, 0b110, 0b111];
+        let irr = all_irredundant_covers(0b111, &sets, 100);
+        assert!(irr.contains(&vec![0, 1]));
+        assert!(irr.contains(&vec![2]));
+        // {0,1,2} all together is redundant.
+        assert!(!irr.contains(&vec![0, 1, 2]));
+        let min = all_minimum_covers(0b111, &sets);
+        assert_eq!(min, vec![vec![2]]);
+    }
+
+    #[test]
+    fn overlapping_cores_are_allowed_in_minimum_covers() {
+        // §4.3: tuple-cores of a rewriting may overlap.
+        let covers = all_minimum_covers(0b11, &[0b11, 0b10, 0b01]);
+        assert_eq!(covers, vec![vec![0]]);
+        let covers2 = all_minimum_covers(0b111, &[0b110, 0b011]);
+        assert_eq!(covers2, vec![vec![0, 1]]); // share subgoal 1
+    }
+
+    #[test]
+    fn limit_caps_irredundant_enumeration() {
+        let sets = [0b001, 0b010, 0b100, 0b011, 0b110, 0b101];
+        let all = all_irredundant_covers(0b111, &sets, usize::MAX);
+        assert!(all.len() > 3);
+        let capped = all_irredundant_covers(0b111, &sets, 2);
+        assert_eq!(capped.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_sets_yield_distinct_covers() {
+        // Two identical sets are different view tuples; both minimum
+        // covers are reported (the §5.2 equivalence classes collapse them
+        // upstream when grouping is on).
+        let covers = all_minimum_covers(0b1, &[0b1, 0b1]);
+        assert_eq!(covers, vec![vec![0], vec![1]]);
+    }
+}

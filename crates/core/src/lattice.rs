@@ -1,0 +1,205 @@
+//! The rewriting taxonomy of §3: minimal, locally-minimal (LMR),
+//! containment-minimal (CMR), and globally-minimal (GMR) rewritings, and
+//! the partial order of LMRs (Figure 2).
+//!
+//! * A **minimal** rewriting has no redundant subgoal *as a query* (over
+//!   the view predicates).
+//! * A **locally-minimal** rewriting (LMR) additionally admits no subgoal
+//!   removal that keeps the *expansion* equivalent to the query — `P3` in
+//!   the car-loc-part example is minimal but not an LMR because `v3(S)`
+//!   can be dropped.
+//! * A **containment-minimal** rewriting (CMR) is an LMR with no other LMR
+//!   properly contained in it as queries.
+//! * A **globally-minimal** rewriting (GMR) has the fewest subgoals; by
+//!   Lemma 3.1 / Propositions 3.1–3.2, the CMRs contain a GMR.
+
+use crate::rewriting::Rewriting;
+use viewplan_cq::{ConjunctiveQuery, ViewSet};
+use viewplan_containment::{are_equivalent, expand, is_contained_in, minimize};
+
+/// True iff `p` is an equivalent rewriting of `q`: its expansion is
+/// equivalent to `q` (Definition 2.3). Unexpandable bodies (unknown views,
+/// unsatisfiable equalities) are simply not rewritings.
+pub fn is_equivalent_rewriting(p: &Rewriting, q: &ConjunctiveQuery, views: &ViewSet) -> bool {
+    match expand(p, views) {
+        Ok(exp) => are_equivalent(&exp, q),
+        Err(_) => false,
+    }
+}
+
+/// True iff `p` is a locally-minimal rewriting (LMR) of `q`: an equivalent
+/// rewriting from which no subgoal can be removed while the expansion
+/// stays equivalent to `q`.
+pub fn is_locally_minimal(p: &Rewriting, q: &ConjunctiveQuery, views: &ViewSet) -> bool {
+    if !is_equivalent_rewriting(p, q, views) {
+        return false;
+    }
+    (0..p.body.len()).all(|i| !is_equivalent_rewriting(&p.without_subgoal(i), q, views))
+}
+
+/// True iff `p` is a minimal rewriting: no subgoal is redundant *as a
+/// query* over the view predicates (the first minimization step of §3.1).
+pub fn is_minimal_as_query(p: &Rewriting) -> bool {
+    minimize(p).body.len() == p.body.len()
+}
+
+/// The proper-containment edges among a set of rewritings, as `(i, j)`
+/// pairs meaning `rewritings[i] ⊏ rewritings[j]` as queries (over the view
+/// predicates). These are the edges of Figure 2 when the input is a set of
+/// LMRs.
+pub fn lmr_partial_order(rewritings: &[Rewriting]) -> Vec<(usize, usize)> {
+    let mut edges = Vec::new();
+    for i in 0..rewritings.len() {
+        for j in 0..rewritings.len() {
+            if i != j
+                && is_contained_in(&rewritings[i], &rewritings[j])
+                && !is_contained_in(&rewritings[j], &rewritings[i])
+            {
+                edges.push((i, j));
+            }
+        }
+    }
+    edges
+}
+
+/// True iff `rewritings[idx]` is containment-minimal within the given set
+/// of LMRs: no other member is properly contained in it.
+pub fn is_containment_minimal(idx: usize, rewritings: &[Rewriting]) -> bool {
+    rewritings.iter().enumerate().all(|(j, other)| {
+        j == idx
+            || !is_contained_in(other, &rewritings[idx])
+            || is_contained_in(&rewritings[idx], other)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viewplan_cq::{parse_query, parse_views};
+
+    fn carlocpart() -> (ConjunctiveQuery, ViewSet) {
+        (
+            parse_query("q1(S, C) :- car(M, a), loc(a, C), part(S, M, C)").unwrap(),
+            parse_views(
+                "v1(M, D, C) :- car(M, D), loc(D, C).\n\
+                 v2(S, M, C) :- part(S, M, C).\n\
+                 v3(S) :- car(M, a), loc(a, C), part(S, M, C).\n\
+                 v4(M, D, C, S) :- car(M, D), loc(D, C), part(S, M, C).\n\
+                 v5(M, D, C) :- car(M, D), loc(D, C).",
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn p1_through_p5_are_equivalent_rewritings() {
+        let (q, views) = carlocpart();
+        for p in [
+            "q1(S, C) :- v1(M, a, C1), v1(M1, a, C), v2(S, M, C)",
+            "q1(S, C) :- v1(M, a, C), v2(S, M, C)",
+            "q1(S, C) :- v3(S), v1(M, a, C), v2(S, M, C)",
+            "q1(S, C) :- v4(M, a, C, S)",
+            "q1(S, C) :- v1(M, a, C1), v5(M1, a, C), v2(S, M, C)",
+        ] {
+            let p = parse_query(p).unwrap();
+            assert!(is_equivalent_rewriting(&p, &q, &views), "{p}");
+        }
+    }
+
+    #[test]
+    fn p3_is_minimal_but_not_locally_minimal() {
+        // §3.1: P3's v3(S) cannot be removed by query minimization, but it
+        // can be removed while keeping expansion equivalence.
+        let (q, views) = carlocpart();
+        let p3 = parse_query("q1(S, C) :- v3(S), v1(M, a, C), v2(S, M, C)").unwrap();
+        assert!(is_minimal_as_query(&p3));
+        assert!(!is_locally_minimal(&p3, &q, &views));
+    }
+
+    #[test]
+    fn p1_and_p2_are_lmrs() {
+        let (q, views) = carlocpart();
+        let p1 = parse_query("q1(S, C) :- v1(M, a, C1), v1(M1, a, C), v2(S, M, C)").unwrap();
+        let p2 = parse_query("q1(S, C) :- v1(M, a, C), v2(S, M, C)").unwrap();
+        assert!(is_locally_minimal(&p1, &q, &views));
+        assert!(is_locally_minimal(&p2, &q, &views));
+    }
+
+    #[test]
+    fn figure2a_partial_order() {
+        // Figure 2(a): P2 ⊏ P1, P2 ⊏ P5, P4 ⊏ P1, P4 ⊏ P5, (P4 vs P2
+        // incomparable, P1 vs P5 — v1 and v5 are different predicates so
+        // incomparable as queries).
+        let (q, views) = carlocpart();
+        let ps: Vec<Rewriting> = [
+            "q1(S, C) :- v1(M, a, C1), v1(M1, a, C), v2(S, M, C)", // P1
+            "q1(S, C) :- v1(M, a, C), v2(S, M, C)",                // P2
+            "q1(S, C) :- v4(M, a, C, S)",                          // P4
+            "q1(S, C) :- v1(M, a, C1), v5(M1, a, C), v2(S, M, C)", // P5
+        ]
+        .iter()
+        .map(|s| parse_query(s).unwrap())
+        .collect();
+        for p in &ps {
+            assert!(is_locally_minimal(p, &q, &views));
+        }
+        let edges = lmr_partial_order(&ps);
+        assert!(edges.contains(&(1, 0))); // P2 ⊏ P1
+        assert!(!edges.contains(&(0, 1)));
+        // P5 uses the v5 predicate, which containment-as-queries treats as
+        // uninterpreted, so P2 and P5 are incomparable as queries even
+        // though v1 ≡ v5 semantically.
+        assert!(!edges.contains(&(1, 3)));
+        // P2 is containment-minimal; P1 is not.
+        assert!(is_containment_minimal(1, &ps));
+        assert!(!is_containment_minimal(0, &ps));
+    }
+
+    #[test]
+    fn example31_chain_of_lmrs() {
+        // Example 3.1: P1 ⊏ P2 ⊏ P3 as queries; all three are LMRs.
+        let q = parse_query("q(X, Y, Z) :- e1(X, c), e2(Y, c), e3(Z, c)").unwrap();
+        let views =
+            parse_views("v(X, Y, Z, W) :- e1(X, W), e2(Y, W), e3(Z, W)").unwrap();
+        let ps: Vec<Rewriting> = [
+            "q(X, Y, Z) :- v(X, Y, Z, c)",
+            "q(X, Y, Z) :- v(X, Y, Z1, c), v(X1, Y1, Z, c)",
+            "q(X, Y, Z) :- v(X, Y1, Z1, c), v(X2, Y, Z2, c), v(X3, Y3, Z, c)",
+        ]
+        .iter()
+        .map(|s| parse_query(s).unwrap())
+        .collect();
+        for p in &ps {
+            assert!(is_locally_minimal(p, &q, &views), "{p}");
+        }
+        let edges = lmr_partial_order(&ps);
+        assert!(edges.contains(&(0, 1)));
+        assert!(edges.contains(&(1, 2)));
+        assert!(edges.contains(&(0, 2)));
+        assert!(is_containment_minimal(0, &ps));
+        assert!(!is_containment_minimal(1, &ps));
+    }
+
+    #[test]
+    fn section32_gmr_not_cmr() {
+        // §3.2: P1: q(X) :- v(X, B) is a GMR but not a CMR; P2: q(X) :-
+        // v(X, X) is both.
+        let q = parse_query("q(X) :- e(X, X)").unwrap();
+        let views = parse_views("v(A, B) :- e(A, A), e(A, B)").unwrap();
+        let p1 = parse_query("q(X) :- v(X, B)").unwrap();
+        let p2 = parse_query("q(X) :- v(X, X)").unwrap();
+        assert!(is_locally_minimal(&p1, &q, &views));
+        assert!(is_locally_minimal(&p2, &q, &views));
+        let ps = vec![p1, p2];
+        assert!(!is_containment_minimal(0, &ps));
+        assert!(is_containment_minimal(1, &ps));
+    }
+
+    #[test]
+    fn non_rewriting_is_rejected() {
+        let (q, views) = carlocpart();
+        let p = parse_query("q1(S, C) :- v2(S, M, C)").unwrap();
+        assert!(!is_equivalent_rewriting(&p, &q, &views));
+        assert!(!is_locally_minimal(&p, &q, &views));
+    }
+}

@@ -1,0 +1,124 @@
+//! The naive GMR search of Theorem 3.1 — the baseline `CoreCover` beats.
+//!
+//! Compute the view tuples `T(Q, V)`, then try every combination of 1, 2,
+//! … up to `n` view tuples (`n` = number of subgoals of the minimized
+//! query — by \[16\] a rewriting, if any exists, needs at most `n`
+//! subgoals). Each combination is tested by expanding it and searching for
+//! a containment mapping from the query. All combinations of the first
+//! successful size are the globally-minimal rewritings.
+
+use crate::rewriting::{dedup_variants, Rewriting};
+use crate::view_tuple::view_tuples;
+use viewplan_cq::{ConjunctiveQuery, ViewSet};
+use viewplan_containment::{containment_mapping, expand, minimize};
+
+/// Finds all globally-minimal rewritings by brute-force combination
+/// search. Exponential in the number of view tuples; exists as a
+/// correctness oracle and benchmark baseline for [`crate::CoreCover`].
+pub fn naive_gmrs(query: &ConjunctiveQuery, views: &ViewSet) -> Vec<Rewriting> {
+    let qm = minimize(query);
+    let tuples = view_tuples(&qm, views);
+    let n = qm.body.len();
+    for size in 1..=n.min(tuples.len()) {
+        let mut found: Vec<Rewriting> = Vec::new();
+        let mut chosen: Vec<usize> = Vec::new();
+        combos(&mut chosen, 0, size, tuples.len(), &mut |combo| {
+            let candidate = ConjunctiveQuery::new(
+                qm.head.clone(),
+                combo.iter().map(|&i| tuples[i].atom.clone()).collect(),
+            );
+            // By construction P^exp ⊑ Q; equivalence needs Q → P^exp.
+            if let Ok(exp) = expand(&candidate, views) {
+                if containment_mapping(&qm, &exp).is_some() {
+                    found.push(candidate);
+                }
+            }
+        });
+        if !found.is_empty() {
+            return dedup_variants(found);
+        }
+    }
+    Vec::new()
+}
+
+/// Enumerates all `size`-element index combinations of `0..n`.
+fn combos(
+    chosen: &mut Vec<usize>,
+    start: usize,
+    size: usize,
+    n: usize,
+    visit: &mut dyn FnMut(&[usize]),
+) {
+    if chosen.len() == size {
+        visit(chosen);
+        return;
+    }
+    let needed = size - chosen.len();
+    for i in start..=n.saturating_sub(needed) {
+        chosen.push(i);
+        combos(chosen, i + 1, size, n, visit);
+        chosen.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corecover::CoreCover;
+    use viewplan_cq::{parse_query, parse_views};
+
+    #[test]
+    fn agrees_with_corecover_on_carlocpart() {
+        let q = parse_query("q1(S, C) :- car(M, a), loc(a, C), part(S, M, C)").unwrap();
+        let views = parse_views(
+            "v1(M, D, C) :- car(M, D), loc(D, C).\n\
+             v2(S, M, C) :- part(S, M, C).\n\
+             v3(S) :- car(M, a), loc(a, C), part(S, M, C).\n\
+             v4(M, D, C, S) :- car(M, D), loc(D, C), part(S, M, C).\n\
+             v5(M, D, C) :- car(M, D), loc(D, C).",
+        )
+        .unwrap();
+        let naive = naive_gmrs(&q, &views);
+        assert_eq!(naive.len(), 1);
+        assert_eq!(naive[0].to_string(), "q1(S, C) :- v4(M, a, C, S)");
+        let cc = CoreCover::new(&q, &views).run();
+        assert_eq!(cc.rewritings().len(), naive.len());
+    }
+
+    #[test]
+    fn agrees_on_example41() {
+        let q = parse_query("q(X, Y) :- a(X, Z), a(Z, Z), b(Z, Y)").unwrap();
+        let views = parse_views(
+            "v1(A, B) :- a(A, B), a(B, B).\n\
+             v2(C, D) :- a(C, E), b(C, D).",
+        )
+        .unwrap();
+        let naive = naive_gmrs(&q, &views);
+        assert_eq!(naive.len(), 1);
+        assert_eq!(naive[0].to_string(), "q(X, Y) :- v1(X, Z), v2(Z, Y)");
+    }
+
+    #[test]
+    fn finds_nothing_when_no_rewriting_exists() {
+        let q = parse_query("q(X) :- a(X, Y), b(Y, X)").unwrap();
+        let views = parse_views("v(A, B) :- a(A, B)").unwrap();
+        assert!(naive_gmrs(&q, &views).is_empty());
+    }
+
+    #[test]
+    fn combos_enumerate_without_repeats() {
+        let mut seen = Vec::new();
+        combos(&mut Vec::new(), 0, 2, 4, &mut |c| seen.push(c.to_vec()));
+        assert_eq!(
+            seen,
+            vec![
+                vec![0, 1],
+                vec![0, 2],
+                vec![0, 3],
+                vec![1, 2],
+                vec![1, 3],
+                vec![2, 3]
+            ]
+        );
+    }
+}

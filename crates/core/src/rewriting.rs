@@ -1,0 +1,81 @@
+//! Rewritings and variant deduplication.
+
+use std::collections::HashMap;
+use viewplan_cq::{ConjunctiveQuery, Term};
+use viewplan_containment::is_variant;
+
+/// An equivalent rewriting of a query using views — a conjunctive query
+/// whose body subgoals are view literals. A plain type alias with helpers;
+/// the semantic guarantee ("expansion equivalent to the query") is
+/// established by the producing algorithms.
+pub type Rewriting = ConjunctiveQuery;
+
+/// A renaming-invariant signature: the sorted multiset of per-atom shapes
+/// (predicate, constant positions, intra-atom variable-equality pattern).
+/// Variants always share a signature, so pairwise [`is_variant`] checks
+/// only run within signature buckets — `CoreCover` can emit hundreds of
+/// covers, and quadratic variant checking across all of them dominated the
+/// runtime before this bucketing.
+fn shape_signature(q: &Rewriting) -> Vec<String> {
+    let mut shapes: Vec<String> = q
+        .body
+        .iter()
+        .map(|a| {
+            let mut first_seen: HashMap<_, usize> = HashMap::new();
+            let pattern: Vec<String> = a
+                .terms
+                .iter()
+                .enumerate()
+                .map(|(i, t)| match *t {
+                    Term::Const(c) => format!("c{c:?}"),
+                    Term::Var(v) => {
+                        let k = *first_seen.entry(v).or_insert(i);
+                        format!("v{k}")
+                    }
+                })
+                .collect();
+            format!("{}({})", a.predicate, pattern.join(","))
+        })
+        .collect();
+    shapes.sort();
+    shapes
+}
+
+/// Removes rewritings that are variable-renamings of an earlier one
+/// (§3.3 footnote: "we assume two rewritings are the same if the only
+/// difference between them is variable renamings").
+pub fn dedup_variants(rewritings: Vec<Rewriting>) -> Vec<Rewriting> {
+    let mut out: Vec<Rewriting> = Vec::new();
+    let mut buckets: HashMap<Vec<String>, Vec<usize>> = HashMap::new();
+    for r in rewritings {
+        let sig = shape_signature(&r);
+        let bucket = buckets.entry(sig).or_default();
+        if !bucket.iter().any(|&i| is_variant(&out[i], &r)) {
+            bucket.push(out.len());
+            out.push(r);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viewplan_cq::parse_query;
+
+    #[test]
+    fn dedup_removes_renamings_only() {
+        let rs = vec![
+            parse_query("q(X) :- v(X, Y)").unwrap(),
+            parse_query("q(A) :- v(A, B)").unwrap(), // renaming of the first
+            parse_query("q(X) :- v(X, X)").unwrap(), // different shape
+        ];
+        let kept = dedup_variants(rs);
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn empty_input_stays_empty() {
+        assert!(dedup_variants(Vec::new()).is_empty());
+    }
+}

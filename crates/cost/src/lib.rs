@@ -1,0 +1,44 @@
+//! Cost models and the optimizer half of the paper's two-phase
+//! architecture.
+//!
+//! The rewriting generator ([`viewplan_core`]) produces logical plans; this
+//! crate turns them into physical plans and costs them under the three
+//! models of Table 1:
+//!
+//! | model | physical plan | cost measure |
+//! |-------|---------------|--------------|
+//! | **M1** | a *set* of subgoals | number of subgoals |
+//! | **M2** | a *list* of subgoals | `Σ size(gᵢ) + size(IRᵢ)` |
+//! | **M3** | a list of subgoals annotated with dropped attributes | `Σ size(gᵢ) + size(GSRᵢ)` |
+//!
+//! * [`catalog`] — relation statistics and the Selinger-style cardinality
+//!   estimator; [`oracle`] — a common size interface with an *exact*
+//!   implementation (measuring a materialized view database through the
+//!   engine) and an *estimated* one (catalog + independence assumption).
+//! * [`m2`] — optimal join orders by dynamic programming over subgoal
+//!   subsets (the all-attributes-retained IR size depends only on the
+//!   prefix *set*, so Selinger DP is exact here).
+//! * [`m3`] — attribute dropping: the classic supplementary-relation rule
+//!   \[4\] plus the paper's §6.2 renaming heuristic, which drops a
+//!   variable that still occurs in later subgoals whenever renaming its
+//!   prefix occurrences preserves equivalence to the query (Example 6.1).
+//! * [`optimizer`] — the facade: generate rewritings with
+//!   `CoreCover`/`CoreCover*`, search plans under a chosen model, and
+//!   optionally graft empty-core **filter subgoals** onto a rewriting when
+//!   they pay for themselves (§5.1–5.2, rewriting `P3`).
+
+pub mod catalog;
+pub mod m1;
+pub mod m2;
+pub mod m3;
+pub mod optimizer;
+pub mod oracle;
+pub mod plan;
+
+pub use catalog::{Catalog, RelationStats};
+pub use m1::{m1_cost, optimal_m1_rewritings};
+pub use m2::optimal_m2_order;
+pub use m3::{optimal_m3_plan, plan_with_order, DropPolicy};
+pub use optimizer::{CostModel, Optimizer, OptimizerConfig, PlannedRewriting};
+pub use oracle::{EstimateOracle, ExactOracle, SizeOracle};
+pub use plan::PhysicalPlan;

@@ -1,0 +1,169 @@
+//! Cost model M2: sum of relation and intermediate-relation sizes (§5).
+//!
+//! A physical plan is an order `g1, …, gn`; its cost is
+//! `Σᵢ size(gᵢ) + size(IRᵢ)` where `IRᵢ` joins the first `i` subgoals with
+//! **all attributes retained**. Because `IRᵢ` then depends only on the
+//! *set* of the first `i` subgoals — not their order — Selinger-style
+//! dynamic programming over subsets finds a provably optimal order:
+//!
+//! ```text
+//! cost(S) = min over g ∈ S of  cost(S \ {g}) + size(g) + size(IR(S))
+//! ```
+
+use crate::oracle::SizeOracle;
+use std::collections::BTreeSet;
+use viewplan_cq::{Atom, Symbol};
+
+/// Finds an optimal M2 join order for `body`, returning the order (as
+/// indices into `body`), the per-prefix `IR` sizes, and the total cost.
+/// Returns `None` for an empty body.
+///
+/// # Panics
+/// Panics if `body` has more than 24 subgoals (the DP is exponential in
+/// the subgoal count; rewritings in this system are far smaller).
+pub fn optimal_m2_order(
+    body: &[Atom],
+    oracle: &mut dyn SizeOracle,
+) -> Option<(Vec<usize>, Vec<f64>, f64)> {
+    let n = body.len();
+    if n == 0 {
+        return None;
+    }
+    assert!(n <= 24, "M2 DP limited to 24 subgoals");
+    let full: u32 = (1u32 << n) - 1;
+
+    // Per-subset variable sets (all attributes retained).
+    let vars_of = |mask: u32| -> BTreeSet<Symbol> {
+        (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .flat_map(|i| body[i].variables())
+            .collect()
+    };
+
+    let sizes: Vec<f64> = body.iter().map(|g| oracle.relation_size(g)).collect();
+    let mut ir = vec![0.0f64; (full as usize) + 1];
+    let mut best = vec![f64::INFINITY; (full as usize) + 1];
+    let mut last: Vec<Option<usize>> = vec![None; (full as usize) + 1];
+    best[0] = 0.0;
+    for mask in 1..=full {
+        let retained = vars_of(mask);
+        ir[mask as usize] = oracle.intermediate_size(body, mask, &retained);
+        for (g, &gsize) in sizes.iter().enumerate() {
+            if mask & (1 << g) == 0 {
+                continue;
+            }
+            let prev = mask & !(1 << g);
+            let cost = best[prev as usize] + gsize + ir[mask as usize];
+            if cost < best[mask as usize] {
+                best[mask as usize] = cost;
+                last[mask as usize] = Some(g);
+            }
+        }
+    }
+
+    // Reconstruct the order.
+    let mut order = Vec::with_capacity(n);
+    let mut mask = full;
+    while mask != 0 {
+        let g = last[mask as usize].expect("every nonempty subset has a last subgoal");
+        order.push(g);
+        mask &= !(1 << g);
+    }
+    order.reverse();
+    let ir_sizes: Vec<f64> = {
+        let mut acc = 0u32;
+        order
+            .iter()
+            .map(|&g| {
+                acc |= 1 << g;
+                ir[acc as usize]
+            })
+            .collect()
+    };
+    Some((order, ir_sizes, best[full as usize]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::ExactOracle;
+    use viewplan_cq::parse_query;
+    use viewplan_engine::{execute_ordered, Database};
+
+    /// A database where joining small-first is clearly better.
+    fn skewed_db() -> Database {
+        let mut db = Database::new();
+        // big(X, Y): 100 tuples; sel(Y): 1 tuple.
+        let rows: Vec<Vec<i64>> = (0..100).map(|i| vec![i, i % 10]).collect();
+        for r in &rows {
+            db.insert("big", r.iter().map(|&v| v.into()).collect());
+        }
+        db.insert_int("sel", &[&[3]]);
+        db
+    }
+
+    #[test]
+    fn dp_picks_selective_subgoal_first() {
+        let db = skewed_db();
+        let q = parse_query("q(X) :- big(X, Y), sel(Y)").unwrap();
+        let mut oracle = ExactOracle::new(&db);
+        let (order, ir, cost) = optimal_m2_order(&q.body, &mut oracle).unwrap();
+        assert_eq!(order, vec![1, 0]); // sel first
+        assert_eq!(ir, vec![1.0, 10.0]);
+        // cost = size(sel) + IR1 + size(big) + IR2 = 1 + 1 + 100 + 10.
+        assert_eq!(cost, 112.0);
+    }
+
+    #[test]
+    fn dp_cost_matches_engine_execution() {
+        let db = skewed_db();
+        let q = parse_query("q(X) :- big(X, Y), sel(Y)").unwrap();
+        let mut oracle = ExactOracle::new(&db);
+        let (order, _, cost) = optimal_m2_order(&q.body, &mut oracle).unwrap();
+        let ordered: Vec<Atom> = order.iter().map(|&i| q.body[i].clone()).collect();
+        let trace = execute_ordered(&q.head, &ordered, &db);
+        assert_eq!(trace.cost() as f64, cost);
+    }
+
+    #[test]
+    fn dp_beats_the_bad_order() {
+        let db = skewed_db();
+        let q = parse_query("q(X) :- big(X, Y), sel(Y)").unwrap();
+        let bad = execute_ordered(&q.head, &q.body, &db); // big first
+        let mut oracle = ExactOracle::new(&db);
+        let (_, _, best) = optimal_m2_order(&q.body, &mut oracle).unwrap();
+        assert!(best < bad.cost() as f64);
+    }
+
+    #[test]
+    fn single_subgoal_plan() {
+        let db = skewed_db();
+        let q = parse_query("q(Y) :- sel(Y)").unwrap();
+        let mut oracle = ExactOracle::new(&db);
+        let (order, ir, cost) = optimal_m2_order(&q.body, &mut oracle).unwrap();
+        assert_eq!(order, vec![0]);
+        assert_eq!(ir, vec![1.0]);
+        assert_eq!(cost, 2.0);
+    }
+
+    #[test]
+    fn empty_body_returns_none() {
+        let db = Database::new();
+        let mut oracle = ExactOracle::new(&db);
+        assert!(optimal_m2_order(&[], &mut oracle).is_none());
+    }
+
+    #[test]
+    fn three_way_join_explores_all_orders() {
+        let mut db = Database::new();
+        db.insert_int("a", &[&[1, 1], &[2, 2], &[3, 3]]);
+        db.insert_int("b", &[&[1, 5]]);
+        db.insert_int("c", &[&[5, 9], &[5, 8]]);
+        let q = parse_query("q(X, W) :- a(X, Y), b(Y, Z), c(Z, W)").unwrap();
+        let mut oracle = ExactOracle::new(&db);
+        let (order, _, cost) = optimal_m2_order(&q.body, &mut oracle).unwrap();
+        // b is the most selective start.
+        assert_eq!(order[0], 1);
+        assert!(cost > 0.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Parse errors with source positions.
+
+use std::fmt;
+
+/// An error produced while parsing the Datalog-style query syntax.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// 1-based column of the offending token.
+    pub column: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(line: usize, column: usize, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line,
+            column,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = ParseError::new(3, 7, "expected ')'");
+        assert_eq!(e.to_string(), "parse error at 3:7: expected ')'");
+    }
+}

@@ -1,0 +1,393 @@
+//! Datalog-style parser for queries and view definitions.
+//!
+//! Grammar (following the paper's notation, §2.1):
+//!
+//! ```text
+//! program  := rule (rule)*
+//! rule     := atom ":-" atom ("," atom)* "."?
+//! atom     := ident "(" terms? ")"
+//! terms    := term ("," term)*
+//! term     := IDENT | INTEGER
+//! ```
+//!
+//! Identifiers beginning with an upper-case letter are **variables**;
+//! identifiers beginning with a lower-case letter are **constants** (in
+//! term position) or predicate names (in predicate position). `%` and `#`
+//! start line comments.
+
+use crate::atom::Atom;
+use crate::error::ParseError;
+use crate::query::ConjunctiveQuery;
+use crate::term::Term;
+use crate::view::{View, ViewSet};
+
+/// A parsed program: a list of rules in source order.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Program {
+    /// The rules, each a safe conjunctive query.
+    pub rules: Vec<ConjunctiveQuery>,
+}
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    LParen,
+    RParen,
+    Comma,
+    Implies,
+    Dot,
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Lexer<'a> {
+        Lexer {
+            src,
+            chars: src.char_indices().peekable(),
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn bump(&mut self) -> Option<(usize, char)> {
+        let next = self.chars.next();
+        if let Some((_, c)) = next {
+            if c == '\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+        }
+        next
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(self.line, self.col, msg)
+    }
+
+    /// Tokenizes the whole input, attaching the position of each token.
+    fn tokenize(mut self) -> Result<Vec<(Tok, usize, usize)>, ParseError> {
+        let mut out = Vec::new();
+        while let Some(&(i, c)) = self.chars.peek() {
+            let (line, col) = (self.line, self.col);
+            match c {
+                ' ' | '\t' | '\r' | '\n' => {
+                    self.bump();
+                }
+                '%' | '#' => {
+                    while let Some(&(_, c)) = self.chars.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                '(' => {
+                    self.bump();
+                    out.push((Tok::LParen, line, col));
+                }
+                ')' => {
+                    self.bump();
+                    out.push((Tok::RParen, line, col));
+                }
+                ',' => {
+                    self.bump();
+                    out.push((Tok::Comma, line, col));
+                }
+                '.' => {
+                    self.bump();
+                    out.push((Tok::Dot, line, col));
+                }
+                ':' => {
+                    self.bump();
+                    match self.chars.peek() {
+                        Some(&(_, '-')) => {
+                            self.bump();
+                            out.push((Tok::Implies, line, col));
+                        }
+                        _ => return Err(self.err("expected '-' after ':'")),
+                    }
+                }
+                c if c.is_ascii_alphabetic() || c == '_' => {
+                    let start = i;
+                    let mut end = i + c.len_utf8();
+                    self.bump();
+                    while let Some(&(j, c)) = self.chars.peek() {
+                        if c.is_ascii_alphanumeric() || c == '_' {
+                            end = j + c.len_utf8();
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    out.push((Tok::Ident(self.src[start..end].to_string()), line, col));
+                }
+                c if c.is_ascii_digit() || c == '-' => {
+                    let start = i;
+                    let mut end = i + c.len_utf8();
+                    self.bump();
+                    let mut saw_digit = c.is_ascii_digit();
+                    while let Some(&(j, c)) = self.chars.peek() {
+                        if c.is_ascii_digit() {
+                            saw_digit = true;
+                            end = j + c.len_utf8();
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    if !saw_digit {
+                        return Err(self.err("expected digits after '-'"));
+                    }
+                    let text = &self.src[start..end];
+                    let value = text
+                        .parse::<i64>()
+                        .map_err(|_| self.err(format!("integer out of range: {text}")))?;
+                    out.push((Tok::Int(value), line, col));
+                }
+                other => return Err(self.err(format!("unexpected character {other:?}"))),
+            }
+        }
+        Ok(out)
+    }
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _, _)| t)
+    }
+
+    fn position(&self) -> (usize, usize) {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map(|&(_, l, c)| (l, c))
+            .unwrap_or((1, 1))
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        let (l, c) = self.position();
+        ParseError::new(l, c, msg)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: Tok, what: &str) -> Result<(), ParseError> {
+        match self.bump() {
+            Some(t) if t == want => Ok(()),
+            Some(t) => Err(self.err(format!("expected {what}, found {t:?}"))),
+            None => Err(self.err(format!("expected {what}, found end of input"))),
+        }
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        match self.bump() {
+            Some(Tok::Ident(name)) => {
+                let first = name.chars().next().expect("identifier is nonempty");
+                if first.is_ascii_uppercase() {
+                    Ok(Term::var(&name))
+                } else {
+                    Ok(Term::cst(&name))
+                }
+            }
+            Some(Tok::Int(i)) => Ok(Term::int(i)),
+            Some(t) => Err(self.err(format!("expected term, found {t:?}"))),
+            None => Err(self.err("expected term, found end of input")),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Atom, ParseError> {
+        let name = match self.bump() {
+            Some(Tok::Ident(name)) => {
+                let first = name.chars().next().expect("identifier is nonempty");
+                if first.is_ascii_uppercase() {
+                    return Err(self.err(format!(
+                        "predicate names must start lower-case, found {name:?}"
+                    )));
+                }
+                name
+            }
+            Some(t) => return Err(self.err(format!("expected predicate name, found {t:?}"))),
+            None => return Err(self.err("expected predicate name, found end of input")),
+        };
+        self.expect(Tok::LParen, "'('")?;
+        let mut terms = Vec::new();
+        if self.peek() != Some(&Tok::RParen) {
+            loop {
+                terms.push(self.term()?);
+                match self.peek() {
+                    Some(Tok::Comma) => {
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            }
+        }
+        self.expect(Tok::RParen, "')'")?;
+        Ok(Atom::new(name.as_str(), terms))
+    }
+
+    fn rule(&mut self) -> Result<ConjunctiveQuery, ParseError> {
+        let head = self.atom()?;
+        self.expect(Tok::Implies, "':-'")?;
+        let mut body = vec![self.atom()?];
+        while self.peek() == Some(&Tok::Comma) {
+            self.bump();
+            body.push(self.atom()?);
+        }
+        if self.peek() == Some(&Tok::Dot) {
+            self.bump();
+        }
+        let q = ConjunctiveQuery::new(head, body);
+        if !q.is_safe() {
+            return Err(self.err(format!("unsafe rule (head variable not in body): {q}")));
+        }
+        Ok(q)
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut rules = Vec::new();
+        while self.peek().is_some() {
+            rules.push(self.rule()?);
+        }
+        Ok(Program { rules })
+    }
+}
+
+fn parser(src: &str) -> Result<Parser, ParseError> {
+    Ok(Parser {
+        toks: Lexer::new(src).tokenize()?,
+        pos: 0,
+    })
+}
+
+/// Parses a whole program (one rule per `:-` clause, `.`-terminated or
+/// newline-separated).
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    parser(src)?.program()
+}
+
+/// Parses a single rule as a conjunctive query.
+pub fn parse_query(src: &str) -> Result<ConjunctiveQuery, ParseError> {
+    let mut p = parser(src)?;
+    let q = p.rule()?;
+    if p.peek().is_some() {
+        return Err(p.err("trailing input after rule"));
+    }
+    Ok(q)
+}
+
+/// Parses a program and wraps each rule as a view definition.
+pub fn parse_views(src: &str) -> Result<ViewSet, ParseError> {
+    let program = parse_program(src)?;
+    Ok(ViewSet::from_views(program.rules.into_iter().map(View::new)))
+}
+
+/// Parses a single atom such as `car(M, anderson)` (used for view-tuple
+/// literals in tests).
+pub fn parse_atom(src: &str) -> Result<Atom, ParseError> {
+    let mut p = parser(src)?;
+    let a = p.atom()?;
+    if p.peek().is_some() {
+        return Err(p.err("trailing input after atom"));
+    }
+    Ok(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_car_loc_part() {
+        let q =
+            parse_query("q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C)").unwrap();
+        assert_eq!(q.head.predicate.as_str(), "q1");
+        assert_eq!(q.body.len(), 3);
+        assert_eq!(q.body[0].terms[1], Term::cst("anderson"));
+        assert_eq!(q.body[2].terms[0], Term::var("S"));
+    }
+
+    #[test]
+    fn parses_program_with_comments_and_dots() {
+        let p = parse_program(
+            "% the five views of Example 1.1\n\
+             v1(M, D, C) :- car(M, D), loc(D, C).\n\
+             v3(S) :- car(M, a), loc(a, C), part(S, M, C). # inline trailing\n",
+        )
+        .unwrap();
+        assert_eq!(p.rules.len(), 2);
+        assert_eq!(p.rules[1].head.arity(), 1);
+    }
+
+    #[test]
+    fn parses_integers_and_negatives() {
+        let q = parse_query("q(X) :- r(X, 7), s(-3, X)").unwrap();
+        assert_eq!(q.body[0].terms[1], Term::int(7));
+        assert_eq!(q.body[1].terms[0], Term::int(-3));
+    }
+
+    #[test]
+    fn rejects_unsafe_rule() {
+        let e = parse_query("q(X, Y) :- a(X)").unwrap_err();
+        assert!(e.message.contains("unsafe"));
+    }
+
+    #[test]
+    fn rejects_uppercase_predicate() {
+        assert!(parse_query("q(X) :- Foo(X)").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse_query("q(X) :- a(X) extra").is_err());
+        assert!(parse_atom("a(X) b").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_tokens_with_position() {
+        let e = parse_program("q(X) :- a(X), @(X)").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("unexpected character"));
+    }
+
+    #[test]
+    fn rejects_lone_colon_and_bare_minus() {
+        assert!(parse_query("q(X) : a(X)").is_err());
+        assert!(parse_query("q(X) :- a(-)").is_err());
+    }
+
+    #[test]
+    fn zero_arity_atoms_parse() {
+        let a = parse_atom("done()").unwrap();
+        assert_eq!(a.arity(), 0);
+    }
+
+    #[test]
+    fn views_round_trip_through_display() {
+        let src = "v1(M, D, C) :- car(M, D), loc(D, C)";
+        let vs = parse_views(src).unwrap();
+        let printed = vs.to_string();
+        let reparsed = parse_views(&printed).unwrap();
+        assert_eq!(vs, reparsed);
+    }
+}

@@ -1,0 +1,149 @@
+//! Interned string symbols.
+//!
+//! All identifiers in the system — predicate names, variable names, and
+//! symbolic constants — are interned into a process-global table so that a
+//! [`Symbol`] is a `Copy` 32-bit handle. Homomorphism search (the hot loop
+//! of containment checking) compares and hashes symbols millions of times;
+//! interning keeps that loop free of string traffic, per the perf-book
+//! guidance on avoiding allocation in hot paths.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// An interned string. Two symbols are equal iff their source strings are
+/// equal. Resolution back to the string is only needed for display.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+struct Interner {
+    lookup: HashMap<Box<str>, u32>,
+    strings: Vec<Box<str>>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            lookup: HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns `s`, returning its stable handle.
+    pub fn new(s: &str) -> Symbol {
+        // Fast path: already interned.
+        {
+            let rd = interner().read();
+            if let Some(&id) = rd.lookup.get(s) {
+                return Symbol(id);
+            }
+        }
+        let mut wr = interner().write();
+        if let Some(&id) = wr.lookup.get(s) {
+            return Symbol(id);
+        }
+        let id = u32::try_from(wr.strings.len()).expect("symbol table overflow");
+        let boxed: Box<str> = s.into();
+        wr.strings.push(boxed.clone());
+        wr.lookup.insert(boxed, id);
+        Symbol(id)
+    }
+
+    /// Returns the interned string.
+    pub fn as_str(self) -> String {
+        interner().read().strings[self.0 as usize].to_string()
+    }
+
+    /// Raw handle, usable as a dense index (e.g. in per-run scratch tables).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// A symbol guaranteed distinct from every symbol interned so far,
+    /// derived from `base` (used for fresh-variable generation).
+    pub fn fresh(base: &str) -> Symbol {
+        // Candidate names `base#k`; `#` cannot appear in parsed identifiers,
+        // so a fresh symbol can never collide with user input, only with
+        // previously generated fresh symbols — hence the loop.
+        let mut k = interner().read().strings.len();
+        loop {
+            let candidate = format!("{base}#{k}");
+            let rd = interner().read();
+            if !rd.lookup.contains_key(candidate.as_str()) {
+                drop(rd);
+                return Symbol::new(&candidate);
+            }
+            k += 1;
+        }
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&interner().read().strings[self.0 as usize])
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable() {
+        let a = Symbol::new("car");
+        let b = Symbol::new("car");
+        let c = Symbol::new("loc");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.as_str(), "car");
+        assert_eq!(c.as_str(), "loc");
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let s = Symbol::new("part");
+        assert_eq!(format!("{s}"), "part");
+        assert_eq!(format!("{s:?}"), "part");
+    }
+
+    #[test]
+    fn fresh_symbols_are_distinct() {
+        let base = Symbol::new("X");
+        let f1 = Symbol::fresh("X");
+        let f2 = Symbol::fresh("X");
+        assert_ne!(f1, base);
+        assert_ne!(f2, base);
+        assert_ne!(f1, f2);
+    }
+
+    #[test]
+    fn fresh_never_collides_with_existing() {
+        // Pre-intern a name of the shape fresh() would generate.
+        let taken = Symbol::new("Y#0");
+        let f = Symbol::fresh("Y");
+        assert_ne!(f, taken);
+    }
+
+    #[test]
+    fn symbols_are_ordered_deterministically_by_intern_order() {
+        let a = Symbol::new("zzz_order_a");
+        let b = Symbol::new("zzz_order_b");
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,69 @@
+//! Property-based round-trip tests: printing a query and re-parsing it
+//! must reproduce the query exactly, and the parser must never panic on
+//! arbitrary input.
+
+use proptest::prelude::*;
+use viewplan_cq::{parse_program, parse_query, Atom, ConjunctiveQuery, Symbol, Term};
+
+fn arb_term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        3 => (0..8usize).prop_map(|i| Term::var(&format!("X{i}"))),
+        1 => (0..4usize).prop_map(|i| Term::cst(&format!("k{i}"))),
+        1 => any::<i64>().prop_map(Term::int),
+    ]
+}
+
+fn arb_query() -> impl Strategy<Value = ConjunctiveQuery> {
+    let atom = ((0..5usize), prop::collection::vec(arb_term(), 0..4))
+        .prop_map(|(p, ts)| Atom::new(format!("pred{p}").as_str(), ts));
+    prop::collection::vec(atom, 1..5).prop_map(|body| {
+        // Head: all body variables (safety by construction).
+        let mut vars: Vec<Symbol> = Vec::new();
+        for a in &body {
+            for v in a.variables() {
+                if !vars.contains(&v) {
+                    vars.push(v);
+                }
+            }
+        }
+        ConjunctiveQuery::new(Atom::new("q", vars.into_iter().map(Term::Var).collect()), body)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Display → parse is the identity on queries.
+    #[test]
+    fn query_display_parse_round_trip(q in arb_query()) {
+        let printed = q.to_string();
+        let reparsed = parse_query(&printed).unwrap();
+        prop_assert_eq!(q, reparsed);
+    }
+
+    /// Multi-rule programs round-trip too.
+    #[test]
+    fn program_round_trip(qs in prop::collection::vec(arb_query(), 1..4)) {
+        let printed: String = qs.iter().map(|q| format!("{q}.\n")).collect();
+        let prog = parse_program(&printed).unwrap();
+        prop_assert_eq!(prog.rules, qs);
+    }
+
+    /// The parser returns errors, never panics, on arbitrary input.
+    #[test]
+    fn parser_never_panics(garbage in "\\PC{0,60}") {
+        let _ = parse_query(&garbage);
+        let _ = parse_program(&garbage);
+    }
+
+    /// Structured-looking garbage is also safe.
+    #[test]
+    fn near_miss_inputs_are_safe(
+        head in "[a-z][a-z0-9_]{0,6}",
+        args in prop::collection::vec("[A-Za-z0-9_]{1,4}", 0..4),
+        junk in "[(),.:\\- ]{0,12}",
+    ) {
+        let src = format!("{head}({}) :- {head}({}){junk}", args.join(","), args.join(","));
+        let _ = parse_query(&src);
+    }
+}

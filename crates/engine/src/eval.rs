@@ -1,0 +1,448 @@
+//! Conjunctive-query evaluation by multiway hash join.
+//!
+//! Evaluation maintains a *bindings table*: an ordered variable schema plus
+//! a set of distinct rows. Each step hash-joins the table with the next
+//! subgoal's relation; constants and repeated variables inside a subgoal
+//! act as selections. Because all variables are retained and inputs are
+//! sets, rows stay distinct without re-deduplication — except in
+//! [`execute_annotated`] plans, where dropping attributes (cost model M3)
+//! can merge rows and the table is re-deduplicated.
+
+use crate::database::Database;
+use crate::relation::{Relation, Tuple};
+use crate::value::Value;
+use std::collections::{HashMap, HashSet};
+use viewplan_cq::{Atom, ConjunctiveQuery, Symbol, Term};
+
+/// The bindings table carried through a multiway join.
+#[derive(Clone, Debug)]
+struct Bindings {
+    vars: Vec<Symbol>,
+    rows: Vec<Tuple>,
+}
+
+impl Bindings {
+    fn unit() -> Bindings {
+        Bindings {
+            vars: Vec::new(),
+            rows: vec![Vec::new()],
+        }
+    }
+
+    fn col(&self, v: Symbol) -> Option<usize> {
+        self.vars.iter().position(|&x| x == v)
+    }
+}
+
+/// How each argument position of the current subgoal relates to the
+/// bindings table.
+enum Slot {
+    /// Must equal this constant.
+    Fixed(Value),
+    /// Must equal the value in this bindings column.
+    Bound(usize),
+    /// First occurrence of a new variable: extend the schema.
+    New,
+    /// Repeated occurrence of a new variable first seen at this earlier
+    /// position of the same atom.
+    SameAs(usize),
+}
+
+fn plan_slots(atom: &Atom, bindings: &Bindings) -> Vec<Slot> {
+    let mut slots = Vec::with_capacity(atom.arity());
+    let mut local: HashMap<Symbol, usize> = HashMap::new();
+    for (i, t) in atom.terms.iter().enumerate() {
+        let slot = match *t {
+            Term::Const(c) => Slot::Fixed(Value::from_constant(c)),
+            Term::Var(v) => {
+                if let Some(col) = bindings.col(v) {
+                    Slot::Bound(col)
+                } else if let Some(&pos) = local.get(&v) {
+                    Slot::SameAs(pos)
+                } else {
+                    local.insert(v, i);
+                    Slot::New
+                }
+            }
+        };
+        slots.push(slot);
+    }
+    slots
+}
+
+/// Joins the bindings table with one subgoal. A missing relation is treated
+/// as empty (closed world).
+fn join_atom(bindings: Bindings, atom: &Atom, db: &Database) -> Bindings {
+    let empty = Relation::new(atom.arity());
+    let rel = db.get(atom.predicate).unwrap_or(&empty);
+    let slots = plan_slots(atom, &bindings);
+
+    // Filter the relation on constants and intra-atom repeats, and index it
+    // by the values at bound positions.
+    let bound_positions: Vec<usize> = slots
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| matches!(s, Slot::Bound(_)).then_some(i))
+        .collect();
+    let mut index: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::new();
+    'tuples: for tuple in rel {
+        for (i, slot) in slots.iter().enumerate() {
+            match slot {
+                Slot::Fixed(v) if tuple[i] != *v => continue 'tuples,
+                Slot::SameAs(j) if tuple[i] != tuple[*j] => continue 'tuples,
+                _ => {}
+            }
+        }
+        let key: Vec<Value> = bound_positions.iter().map(|&i| tuple[i]).collect();
+        index.entry(key).or_default().push(tuple);
+    }
+
+    // Extend the schema with the new variables in argument order.
+    let mut vars = bindings.vars.clone();
+    let new_positions: Vec<usize> = slots
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| matches!(s, Slot::New).then_some(i))
+        .collect();
+    for &i in &new_positions {
+        vars.push(atom.terms[i].as_var().expect("New slot is a variable"));
+    }
+
+    let bound_cols: Vec<usize> = slots
+        .iter()
+        .filter_map(|s| match s {
+            Slot::Bound(c) => Some(*c),
+            _ => None,
+        })
+        .collect();
+
+    let mut rows = Vec::new();
+    let mut key = Vec::with_capacity(bound_cols.len());
+    for row in &bindings.rows {
+        key.clear();
+        key.extend(bound_cols.iter().map(|&c| row[c]));
+        if let Some(matches) = index.get(&key) {
+            for tuple in matches {
+                let mut extended = row.clone();
+                extended.extend(new_positions.iter().map(|&i| tuple[i]));
+                rows.push(extended);
+            }
+        }
+    }
+    Bindings { vars, rows }
+}
+
+fn project_head(head: &Atom, bindings: &Bindings) -> Relation {
+    if bindings.rows.is_empty() {
+        // An empty join may have stopped before every head variable entered
+        // the schema; the projection is empty regardless.
+        return Relation::new(head.arity());
+    }
+    let cols: Vec<Result<usize, Value>> = head
+        .terms
+        .iter()
+        .map(|t| match *t {
+            Term::Var(v) => Ok(bindings
+                .col(v)
+                .expect("head variable must survive to the end of the plan")),
+            Term::Const(c) => Err(Value::from_constant(c)),
+        })
+        .collect();
+    let mut out = Relation::new(head.arity());
+    for row in &bindings.rows {
+        out.insert(
+            cols.iter()
+                .map(|c| match c {
+                    Ok(i) => row[*i],
+                    Err(v) => *v,
+                })
+                .collect(),
+        );
+    }
+    out
+}
+
+/// Evaluates a conjunctive query over a database, returning the distinct
+/// answer relation. Subgoals are joined in a greedy order (smallest
+/// relation first, then most-connected) purely as an internal heuristic —
+/// the answer is order-independent.
+pub fn evaluate(q: &ConjunctiveQuery, db: &Database) -> Relation {
+    let order = greedy_order(&q.body, db);
+    let mut bindings = Bindings::unit();
+    for idx in order {
+        bindings = join_atom(bindings, &q.body[idx], db);
+        if bindings.rows.is_empty() {
+            break;
+        }
+    }
+    project_head(&q.head, &bindings)
+}
+
+/// Greedy join order: start from the smallest relation; repeatedly take the
+/// subgoal sharing a variable with the bound set (smallest relation on
+/// ties), falling back to the smallest unconnected subgoal (Cartesian
+/// product) when the query is disconnected.
+fn greedy_order(body: &[Atom], db: &Database) -> Vec<usize> {
+    let size = |a: &Atom| db.get(a.predicate).map_or(0, Relation::len);
+    let mut remaining: Vec<usize> = (0..body.len()).collect();
+    let mut order = Vec::with_capacity(body.len());
+    let mut bound: HashSet<Symbol> = HashSet::new();
+    while !remaining.is_empty() {
+        let pick = remaining
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &i)| {
+                let connected = body[i].variables().any(|v| bound.contains(&v));
+                // Connected subgoals first (0 beats 1), then by size.
+                (if connected || order.is_empty() { 0 } else { 1 }, size(&body[i]))
+            })
+            .map(|(pos, _)| pos)
+            .expect("remaining is nonempty");
+        let i = remaining.swap_remove(pick);
+        bound.extend(body[i].variables());
+        order.push(i);
+    }
+    order
+}
+
+/// The record of executing a physical plan: per-step view-relation sizes
+/// and intermediate-relation sizes, plus the final answer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExecutionTrace {
+    /// `size(g_i)` for each subgoal, in execution order.
+    pub subgoal_sizes: Vec<usize>,
+    /// `size(IR_i)` (or `size(GSR_i)` for annotated plans) after each step.
+    pub intermediate_sizes: Vec<usize>,
+    /// The final answer, projected on the head.
+    pub answer: Relation,
+}
+
+impl ExecutionTrace {
+    /// The M2-style cost of this execution:
+    /// `Σ (size(g_i) + size(IR_i))` (Table 1).
+    pub fn cost(&self) -> usize {
+        self.subgoal_sizes.iter().sum::<usize>() + self.intermediate_sizes.iter().sum::<usize>()
+    }
+}
+
+/// Executes the body subgoals in exactly the given order, with all
+/// attributes retained — the physical plans of cost model M2. Records
+/// `size(g_i)` and `size(IR_i)` for each step.
+pub fn execute_ordered(head: &Atom, body: &[Atom], db: &Database) -> ExecutionTrace {
+    let steps: Vec<AnnotatedStep> = body
+        .iter()
+        .map(|a| AnnotatedStep {
+            atom: a.clone(),
+            drop_after: HashSet::new(),
+        })
+        .collect();
+    execute_annotated(head, &steps, db)
+}
+
+/// One step of an M3 physical plan: a subgoal and the attributes to drop
+/// after it is processed (the `X_i` annotation of §2.2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AnnotatedStep {
+    /// The subgoal joined at this step.
+    pub atom: Atom,
+    /// Variables projected away after this step.
+    pub drop_after: HashSet<Symbol>,
+}
+
+/// Executes an annotated plan (cost model M3): joins each step's subgoal,
+/// then projects away its `drop_after` variables and re-deduplicates. The
+/// recorded intermediate sizes are the generalized-supplementary-relation
+/// sizes `size(GSR_i)`.
+///
+/// # Panics
+/// Panics if a head variable is dropped before the end — such a plan can
+/// no longer compute the query answer and is a planner bug.
+pub fn execute_annotated(head: &Atom, steps: &[AnnotatedStep], db: &Database) -> ExecutionTrace {
+    let mut bindings = Bindings::unit();
+    let mut subgoal_sizes = Vec::with_capacity(steps.len());
+    let mut intermediate_sizes = Vec::with_capacity(steps.len());
+    for step in steps {
+        subgoal_sizes.push(db.get(step.atom.predicate).map_or(0, Relation::len));
+        bindings = join_atom(bindings, &step.atom, db);
+        if !step.drop_after.is_empty() {
+            for v in &step.drop_after {
+                assert!(
+                    !head.contains_var(*v),
+                    "plan drops head variable {v} — cannot compute the answer"
+                );
+            }
+            bindings = project_away(bindings, &step.drop_after);
+        }
+        intermediate_sizes.push(bindings.rows.len());
+    }
+    ExecutionTrace {
+        subgoal_sizes,
+        intermediate_sizes,
+        answer: project_head(head, &bindings),
+    }
+}
+
+/// Removes the given variables from the schema and deduplicates rows.
+fn project_away(bindings: Bindings, drop: &HashSet<Symbol>) -> Bindings {
+    let keep: Vec<usize> = (0..bindings.vars.len())
+        .filter(|&i| !drop.contains(&bindings.vars[i]))
+        .collect();
+    let vars: Vec<Symbol> = keep.iter().map(|&i| bindings.vars[i]).collect();
+    let mut seen = HashSet::new();
+    let mut rows = Vec::new();
+    for row in bindings.rows {
+        let projected: Tuple = keep.iter().map(|&i| row[i]).collect();
+        if seen.insert(projected.clone()) {
+            rows.push(projected);
+        }
+    }
+    Bindings { vars, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viewplan_cq::parse_query;
+
+    fn figure5_db() -> Database {
+        // The base relations of Figure 5 / Example 6.1.
+        let mut db = Database::new();
+        db.insert_int("r", &[&[1, 1], &[2, 2], &[4, 4], &[6, 6], &[8, 8]]);
+        db.insert_int("s", &[&[2, 2], &[4, 4], &[6, 6], &[8, 8]]);
+        db.insert_int("t", &[&[1, 2], &[3, 4], &[5, 6], &[7, 8]]);
+        db
+    }
+
+    #[test]
+    fn evaluates_single_subgoal_with_selection() {
+        let db = figure5_db();
+        let q = parse_query("q(X) :- r(X, X)").unwrap();
+        assert_eq!(evaluate(&q, &db).len(), 5);
+        let q2 = parse_query("q(Y) :- t(1, Y)").unwrap();
+        let ans = evaluate(&q2, &db);
+        assert_eq!(ans.as_slice(), [vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn evaluates_join() {
+        let db = figure5_db();
+        // t(A,B), s(B,B): pairs where t's target is an s self-loop.
+        let q = parse_query("q(A, B) :- t(A, B), s(B, B)").unwrap();
+        let ans = evaluate(&q, &db);
+        assert_eq!(ans.len(), 4);
+        assert!(ans.contains(&[Value::Int(1), Value::Int(2)]));
+    }
+
+    #[test]
+    fn example61_answer() {
+        // Q: q(A) :- r(A,A), t(A,B), s(B,B) over Figure 5 gives A ∈ {1}.
+        let db = figure5_db();
+        let q = parse_query("q(A) :- r(A, A), t(A, B), s(B, B)").unwrap();
+        let ans = evaluate(&q, &db);
+        assert_eq!(ans.as_slice(), [vec![Value::Int(1)]]);
+    }
+
+    #[test]
+    fn missing_relation_gives_empty_answer() {
+        let db = figure5_db();
+        let q = parse_query("q(X) :- nope(X, X)").unwrap();
+        assert!(evaluate(&q, &db).is_empty());
+    }
+
+    #[test]
+    fn cartesian_product_when_disconnected() {
+        let db = figure5_db();
+        let q = parse_query("q(A, B) :- r(A, A), s(B, B)").unwrap();
+        assert_eq!(evaluate(&q, &db).len(), 20);
+    }
+
+    #[test]
+    fn constants_in_head_are_emitted() {
+        let db = figure5_db();
+        let q = parse_query("q(7, X) :- r(X, X)").unwrap();
+        let ans = evaluate(&q, &db);
+        assert!(ans.iter().all(|t| t[0] == Value::Int(7)));
+    }
+
+    #[test]
+    fn duplicate_answers_are_collapsed() {
+        let db = figure5_db();
+        // Project t onto its first column twice over: still 4 tuples, but
+        // project to a single column with collisions across B.
+        let q = parse_query("q(B) :- t(A, B)").unwrap();
+        assert_eq!(evaluate(&q, &db).len(), 4);
+        let q2 = parse_query("q() :- t(A, B)").unwrap();
+        assert_eq!(evaluate(&q2, &db).len(), 1);
+    }
+
+    #[test]
+    fn execute_ordered_reports_intermediate_sizes() {
+        let db = figure5_db();
+        let q = parse_query("q(A) :- r(A, A), t(A, B), s(B, B)").unwrap();
+        let trace = execute_ordered(&q.head, &q.body, &db);
+        assert_eq!(trace.subgoal_sizes, [5, 4, 4]);
+        // IR1 = r self-loops: 5; IR2 = r ⋈ t on A: {1}×{(1,2)} → (1,2); also
+        // (2,?) t(2,..)? t has no first-col 2 → just (1,2). Wait: r pairs are
+        // (1..8 evens +1); t first columns are odd {1,3,5,7} so only A=1.
+        assert_eq!(trace.intermediate_sizes[0], 5);
+        assert_eq!(trace.intermediate_sizes[1], 1);
+        assert_eq!(trace.intermediate_sizes[2], 1);
+        assert_eq!(trace.answer.as_slice(), [vec![Value::Int(1)]]);
+        assert_eq!(trace.cost(), 5 + 4 + 4 + 5 + 1 + 1);
+    }
+
+    #[test]
+    fn execute_annotated_drops_attributes() {
+        // Example 6.1's winning plan: after v1(A,B), drop B.
+        let mut db = Database::new();
+        db.insert_int("v1", &[&[1, 2], &[1, 4], &[1, 6], &[1, 8]]);
+        db.insert_int("v2", &[&[1, 2], &[3, 4], &[5, 6], &[7, 8]]);
+        let q = parse_query("q(A) :- v1(A, B), v2(A, C)").unwrap();
+        let drop_b: HashSet<Symbol> = [Symbol::new("B")].into_iter().collect();
+        let steps = vec![
+            AnnotatedStep {
+                atom: q.body[0].clone(),
+                drop_after: drop_b,
+            },
+            AnnotatedStep {
+                atom: q.body[1].clone(),
+                drop_after: [Symbol::new("C")].into_iter().collect(),
+            },
+        ];
+        let trace = execute_annotated(&q.head, &steps, &db);
+        // GSR1 = {1} (B dropped) — the paper's point: one tuple, not four.
+        assert_eq!(trace.intermediate_sizes[0], 1);
+        assert_eq!(trace.answer.as_slice(), [vec![Value::Int(1)]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "head variable")]
+    fn dropping_head_variable_panics() {
+        let mut db = Database::new();
+        db.insert_int("v1", &[&[1, 2]]);
+        let q = parse_query("q(A) :- v1(A, B)").unwrap();
+        let steps = vec![AnnotatedStep {
+            atom: q.body[0].clone(),
+            drop_after: [Symbol::new("A")].into_iter().collect(),
+        }];
+        execute_annotated(&q.head, &steps, &db);
+    }
+
+    #[test]
+    fn repeated_variable_across_subgoals_joins() {
+        let mut db = Database::new();
+        db.insert_int("e", &[&[1, 2], &[2, 3], &[3, 1]]);
+        let q = parse_query("q(X, Z) :- e(X, Y), e(Y, Z)").unwrap();
+        let ans = evaluate(&q, &db);
+        assert_eq!(ans.len(), 3);
+        assert!(ans.contains(&[Value::Int(1), Value::Int(3)]));
+    }
+
+    #[test]
+    fn empty_body_returns_unit() {
+        let db = Database::new();
+        let q = viewplan_cq::ConjunctiveQuery::new(Atom::new("q", vec![]), vec![]);
+        let ans = evaluate(&q, &db);
+        assert_eq!(ans.len(), 1);
+    }
+}

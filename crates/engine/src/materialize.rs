@@ -1,0 +1,90 @@
+//! View materialization under the closed-world assumption.
+//!
+//! In the closed-world model (§1, §2.1) each view relation holds *exactly*
+//! the tuples its definition computes from the base relations — this is
+//! what makes equivalent rewritings answer-preserving and distinguishes the
+//! setting from open-world source descriptions.
+
+use crate::database::Database;
+use crate::eval::evaluate;
+use viewplan_cq::ViewSet;
+
+/// Computes every view over `base`, returning a database keyed by view
+/// name. Views whose definitions mention other views are *not* supported
+/// (the paper defines views over base relations only); such a view simply
+/// evaluates over whatever relations `base` provides.
+pub fn materialize_views(views: &ViewSet, base: &Database) -> Database {
+    let mut out = Database::new();
+    for view in views {
+        let rel = evaluate(&view.definition, base);
+        out.set(view.name(), rel);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+    use viewplan_cq::parse_views;
+
+    fn carlocpart_base() -> Database {
+        let mut db = Database::new();
+        db.insert_sym(
+            "car",
+            &[&["honda", "anderson"], &["bmw", "anderson"], &["ford", "smith"]],
+        );
+        db.insert_sym("loc", &[&["anderson", "palo_alto"], &["smith", "menlo_park"]]);
+        db.insert_sym(
+            "part",
+            &[
+                &["store1", "honda", "palo_alto"],
+                &["store2", "ford", "menlo_park"],
+                &["store3", "honda", "sunnyvale"],
+            ],
+        );
+        db
+    }
+
+    #[test]
+    fn materializes_example_views() {
+        let views = parse_views(
+            "v1(M, D, C) :- car(M, D), loc(D, C).\n\
+             v2(S, M, C) :- part(S, M, C).\n\
+             v3(S) :- car(M, a), loc(a, C), part(S, M, C).",
+        )
+        .unwrap();
+        let base = carlocpart_base();
+        let vdb = materialize_views(&views, &base);
+        // v1: every car joined with its dealer's cities.
+        assert_eq!(vdb.get("v1".into()).unwrap().len(), 3);
+        // v2 is a copy of part.
+        assert_eq!(vdb.get("v2".into()).unwrap().len(), 3);
+        // v3: dealer "a" does not exist, so empty.
+        assert!(vdb.get("v3".into()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn identical_definitions_give_identical_relations() {
+        // V1 and V5 of Example 1.1 have the same definition; closed world
+        // means their relations are always equal.
+        let views = parse_views(
+            "v1(M, D, C) :- car(M, D), loc(D, C).\n\
+             v5(M, D, C) :- car(M, D), loc(D, C).",
+        )
+        .unwrap();
+        let base = carlocpart_base();
+        let vdb = materialize_views(&views, &base);
+        assert_eq!(vdb.get("v1".into()), vdb.get("v5".into()));
+    }
+
+    #[test]
+    fn constants_in_view_definitions_select() {
+        let views = parse_views("honda_stores(S) :- part(S, honda, C)").unwrap();
+        let vdb = materialize_views(&views, &carlocpart_base());
+        let r = vdb.get("honda_stores".into()).unwrap();
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&[Value::sym("store1")]));
+        assert!(r.contains(&[Value::sym("store3")]));
+    }
+}

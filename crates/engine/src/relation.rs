@@ -1,0 +1,210 @@
+//! Set-semantics relations.
+
+use crate::value::Value;
+use std::collections::HashSet;
+use std::fmt;
+
+/// A database tuple.
+pub type Tuple = Vec<Value>;
+
+/// A relation: a set of distinct tuples of a fixed arity.
+///
+/// Conjunctive queries have set semantics (§2), so insertion deduplicates.
+/// Tuples are also kept in insertion order in a `Vec` for deterministic
+/// iteration (the paper's experiments average over generated workloads;
+/// determinism keeps runs reproducible).
+#[derive(Clone, Debug)]
+pub struct Relation {
+    arity: usize,
+    tuples: Vec<Tuple>,
+    index: HashSet<Tuple>,
+}
+
+/// Relations compare as *sets*: same arity and same tuples, regardless of
+/// insertion order.
+impl PartialEq for Relation {
+    fn eq(&self, other: &Relation) -> bool {
+        self.arity == other.arity && self.index == other.index
+    }
+}
+
+impl Eq for Relation {}
+
+impl Relation {
+    /// An empty relation of the given arity.
+    pub fn new(arity: usize) -> Relation {
+        Relation {
+            arity,
+            tuples: Vec::new(),
+            index: HashSet::new(),
+        }
+    }
+
+    /// Builds a relation from rows; panics if a row's arity mismatches.
+    pub fn from_rows(arity: usize, rows: impl IntoIterator<Item = Tuple>) -> Relation {
+        let mut r = Relation::new(arity);
+        for row in rows {
+            r.insert(row);
+        }
+        r
+    }
+
+    /// The arity of the relation.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Inserts a tuple; returns `true` if it was new.
+    ///
+    /// # Panics
+    /// Panics if the tuple's length differs from the relation's arity —
+    /// schema violations are programming errors, not data errors.
+    pub fn insert(&mut self, tuple: Tuple) -> bool {
+        assert_eq!(
+            tuple.len(),
+            self.arity,
+            "tuple arity {} does not match relation arity {}",
+            tuple.len(),
+            self.arity
+        );
+        if self.index.insert(tuple.clone()) {
+            self.tuples.push(tuple);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True iff `tuple` is in the relation.
+    pub fn contains(&self, tuple: &[Value]) -> bool {
+        self.index.contains(tuple)
+    }
+
+    /// Number of distinct tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True iff the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Iterates over the tuples in insertion order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Tuple> {
+        self.tuples.iter()
+    }
+
+    /// The tuples as a slice.
+    pub fn as_slice(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Number of distinct values in column `col` (used by the cost
+    /// estimator's independence-assumption selectivity model).
+    pub fn distinct_in_column(&self, col: usize) -> usize {
+        assert!(col < self.arity, "column {col} out of range");
+        self.tuples
+            .iter()
+            .map(|t| t[col])
+            .collect::<HashSet<_>>()
+            .len()
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "-- {} tuple(s), arity {}", self.len(), self.arity)?;
+        for t in &self.tuples {
+            f.write_str("  (")?;
+            for (i, v) in t.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{v}")?;
+            }
+            writeln!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a Relation {
+    type Item = &'a Tuple;
+    type IntoIter = std::slice::Iter<'a, Tuple>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.tuples.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vals: &[i64]) -> Tuple {
+        vals.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    #[test]
+    fn insertion_deduplicates() {
+        let mut r = Relation::new(2);
+        assert!(r.insert(t(&[1, 2])));
+        assert!(!r.insert(t(&[1, 2])));
+        assert!(r.insert(t(&[2, 1])));
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&t(&[1, 2])));
+        assert!(!r.contains(&t(&[3, 3])));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut r = Relation::new(2);
+        r.insert(t(&[1]));
+    }
+
+    #[test]
+    fn distinct_in_column() {
+        let r = Relation::from_rows(2, vec![t(&[1, 2]), t(&[1, 3]), t(&[2, 3])]);
+        assert_eq!(r.distinct_in_column(0), 2);
+        assert_eq!(r.distinct_in_column(1), 2);
+    }
+
+    #[test]
+    fn iteration_is_insertion_ordered() {
+        let r = Relation::from_rows(1, vec![t(&[3]), t(&[1]), t(&[2]), t(&[1])]);
+        let got: Vec<i64> = r
+            .iter()
+            .map(|row| match row[0] {
+                Value::Int(i) => i,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(got, [3, 1, 2]);
+    }
+
+    #[test]
+    fn zero_arity_relation_holds_at_most_one_tuple() {
+        let mut r = Relation::new(0);
+        assert!(r.insert(vec![]));
+        assert!(!r.insert(vec![]));
+        assert_eq!(r.len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod equality_tests {
+    use super::*;
+
+    #[test]
+    fn relations_compare_as_sets() {
+        let a = Relation::from_rows(1, vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
+        let b = Relation::from_rows(1, vec![vec![Value::Int(2)], vec![Value::Int(1)]]);
+        assert_eq!(a, b);
+        let c = Relation::from_rows(1, vec![vec![Value::Int(1)]]);
+        assert_ne!(a, c);
+        let d = Relation::new(2);
+        assert_ne!(Relation::new(1), d);
+    }
+}

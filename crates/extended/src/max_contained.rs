@@ -1,0 +1,174 @@
+//! Maximally-contained rewritings — the second extension direction §8
+//! names ("the case where we want to find maximally-contained rewritings
+//! of the query").
+//!
+//! When no equivalent rewriting exists, the best the views can do is a
+//! union of contained rewritings that is contained in the query and
+//! contains every other contained rewriting. For conjunctive queries and
+//! views without comparisons, the union of all MiniCon combinations is
+//! maximally contained (Pottinger & Levy); we build exactly that union,
+//! drop branches subsumed by others, and (closed world) evaluate it over
+//! the materialized views.
+
+use crate::ucq::UnionQuery;
+use viewplan_core::minicon_rewritings;
+use viewplan_containment::{expand, is_contained_in};
+use viewplan_cq::{ConjunctiveQuery, ViewSet};
+
+/// Builds the maximally-contained rewriting of `query` using `views`, as a
+/// union of conjunctive queries over the view predicates. Returns `None`
+/// when no contained rewriting exists at all. `limit` caps the number of
+/// MiniCon combinations considered.
+///
+/// Redundant branches are pruned by **expansion** subsumption: syntactic
+/// containment over the view predicates would miss a branch subsumed by a
+/// differently-named but semantically wider view (closed world makes the
+/// expansions the ground truth). Branch-wise subsumption is complete here
+/// because the expansions are plain conjunctive queries.
+pub fn maximally_contained_rewriting(
+    query: &ConjunctiveQuery,
+    views: &ViewSet,
+    limit: usize,
+) -> Option<UnionQuery> {
+    let branches = minicon_rewritings(query, views, false, limit);
+    if branches.is_empty() {
+        return None;
+    }
+    let expansions: Vec<ConjunctiveQuery> = branches
+        .iter()
+        .map(|b| expand(b, views).expect("MiniCon emits literals of known views"))
+        .collect();
+    let mut keep = vec![true; branches.len()];
+    for i in 0..branches.len() {
+        let subsumed = (0..branches.len()).any(|j| {
+            j != i
+                && keep[j]
+                && is_contained_in(&expansions[i], &expansions[j])
+                // Tie-break mutual containment by index so one survives.
+                && (!is_contained_in(&expansions[j], &expansions[i]) || j < i)
+        });
+        if subsumed {
+            keep[i] = false;
+        }
+    }
+    Some(UnionQuery::plain(
+        branches
+            .into_iter()
+            .zip(&keep)
+            .filter(|&(_, &k)| k)
+            .map(|(b, _)| b)
+            .collect(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ccq::ConditionalQuery;
+    use crate::ucq::{evaluate_union, is_contained_in_union};
+    use viewplan_cq::{parse_query, parse_views};
+    use viewplan_containment::{expand, is_contained_in};
+    use viewplan_engine::{evaluate, materialize_views, Database, Value};
+
+    #[test]
+    fn union_of_contained_rewritings() {
+        // Two partial paths cover different parts of the data; no
+        // equivalent rewriting exists, but each is contained.
+        let q = parse_query("q(X, Y) :- e(X, Y)").unwrap();
+        let views = parse_views(
+            "va(A, B) :- e(A, B), red(A).\n\
+             vb(A, B) :- e(A, B), blue(A).",
+        )
+        .unwrap();
+        let u = maximally_contained_rewriting(&q, &views, 100).unwrap();
+        assert_eq!(u.branches.len(), 2);
+        // Every branch expansion is contained in the query.
+        for b in &u.branches {
+            let exp = expand(&b.relational, &views).unwrap();
+            assert!(is_contained_in(&exp, &q));
+        }
+    }
+
+    #[test]
+    fn evaluates_to_a_subset_of_the_query_answer() {
+        let q = parse_query("q(X, Y) :- e(X, Y)").unwrap();
+        let views = parse_views(
+            "va(A, B) :- e(A, B), red(A).\n\
+             vb(A, B) :- e(A, B), blue(A).",
+        )
+        .unwrap();
+        let u = maximally_contained_rewriting(&q, &views, 100).unwrap();
+        let mut base = Database::new();
+        base.insert_int("e", &[&[1, 2], &[3, 4], &[5, 6]]);
+        base.insert_int("red", &[&[1]]);
+        base.insert_int("blue", &[&[3]]);
+        let vdb = materialize_views(&views, &base);
+        let got = evaluate_union(&u, &vdb);
+        // Certain answers: (1,2) via red, (3,4) via blue; (5,6) is lost.
+        assert_eq!(got.len(), 2);
+        assert!(got.contains(&[Value::Int(1), Value::Int(2)]));
+        assert!(got.contains(&[Value::Int(3), Value::Int(4)]));
+        let full = evaluate(&q, &base);
+        assert_eq!(full.len(), 3);
+    }
+
+    #[test]
+    fn equals_the_query_when_an_equivalent_rewriting_exists() {
+        let q = parse_query("q(X, Y) :- e(X, Z), f(Z, Y)").unwrap();
+        let views = parse_views(
+            "ve(A, B) :- e(A, B).\n\
+             vf(A, B) :- f(A, B).",
+        )
+        .unwrap();
+        let u = maximally_contained_rewriting(&q, &views, 100).unwrap();
+        let mut base = Database::new();
+        base.insert_int("e", &[&[1, 2], &[3, 4]]);
+        base.insert_int("f", &[&[2, 9], &[4, 8]]);
+        let vdb = materialize_views(&views, &base);
+        let got = evaluate_union(&u, &vdb);
+        let want = evaluate(&q, &base);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn no_contained_rewriting_gives_none() {
+        let q = parse_query("q(X) :- e(X, Y)").unwrap();
+        let views = parse_views("v(B) :- e(A, B)").unwrap();
+        assert!(maximally_contained_rewriting(&q, &views, 100).is_none());
+    }
+
+    #[test]
+    fn subsumed_branches_are_dropped() {
+        // The narrow view's rewriting is contained in the wide view's.
+        let q = parse_query("q(X, Y) :- e(X, Y)").unwrap();
+        let views = parse_views(
+            "wide(A, B) :- e(A, B).\n\
+             narrow(A, B) :- e(A, B), red(A).",
+        )
+        .unwrap();
+        let u = maximally_contained_rewriting(&q, &views, 100).unwrap();
+        assert_eq!(u.branches.len(), 1);
+        assert_eq!(
+            u.branches[0].relational.body[0].predicate.as_str(),
+            "wide"
+        );
+    }
+
+    #[test]
+    fn maximality_every_contained_candidate_is_inside_the_union() {
+        let q = parse_query("q(X, Y) :- e(X, Y)").unwrap();
+        let views = parse_views(
+            "va(A, B) :- e(A, B), red(A).\n\
+             vb(A, B) :- e(A, B), blue(A).",
+        )
+        .unwrap();
+        let u = maximally_contained_rewriting(&q, &views, 100).unwrap();
+        // Hand-rolled contained rewritings over the view vocabulary must be
+        // contained in the union (as queries over the view predicates).
+        for src in ["q(X, Y) :- va(X, Y)", "q(X, Y) :- vb(X, Y)", "q(X, Y) :- va(X, Y), vb(X, Z)"]
+        {
+            let cand = ConditionalQuery::plain(parse_query(src).unwrap());
+            assert_eq!(is_contained_in_union(&cand, &u, 0), Some(true), "{src}");
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! A data-warehouse scenario — the kind of application the paper's
+//! introduction motivates (view-based query answering in warehousing
+//! \[24\] and query optimization \[6\]).
+//!
+//! A retail warehouse stores a `sales` fact table with `product`,
+//! `store_dim`, and `date_dim` dimensions. The DBA has materialized three
+//! join views. An analyst's query is answered *without touching the base
+//! tables*: the rewriting generator proposes logical plans over the views,
+//! the optimizer picks a physical plan using catalog statistics, and the
+//! engine executes it against the materialized views only.
+//!
+//! Run with: `cargo run --example data_warehouse`
+
+use viewplan::prelude::*;
+
+fn main() {
+    // ── Warehouse schema ────────────────────────────────────────────────
+    // sales(ProductId, StoreId, DateId, CustomerId)
+    // product(ProductId, Category)
+    // store_dim(StoreId, Region)
+    // date_dim(DateId, Quarter)
+    let views = parse_views(
+        "sales_by_product(P, S, D, Cat) :- sales(P, S, D, Cu), product(P, Cat).
+         sales_by_store(P, S, D, R)     :- sales(P, S, D, Cu), store_dim(S, R).
+         store_regions(S, R)            :- store_dim(S, R).
+         product_catalog(P, Cat)        :- product(P, Cat).
+         date_quarters(D, Q)            :- date_dim(D, Q).",
+    )
+    .expect("views");
+
+    // Analyst: "which (product, region) pairs had electronics sales in a
+    // west-region store, and in which quarter?"
+    let query = parse_query(
+        "q(P, R, Q) :- sales(P, S, D, Cu), product(P, electronics), \
+                       store_dim(S, R), date_dim(D, Q)",
+    )
+    .expect("query");
+    println!("Analyst query:\n  {query}\n");
+
+    // ── Base data (only used to materialize the views) ─────────────────
+    let mut base = Database::new();
+    for p in 0..40 {
+        let cat = if p % 4 == 0 { "electronics" } else { "grocery" };
+        base.insert("product", vec![Value::Int(p), Value::sym(cat)]);
+    }
+    for s in 0..12 {
+        let region = ["west", "east", "north"][s as usize % 3];
+        base.insert("store_dim", vec![Value::Int(s), Value::sym(region)]);
+    }
+    for d in 0..16 {
+        base.insert(
+            "date_dim",
+            vec![Value::Int(d), Value::sym(&format!("q{}", d % 4 + 1))],
+        );
+    }
+    for i in 0..500i64 {
+        base.insert(
+            "sales",
+            vec![
+                Value::Int(i * 7 % 40),  // product
+                Value::Int(i * 3 % 12),  // store
+                Value::Int(i % 16),      // date
+                Value::Int(i % 100),     // customer
+            ],
+        );
+    }
+    let warehouse = materialize_views(&views, &base);
+    println!("Materialized views:");
+    for (name, rel) in warehouse.iter() {
+        println!("  {name}: {} tuples", rel.len());
+    }
+
+    // ── Rewriting generation ────────────────────────────────────────────
+    let result = CoreCover::new(&query, &views).run_all_minimal();
+    println!("\nMinimal rewritings over the views (CoreCover*):");
+    for r in result.rewritings() {
+        println!("  {r}");
+    }
+    assert!(
+        !result.rewritings().is_empty(),
+        "the warehouse views must answer the query"
+    );
+
+    // ── Optimization with catalog statistics, execution with the engine ─
+    let catalog = Catalog::from_database(&warehouse);
+    let mut estimator = EstimateOracle::new(&catalog);
+    let plan = Optimizer::new(&query, &views)
+        .best_plan(CostModel::M2, &mut estimator)
+        .expect("plan");
+    println!("\nOptimizer's choice (estimated cost {:.0}):", plan.cost);
+    println!("  {}", plan.plan);
+
+    let trace = plan.plan.execute(&plan.rewriting.head, &warehouse);
+    println!(
+        "\nExecuted against the views: {} answer tuple(s), intermediates {:?}",
+        trace.answer.len(),
+        trace.intermediate_sizes
+    );
+
+    // Sanity: identical to evaluating the query on the base tables.
+    let direct = evaluate(&query, &base);
+    assert_eq!(direct, trace.answer);
+    println!("✓ matches direct evaluation over the base tables");
+
+    // ── M3: what can be dropped along the way? ──────────────────────────
+    let mut exact = ExactOracle::new(&warehouse);
+    let best = result
+        .rewritings()
+        .iter()
+        .filter(|r| r.body.len() <= 4)
+        .filter_map(|r| {
+            optimal_m3_plan(&query, &views, r, DropPolicy::SmartCostBased, &mut exact)
+        })
+        .min_by(|a, b| a.1.total_cmp(&b.1));
+    if let Some((plan, cost)) = best {
+        println!("\nBest M3 plan (exact sizes, cost {cost:.0}):");
+        println!("  {plan}");
+    }
+}

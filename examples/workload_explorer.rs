@@ -1,0 +1,74 @@
+//! Workload explorer: a miniature of the paper's §7 experiments.
+//!
+//! Generates star and chain workloads at growing view counts, runs
+//! `CoreCover`, and prints the quantities Figures 6–9 plot: running time,
+//! view equivalence classes, view tuples vs. representative view tuples,
+//! and the number of GMRs found. (The full sweep with 40 queries per
+//! point lives in the benchmark harness: `cargo run -p viewplan-bench
+//! --release --bin figures`.)
+//!
+//! Run with: `cargo run --release --example workload_explorer`
+
+use std::time::Instant;
+use viewplan::prelude::*;
+
+fn main() {
+    for (label, mk) in [
+        (
+            "star queries, all variables distinguished",
+            (|views, seed| WorkloadConfig::star(views, 0, seed))
+                as fn(usize, u64) -> WorkloadConfig,
+        ),
+        ("star queries, 1 nondistinguished variable", |views, seed| {
+            WorkloadConfig::star(views, 1, seed)
+        }),
+        ("chain queries, all variables distinguished", |views, seed| {
+            WorkloadConfig::chain(views, 0, seed)
+        }),
+        ("chain queries, 1 nondistinguished variable", |views, seed| {
+            WorkloadConfig::chain(views, 1, seed)
+        }),
+    ] {
+        println!("── {label} ──");
+        println!(
+            "{:>7} {:>10} {:>9} {:>13} {:>8} {:>6} {:>9}",
+            "views", "classes", "tuples", "rep. tuples", "GMRs", "sg/GMR", "time"
+        );
+        for views in [50, 100, 200, 400] {
+            let mut w = generate(&mk(views, 42));
+            // Skip seeds without rewritings, as the paper does.
+            let mut seed = 42u64;
+            let (result, elapsed) = loop {
+                let start = Instant::now();
+                let result = CoreCover::new(&w.query, &w.views).run();
+                let elapsed = start.elapsed();
+                if !result.rewritings().is_empty() || seed > 52 {
+                    break (result, elapsed);
+                }
+                seed += 1;
+                w = generate(&mk(views, seed));
+            };
+            let s = result.stats;
+            println!(
+                "{:>7} {:>10} {:>9} {:>13} {:>8} {:>6} {:>8.2?}",
+                views,
+                s.view_classes,
+                s.view_tuples,
+                s.representative_tuples,
+                s.rewritings,
+                result
+                    .rewritings()
+                    .first()
+                    .map(|r| r.body.len())
+                    .unwrap_or(0),
+                elapsed
+            );
+        }
+        println!();
+    }
+    println!("Observation (matching Figures 7 and 9): the number of");
+    println!("representative view tuples saturates at a bound set by the");
+    println!("query alone (e.g. 21 = 8+7+6 chain segments of length ≤ 3)");
+    println!("rather than growing with the number of views — that is why");
+    println!("CoreCover's running time is bounded.");
+}

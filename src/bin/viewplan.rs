@@ -1,0 +1,255 @@
+//! `viewplan` — a command-line front end to the rewriting generator and
+//! optimizer.
+//!
+//! ```text
+//! viewplan rewrite FILE [--all-minimal] [--no-grouping] [--baseline {naive,minicon,bucket}]
+//! viewplan plan    FILE [--model {m1,m2,m3}]
+//! viewplan eval    FILE
+//! viewplan help
+//! ```
+//!
+//! FILE is a plain-text problem description:
+//!
+//! ```text
+//! % the first rule is the query; the remaining rules are views
+//! q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C).
+//! v1(M, D, C) :- car(M, D), loc(D, C).
+//! v2(S, M, C) :- part(S, M, C).
+//!
+//! % ground atoms are base data (needed by `plan` and `eval`)
+//! car(honda, anderson).
+//! loc(anderson, palo_alto).
+//! part(store1, honda, palo_alto).
+//! ```
+
+use std::process::ExitCode;
+use viewplan::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("run `viewplan help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err("missing command".into());
+    };
+    match command.as_str() {
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        "rewrite" => rewrite(&args[1..]),
+        "plan" => plan(&args[1..]),
+        "eval" => eval(&args[1..]),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn print_help() {
+    println!(
+        "viewplan — generating efficient plans for queries using views\n\
+         \n\
+         USAGE:\n\
+         viewplan rewrite FILE [--all-minimal] [--no-grouping] [--baseline NAME]\n\
+         viewplan plan    FILE [--model m1|m2|m3]\n\
+         viewplan eval    FILE\n\
+         \n\
+         FILE holds a query (first rule), views (other rules), and optional\n\
+         ground facts (base data). `rewrite` prints the view tuples, their\n\
+         tuple-cores, and the rewritings; `plan` optimizes and executes a\n\
+         physical plan under the chosen cost model; `eval` answers the query\n\
+         directly and via the best rewriting, checking they agree."
+    );
+}
+
+/// A parsed problem file.
+struct Problem {
+    query: ConjunctiveQuery,
+    views: ViewSet,
+    base: Database,
+}
+
+fn load(path: &str) -> Result<Problem, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut rules_src = String::new();
+    let mut facts: Vec<Atom> = Vec::new();
+    for raw in text.lines() {
+        let line = raw.split(['%', '#']).next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.contains(":-") {
+            rules_src.push_str(line);
+            rules_src.push('\n');
+        } else {
+            let atom_src = line.trim_end_matches('.');
+            let atom = parse_atom(atom_src).map_err(|e| format!("bad fact {line:?}: {e}"))?;
+            if atom.terms.iter().any(|t| t.is_var()) {
+                return Err(format!("fact {atom} must be ground"));
+            }
+            facts.push(atom);
+        }
+    }
+    let program =
+        viewplan::cq::parse_program(&rules_src).map_err(|e| format!("bad rule: {e}"))?;
+    let mut rules = program.rules.into_iter();
+    let query = rules.next().ok_or("file contains no rules")?;
+    let views = ViewSet::from_views(rules.map(View::new));
+    let mut base = Database::new();
+    for f in facts {
+        base.insert(
+            f.predicate,
+            f.terms
+                .iter()
+                .map(|t| match t {
+                    Term::Const(c) => Value::from_constant(*c),
+                    Term::Var(_) => unreachable!("checked ground above"),
+                })
+                .collect(),
+        );
+    }
+    Ok(Problem { query, views, base })
+}
+
+fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn option<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn file_arg(args: &[String]) -> Result<&str, String> {
+    args.iter()
+        .find(|a| !a.starts_with("--") && Some(a.as_str()) != option(args, "--model") && Some(a.as_str()) != option(args, "--baseline"))
+        .map(String::as_str)
+        .ok_or_else(|| "missing FILE argument".to_string())
+}
+
+fn rewrite(args: &[String]) -> Result<(), String> {
+    let problem = load(file_arg(args)?)?;
+    if let Some(baseline) = option(args, "--baseline") {
+        let rs = match baseline {
+            "naive" => naive_gmrs(&problem.query, &problem.views),
+            "minicon" => minicon_rewritings(&problem.query, &problem.views, true, 10_000),
+            "bucket" => viewplan::core::bucket_rewritings(&problem.query, &problem.views, 100_000),
+            other => return Err(format!("unknown baseline {other:?}")),
+        };
+        println!("{} rewriting(s) via {baseline}:", rs.len());
+        for r in rs {
+            println!("  {r}");
+        }
+        return Ok(());
+    }
+    let mut config = CoreCoverConfig::default();
+    if flag(args, "--no-grouping") {
+        config.group_equivalent_views = false;
+        config.group_view_tuples = false;
+    }
+    let cc = CoreCover::new(&problem.query, &problem.views).with_config(config);
+    let result = if flag(args, "--all-minimal") {
+        cc.run_all_minimal()
+    } else {
+        cc.run()
+    };
+    println!("minimized query:\n  {}", result.minimized_query);
+    println!("\nview tuples and tuple-cores:");
+    for (t, core) in result.view_tuples.iter().zip(&result.cores) {
+        let covered: Vec<String> = core
+            .subgoals
+            .iter()
+            .map(|&i| result.minimized_query.body[i].to_string())
+            .collect();
+        println!(
+            "  {:<30} {}",
+            t.to_string(),
+            if covered.is_empty() {
+                "(empty core — filter candidate)".to_string()
+            } else {
+                covered.join(", ")
+            }
+        );
+    }
+    let s = result.stats;
+    println!(
+        "\nstats: {} views -> {} classes; {} tuples -> {} representatives",
+        s.views, s.view_classes, s.view_tuples, s.representative_tuples
+    );
+    println!(
+        "\n{} {} rewriting(s):",
+        result.rewritings().len(),
+        if flag(args, "--all-minimal") {
+            "minimal"
+        } else {
+            "globally-minimal"
+        }
+    );
+    for r in result.rewritings() {
+        println!("  {r}");
+    }
+    Ok(())
+}
+
+fn plan(args: &[String]) -> Result<(), String> {
+    let problem = load(file_arg(args)?)?;
+    if problem.base.is_empty() {
+        return Err("`plan` needs ground facts in the file (base data)".into());
+    }
+    let model = match option(args, "--model").unwrap_or("m2") {
+        "m1" => CostModel::M1,
+        "m2" => CostModel::M2,
+        "m3" => CostModel::M3(DropPolicy::SmartCostBased),
+        other => return Err(format!("unknown cost model {other:?}")),
+    };
+    let vdb = materialize_views(&problem.views, &problem.base);
+    println!("materialized views:");
+    for (name, rel) in vdb.iter() {
+        println!("  {name}: {} tuple(s)", rel.len());
+    }
+    let mut oracle = ExactOracle::new(&vdb);
+    let best = Optimizer::new(&problem.query, &problem.views)
+        .best_plan(model, &mut oracle)
+        .ok_or("the query has no equivalent rewriting over these views")?;
+    println!("\nbest rewriting: {}", best.rewriting);
+    println!("physical plan:  {}", best.plan);
+    println!("cost:           {}", best.cost);
+    let trace = best.plan.execute(&best.rewriting.head, &vdb);
+    println!("intermediates:  {:?}", trace.intermediate_sizes);
+    println!("\nanswer ({} tuple(s)):", trace.answer.len());
+    print!("{}", trace.answer);
+    Ok(())
+}
+
+fn eval(args: &[String]) -> Result<(), String> {
+    let problem = load(file_arg(args)?)?;
+    let direct = evaluate(&problem.query, &problem.base);
+    println!("direct answer ({} tuple(s)):", direct.len());
+    print!("{direct}");
+    let result = CoreCover::new(&problem.query, &problem.views).run();
+    match result.rewritings().first() {
+        None => println!("\n(no equivalent rewriting over the views)"),
+        Some(r) => {
+            let vdb = materialize_views(&problem.views, &problem.base);
+            let via = evaluate(r, &vdb);
+            println!("\nvia rewriting {r} ({} tuple(s)):", via.len());
+            print!("{via}");
+            if via == direct {
+                println!("\n✓ answers agree (closed-world equivalence)");
+            } else {
+                return Err("answers disagree — this is a bug".into());
+            }
+        }
+    }
+    Ok(())
+}
