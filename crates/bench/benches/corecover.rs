@@ -119,12 +119,14 @@ fn example42(k: usize) -> (viewplan_cq::ConjunctiveQuery, viewplan_cq::ViewSet) 
 
 /// Finds a workload (by seed) that has at least one rewriting, so the
 /// benchmark measures the interesting path.
-fn rewritable(
-    mk: impl Fn(u64) -> WorkloadConfig,
-) -> viewplan_workload::Workload {
+fn rewritable(mk: impl Fn(u64) -> WorkloadConfig) -> viewplan_workload::Workload {
     for seed in 0..50 {
         let w = generate(&mk(seed));
-        if !CoreCover::new(&w.query, &w.views).run().rewritings().is_empty() {
+        if !CoreCover::new(&w.query, &w.views)
+            .run()
+            .rewritings()
+            .is_empty()
+        {
             return w;
         }
     }

@@ -18,12 +18,10 @@ use viewplan_workload::{generate, WorkloadConfig};
 fn constraint_solving(c: &mut Criterion) {
     let mut group = c.benchmark_group("constraint_solving");
     for n in [4usize, 8, 16] {
-        let cs = ConstraintSet::from_comparisons((0..n).map(|i| {
-            Comparison {
-                lhs: Term::var(&format!("X{i}")),
-                op: if i % 2 == 0 { CompOp::Le } else { CompOp::Lt },
-                rhs: Term::var(&format!("X{}", i + 1)),
-            }
+        let cs = ConstraintSet::from_comparisons((0..n).map(|i| Comparison {
+            lhs: Term::var(&format!("X{i}")),
+            op: if i % 2 == 0 { CompOp::Le } else { CompOp::Lt },
+            rhs: Term::var(&format!("X{}", i + 1)),
         }));
         let goal = Comparison::lt(Term::var("X0"), Term::var(&format!("X{n}")));
         group.bench_with_input(BenchmarkId::new("implies_chain", n), &n, |b, _| {
@@ -42,9 +40,7 @@ fn ucq_containment(c: &mut Criterion) {
         // Pad the query with `extra` independent subgoals to grow the
         // linearized term set.
         let pads: String = (0..extra).map(|i| format!(", p{i}(Z{i})")).collect();
-        let q = ConditionalQuery::plain(
-            parse_query(&format!("s(X, Y) :- r(X, Y){pads}")).unwrap(),
-        );
+        let q = ConditionalQuery::plain(parse_query(&format!("s(X, Y) :- r(X, Y){pads}")).unwrap());
         let u = UnionQuery::new(vec![
             parse_conditional(&format!("s(X, Y) :- r(X, Y){pads}"), &["X <= Y"]).unwrap(),
             parse_conditional(&format!("s(X, Y) :- r(X, Y){pads}"), &["Y <= X"]).unwrap(),
@@ -102,7 +98,12 @@ fn bucket_vs_corecover(c: &mut Criterion) {
     for views in [8usize, 16] {
         let w = (0..50)
             .map(|seed| generate(&WorkloadConfig::chain(views, 0, seed)))
-            .find(|w| !CoreCover::new(&w.query, &w.views).run().rewritings().is_empty())
+            .find(|w| {
+                !CoreCover::new(&w.query, &w.views)
+                    .run()
+                    .rewritings()
+                    .is_empty()
+            })
             .expect("rewritable workload");
         group.bench_with_input(BenchmarkId::new("corecover", views), &views, |b, _| {
             b.iter(|| CoreCover::new(&w.query, &w.views).run())

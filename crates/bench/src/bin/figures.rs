@@ -13,7 +13,9 @@ use std::fs;
 use std::time::Instant;
 use viewplan_bench::{run_sweep, to_csv, Family, SweepConfig, SweepPoint};
 use viewplan_containment::minimize;
-use viewplan_core::{bucket_rewritings, minicon_rewritings, naive_gmrs, tuple_core, view_tuples, CoreCover};
+use viewplan_core::{
+    bucket_rewritings, minicon_rewritings, naive_gmrs, tuple_core, view_tuples, CoreCover,
+};
 use viewplan_cost::{plan_with_order, DropPolicy, ExactOracle};
 use viewplan_cq::{parse_query, parse_views};
 use viewplan_engine::{materialize_views, Database};
@@ -31,24 +33,70 @@ fn main() {
     };
 
     // ── Figures 6 & 7: star queries ─────────────────────────────────────
-    let star0 = timed("star, all distinguished", || run_sweep(&mk(Family::Star, 0)));
-    let star1 = timed("star, 1 nondistinguished", || run_sweep(&mk(Family::Star, 1)));
-    emit("fig6a", "Figure 6(a): star, time for all GMRs (all vars distinguished)", &star0);
-    emit("fig6b", "Figure 6(b): star, time for all GMRs (1 nondistinguished)", &star1);
-    emit("fig7a", "Figure 7(a): star, view equivalence classes", &star0);
-    emit("fig7b", "Figure 7(b): star, view tuples vs representatives", &star0);
+    let star0 = timed("star, all distinguished", || {
+        run_sweep(&mk(Family::Star, 0))
+    });
+    let star1 = timed("star, 1 nondistinguished", || {
+        run_sweep(&mk(Family::Star, 1))
+    });
+    emit(
+        "fig6a",
+        "Figure 6(a): star, time for all GMRs (all vars distinguished)",
+        &star0,
+    );
+    emit(
+        "fig6b",
+        "Figure 6(b): star, time for all GMRs (1 nondistinguished)",
+        &star1,
+    );
+    emit(
+        "fig7a",
+        "Figure 7(a): star, view equivalence classes",
+        &star0,
+    );
+    emit(
+        "fig7b",
+        "Figure 7(b): star, view tuples vs representatives",
+        &star0,
+    );
 
     // ── Figures 8 & 9: chain queries ────────────────────────────────────
-    let chain0 = timed("chain, all distinguished", || run_sweep(&mk(Family::Chain, 0)));
-    let chain1 = timed("chain, 1 nondistinguished", || run_sweep(&mk(Family::Chain, 1)));
-    emit("fig8a", "Figure 8(a): chain, time for all GMRs (all vars distinguished)", &chain0);
-    emit("fig8b", "Figure 8(b): chain, time for all GMRs (1 nondistinguished)", &chain1);
-    emit("fig9a", "Figure 9(a): chain, view equivalence classes", &chain0);
-    emit("fig9b", "Figure 9(b): chain, view tuples vs representatives", &chain0);
+    let chain0 = timed("chain, all distinguished", || {
+        run_sweep(&mk(Family::Chain, 0))
+    });
+    let chain1 = timed("chain, 1 nondistinguished", || {
+        run_sweep(&mk(Family::Chain, 1))
+    });
+    emit(
+        "fig8a",
+        "Figure 8(a): chain, time for all GMRs (all vars distinguished)",
+        &chain0,
+    );
+    emit(
+        "fig8b",
+        "Figure 8(b): chain, time for all GMRs (1 nondistinguished)",
+        &chain1,
+    );
+    emit(
+        "fig9a",
+        "Figure 9(a): chain, view equivalence classes",
+        &chain0,
+    );
+    emit(
+        "fig9b",
+        "Figure 9(b): chain, view tuples vs representatives",
+        &chain0,
+    );
 
     // ── Random queries (the third shape §7 mentions) ────────────────────
-    let rand0 = timed("random, all distinguished", || run_sweep(&mk(Family::Random, 0)));
-    emit("fig_random", "Random queries (extra series): time and classes", &rand0);
+    let rand0 = timed("random, all distinguished", || {
+        run_sweep(&mk(Family::Random, 0))
+    });
+    emit(
+        "fig_random",
+        "Random queries (extra series): time and classes",
+        &rand0,
+    );
 
     // ── Table 2: tuple-cores of Example 4.1 ─────────────────────────────
     let table2 = table2();
@@ -142,7 +190,8 @@ fn example61() -> String {
 /// CoreCover vs the Theorem 3.1 naive search vs MiniCon, small view
 /// counts (the naive baseline is exponential).
 fn baselines(quick: bool) -> String {
-    let mut out = String::from("\n── Baselines: CoreCover vs naive (Thm 3.1) vs MiniCon vs bucket ──\n");
+    let mut out =
+        String::from("\n── Baselines: CoreCover vs naive (Thm 3.1) vs MiniCon vs bucket ──\n");
     out.push_str("family,views,corecover_ms,naive_ms,minicon_ms,bucket_ms\n");
     let counts: &[usize] = if quick { &[5, 10] } else { &[5, 10, 15, 20] };
     for family in ["chain", "star"] {
@@ -198,7 +247,8 @@ fn baselines(quick: bool) -> String {
 
 /// The §5.2 ablation: CoreCover with equivalence-class grouping on vs off.
 fn grouping_ablation(quick: bool) -> String {
-    let mut out = String::from("\n── Ablation: §5.2 grouping on vs off (star, all distinguished) ──\n");
+    let mut out =
+        String::from("\n── Ablation: §5.2 grouping on vs off (star, all distinguished) ──\n");
     out.push_str("views,grouped_ms,ungrouped_ms\n");
     let counts: Vec<usize> = if quick {
         vec![100, 400]

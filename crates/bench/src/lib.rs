@@ -10,6 +10,7 @@
 
 use std::time::Instant;
 use viewplan_core::{CoreCover, CoreCoverConfig};
+use viewplan_obs as obs;
 use viewplan_workload::{generate, WorkloadConfig};
 
 /// Which §7 workload family a sweep runs.
@@ -41,6 +42,13 @@ pub struct SweepPoint {
     pub representative_tuples: f64,
     /// Average number of GMRs found.
     pub gmrs: f64,
+    /// Average homomorphism search nodes per run (from the
+    /// `containment.hom_nodes` counter) — the work metric behind the
+    /// wall-clock series.
+    pub hom_nodes: f64,
+    /// Average set-cover search nodes per run (from the
+    /// `cover.search_nodes` counter).
+    pub set_cover_nodes: f64,
 }
 
 /// Sweep parameters.
@@ -105,6 +113,11 @@ pub fn run_sweep(config: &SweepConfig) -> Vec<SweepPoint> {
 /// Runs one data point: `queries_per_point` accepted queries (skipping
 /// rewriting-less ones, bounded retries), averaged.
 pub fn run_point(config: &SweepConfig, views: usize) -> SweepPoint {
+    // Collect counters for the whole sweep; the registry is process-global,
+    // so work metrics are read as before/after deltas rather than by
+    // resetting (counter bumps are relaxed atomics — cheap enough to leave
+    // on while timing).
+    obs::set_enabled(true);
     let mut accepted = 0usize;
     let mut attempts = 0usize;
     let max_attempts = config.queries_per_point * 5;
@@ -113,6 +126,8 @@ pub fn run_point(config: &SweepConfig, views: usize) -> SweepPoint {
     let mut tuples = 0.0;
     let mut reps = 0.0;
     let mut gmrs = 0.0;
+    let mut hom_nodes = 0.0;
+    let mut set_cover_nodes = 0.0;
     while accepted < config.queries_per_point && attempts < max_attempts {
         let seed = config
             .base_seed
@@ -120,6 +135,8 @@ pub fn run_point(config: &SweepConfig, views: usize) -> SweepPoint {
             .wrapping_add(attempts as u64);
         attempts += 1;
         let w = generate(&workload_config(config, views, seed));
+        let hom_before = obs::counter_value("containment.hom_nodes");
+        let cover_before = obs::counter_value("cover.search_nodes");
         let start = Instant::now();
         let result = CoreCover::new(&w.query, &w.views)
             .with_config(config.corecover.clone())
@@ -134,6 +151,8 @@ pub fn run_point(config: &SweepConfig, views: usize) -> SweepPoint {
         tuples += result.stats.view_tuples as f64;
         reps += result.stats.representative_tuples as f64;
         gmrs += result.stats.rewritings as f64;
+        hom_nodes += (obs::counter_value("containment.hom_nodes") - hom_before) as f64;
+        set_cover_nodes += (obs::counter_value("cover.search_nodes") - cover_before) as f64;
     }
     let n = accepted.max(1) as f64;
     SweepPoint {
@@ -144,24 +163,29 @@ pub fn run_point(config: &SweepConfig, views: usize) -> SweepPoint {
         view_tuples: tuples / n,
         representative_tuples: reps / n,
         gmrs: gmrs / n,
+        hom_nodes: hom_nodes / n,
+        set_cover_nodes: set_cover_nodes / n,
     }
 }
 
 /// Formats sweep points as a CSV with a header row.
 pub fn to_csv(points: &[SweepPoint]) -> String {
     let mut out = String::from(
-        "views,queries,avg_ms,view_classes,view_tuples,representative_tuples,gmrs\n",
+        "views,queries,avg_ms,view_classes,view_tuples,representative_tuples,gmrs,\
+         hom_nodes,set_cover_nodes\n",
     );
     for p in points {
         out.push_str(&format!(
-            "{},{},{:.3},{:.1},{:.1},{:.1},{:.1}\n",
+            "{},{},{:.3},{:.1},{:.1},{:.1},{:.1},{:.1},{:.1}\n",
             p.views,
             p.queries,
             p.avg_ms,
             p.view_classes,
             p.view_tuples,
             p.representative_tuples,
-            p.gmrs
+            p.gmrs,
+            p.hom_nodes,
+            p.set_cover_nodes
         ));
     }
     out
@@ -180,6 +204,7 @@ mod tests {
         assert_eq!(points.len(), 1);
         assert!(points[0].queries >= 1);
         assert!(points[0].view_tuples >= points[0].representative_tuples);
+        assert!(points[0].hom_nodes > 0.0);
     }
 
     #[test]
@@ -192,6 +217,8 @@ mod tests {
             view_tuples: 30.0,
             representative_tuples: 10.0,
             gmrs: 4.0,
+            hom_nodes: 120.0,
+            set_cover_nodes: 15.0,
         };
         let csv = to_csv(&[p]);
         assert!(csv.starts_with("views,"));

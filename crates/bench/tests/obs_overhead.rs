@@ -1,0 +1,54 @@
+//! Spot check: disabled-mode instrumentation costs nothing measurable.
+//!
+//! The hot loops are instrumented unconditionally; when collection is
+//! off every counter/span call is one relaxed atomic load. This test
+//! times one Figure-8-style sweep point with collection off and with it
+//! on: the *enabled* run is a strict upper bound on whatever the
+//! disabled run can cost over uninstrumented code, so if the two are
+//! close, disabled overhead is in the noise.
+//!
+//! Run manually (timing asserts are too flaky for CI):
+//!
+//! ```bash
+//! cargo test -q -p viewplan-bench --release -- --ignored --nocapture
+//! ```
+
+use std::time::Instant;
+use viewplan_core::CoreCover;
+use viewplan_obs as obs;
+use viewplan_workload::{generate, WorkloadConfig};
+
+#[test]
+#[ignore = "timing-sensitive; run manually with --release --ignored"]
+fn disabled_stats_add_no_measurable_overhead() {
+    let w = generate(&WorkloadConfig::chain(500, 0, 20010521));
+    let time_runs = |iters: usize| {
+        let start = Instant::now();
+        for _ in 0..iters {
+            let r = CoreCover::new(&w.query, &w.views).run();
+            assert!(!r.rewritings().is_empty());
+        }
+        start.elapsed().as_secs_f64() / iters as f64
+    };
+
+    // Warm up, then measure each mode.
+    obs::set_enabled(false);
+    time_runs(5);
+    let disabled = time_runs(30);
+    obs::set_enabled(true);
+    let enabled = time_runs(30);
+    obs::set_enabled(false);
+
+    let ratio = enabled / disabled;
+    println!(
+        "corecover chain/500: disabled {:.3} ms, enabled {:.3} ms, ratio {ratio:.3}",
+        disabled * 1e3,
+        enabled * 1e3,
+    );
+    // Even full collection should stay within 25% of disabled; disabled
+    // vs. uninstrumented is far below that.
+    assert!(
+        ratio < 1.25,
+        "instrumentation overhead too high: {ratio:.3}"
+    );
+}

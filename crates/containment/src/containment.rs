@@ -2,6 +2,7 @@
 
 use crate::homomorphism::HomomorphismSearch;
 use viewplan_cq::{ConjunctiveQuery, Substitution, Term};
+use viewplan_obs as obs;
 
 /// Builds the initial bindings that pin the head of `from` onto the head of
 /// `onto` (a containment mapping must map head to head). Returns `None` if
@@ -40,6 +41,7 @@ pub fn containment_mapping(
     from: &ConjunctiveQuery,
     onto: &ConjunctiveQuery,
 ) -> Option<Substitution> {
+    obs::counter!("containment.checks").incr();
     let initial = head_bindings(from, onto)?;
     HomomorphismSearch::with_initial(&from.body, &onto.body, initial).find()
 }
@@ -116,10 +118,9 @@ mod tests {
     #[test]
     fn paper_expansion_equivalence_example() {
         // P1exp and P2exp from Example 1.1 / §2.1 are equivalent.
-        let p1exp = parse_query(
-            "q1(S, C) :- car(M, a), loc(a, C1), car(M1, a), loc(a, C), part(S, M, C)",
-        )
-        .unwrap();
+        let p1exp =
+            parse_query("q1(S, C) :- car(M, a), loc(a, C1), car(M1, a), loc(a, C), part(S, M, C)")
+                .unwrap();
         let p2exp = parse_query("q1(S, C) :- car(M, a), loc(a, C), part(S, M, C)").unwrap();
         assert!(are_equivalent(&p1exp, &p2exp));
     }

@@ -221,8 +221,7 @@ mod tests {
         let views = carlocpart_views();
         let p2 = parse_query("q1(S, C) :- v1(M, a, C), v2(S, M, C)").unwrap();
         let p2exp = expand(&p2, &views).unwrap();
-        let expected =
-            parse_query("q1(S, C) :- car(M, a), loc(a, C), part(S, M, C)").unwrap();
+        let expected = parse_query("q1(S, C) :- car(M, a), loc(a, C), part(S, M, C)").unwrap();
         assert!(are_equivalent(&p2exp, &expected));
     }
 

@@ -10,6 +10,7 @@
 //! unwound on backtrack.
 
 use viewplan_cq::{Atom, Substitution, Symbol, Term};
+use viewplan_obs as obs;
 
 use std::collections::HashMap;
 
@@ -113,16 +114,16 @@ impl<'a> HomomorphismSearch<'a> {
         subst: &mut Substitution,
         visit: &mut dyn FnMut(&Substitution) -> bool,
     ) -> bool {
+        obs::counter!("containment.hom_nodes").incr();
         if depth == self.pattern.len() {
             return visit(subst);
         }
         let pat = self.pattern[depth];
         for &cand in &self.candidates[depth] {
             let mut bound: Vec<Symbol> = Vec::new();
-            if unify_atom(pat, cand, subst, &mut bound)
-                && self.search(depth + 1, subst, visit) {
-                    return true;
-                }
+            if unify_atom(pat, cand, subst, &mut bound) && self.search(depth + 1, subst, visit) {
+                return true;
+            }
             for v in bound.drain(..) {
                 subst.unbind(v);
             }
@@ -135,12 +136,7 @@ impl<'a> HomomorphismSearch<'a> {
 /// argument; records newly bound variables in `bound` so the caller can
 /// unwind. Returns `false` (with partial bindings recorded in `bound`) on
 /// mismatch.
-fn unify_atom(
-    pat: &Atom,
-    cand: &Atom,
-    subst: &mut Substitution,
-    bound: &mut Vec<Symbol>,
-) -> bool {
+fn unify_atom(pat: &Atom, cand: &Atom, subst: &mut Substitution, bound: &mut Vec<Symbol>) -> bool {
     debug_assert_eq!(pat.predicate, cand.predicate);
     debug_assert_eq!(pat.arity(), cand.arity());
     for (p, c) in pat.terms.iter().zip(&cand.terms) {

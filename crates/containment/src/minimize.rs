@@ -9,6 +9,7 @@
 
 use crate::containment::containment_mapping;
 use viewplan_cq::ConjunctiveQuery;
+use viewplan_obs as obs;
 
 /// Returns the minimal equivalent of `q` (its core).
 ///
@@ -18,17 +19,20 @@ use viewplan_cq::ConjunctiveQuery;
 /// once a subgoal is removed the remaining query is still equivalent to
 /// the original, and the fixpoint has no redundant subgoal.
 pub fn minimize(q: &ConjunctiveQuery) -> ConjunctiveQuery {
+    let _span = obs::span("containment.minimize");
     let mut current = q.dedup_subgoals();
     let mut i = 0;
     while i < current.body.len() {
         if current.body.len() == 1 {
             break; // a single-subgoal safe query is already minimal
         }
+        obs::counter!("containment.minimize_rounds").incr();
         let candidate = current.without_subgoal(i);
         // candidate ⊒ current always; equivalence needs current ⊑ candidate,
         // i.e. a containment mapping current → candidate. We map from the
         // *original-sized* current, which is equivalent to q throughout.
         if containment_mapping(&current, &candidate).is_some() {
+            obs::counter!("containment.minimize_removed").incr();
             current = candidate;
             // restart scanning from the beginning: removing one subgoal can
             // expose redundancy in earlier positions.
@@ -86,10 +90,9 @@ mod tests {
     #[test]
     fn paper_p1exp_minimizes_to_p2exp() {
         // Example 1.1: P1's expansion minimizes to P2's expansion.
-        let p1exp = parse_query(
-            "q1(S, C) :- car(M, a), loc(a, C1), car(M1, a), loc(a, C), part(S, M, C)",
-        )
-        .unwrap();
+        let p1exp =
+            parse_query("q1(S, C) :- car(M, a), loc(a, C1), car(M1, a), loc(a, C), part(S, M, C)")
+                .unwrap();
         let p2exp = parse_query("q1(S, C) :- car(M, a), loc(a, C), part(S, M, C)").unwrap();
         let m = minimize(&p1exp);
         assert_eq!(m.body.len(), 3);
@@ -98,8 +101,7 @@ mod tests {
 
     #[test]
     fn already_minimal_query_is_unchanged() {
-        let q =
-            parse_query("q1(S, C) :- car(M, a), loc(a, C), part(S, M, C)").unwrap();
+        let q = parse_query("q1(S, C) :- car(M, a), loc(a, C), part(S, M, C)").unwrap();
         assert_eq!(minimize(&q), q);
     }
 

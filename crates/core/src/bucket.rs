@@ -17,8 +17,9 @@
 
 use crate::rewriting::{dedup_variants, Rewriting};
 use std::collections::HashMap;
-use viewplan_cq::{Atom, ConjunctiveQuery, Symbol, Term, View, ViewSet};
 use viewplan_containment::{are_equivalent, expand, minimize};
+use viewplan_cq::{Atom, ConjunctiveQuery, Symbol, Term, View, ViewSet};
+use viewplan_obs as obs;
 
 /// One bucket entry: a candidate view literal for a query subgoal.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -64,8 +65,7 @@ fn unify_into_literal(
     view: &View,
     distinguished: &std::collections::HashSet<Symbol>,
 ) -> Option<BucketEntry> {
-    let head_vars: std::collections::HashSet<Symbol> =
-        view.definition.head.variables().collect();
+    let head_vars: std::collections::HashSet<Symbol> = view.definition.head.variables().collect();
     // view variable -> query term it must carry.
     let mut binding: HashMap<Symbol, Term> = HashMap::new();
     for (qt, vt) in subgoal.terms.iter().zip(&watom.terms) {
@@ -132,7 +132,9 @@ pub fn bucket_rewritings(
     views: &ViewSet,
     limit: usize,
 ) -> Vec<Rewriting> {
+    let _span = obs::span("bucket.run");
     let (qm, buckets) = build_buckets(query, views);
+    obs::counter!("bucket.entries").add(buckets.iter().map(Vec::len).sum::<usize>() as u64);
     if buckets.iter().any(Vec::is_empty) {
         return Vec::new(); // some subgoal is uncoverable
     }
@@ -144,6 +146,7 @@ pub fn bucket_rewritings(
             break;
         }
         examined += 1;
+        obs::counter!("bucket.candidates_examined").incr();
         let body: Vec<Atom> = choice
             .iter()
             .enumerate()
@@ -277,9 +280,15 @@ mod tests {
         for i in 0..n {
             let len = 1 + ((seed + i as u64) % 2) as usize;
             let end = (i + len).min(n);
-            let seg: Vec<String> = (i..end).map(|j| format!("r{j}(Y{j}, Y{})", j + 1)).collect();
+            let seg: Vec<String> = (i..end)
+                .map(|j| format!("r{j}(Y{j}, Y{})", j + 1))
+                .collect();
             let hvars: Vec<String> = (i..=end).map(|j| format!("Y{j}")).collect();
-            vs.push_str(&format!("w{i}({}) :- {}.\n", hvars.join(", "), seg.join(", ")));
+            vs.push_str(&format!(
+                "w{i}({}) :- {}.\n",
+                hvars.join(", "),
+                seg.join(", ")
+            ));
         }
         (q, parse_views(&vs).unwrap())
     }

@@ -16,8 +16,8 @@
 
 use crate::tuple_core::TupleCore;
 use std::collections::HashMap;
-use viewplan_cq::{ConjunctiveQuery, Symbol, View, ViewSet};
 use viewplan_containment::are_equivalent;
+use viewplan_cq::{ConjunctiveQuery, Symbol, View, ViewSet};
 
 /// Renames a view definition's head predicate to a fixed marker so two
 /// views can be compared as queries regardless of their names.

@@ -27,8 +27,9 @@ use crate::cover::{all_irredundant_covers, all_minimum_covers};
 use crate::rewriting::{dedup_variants, Rewriting};
 use crate::tuple_core::{tuple_core, TupleCore};
 use crate::view_tuple::{view_tuples, ViewTuple};
-use viewplan_cq::{ConjunctiveQuery, ViewSet};
 use viewplan_containment::{are_equivalent, expand, minimize};
+use viewplan_cq::{ConjunctiveQuery, ViewSet};
+use viewplan_obs as obs;
 
 /// Tuning knobs for [`CoreCover`].
 #[derive(Clone, Debug)]
@@ -139,12 +140,7 @@ impl CoreCoverResult {
     /// the same tuple-core class for the result to stay a rewriting —
     /// debug builds assert nothing here; the caller chooses from
     /// [`CoreCoverResult::interchangeable_tuples`]).
-    pub fn swap_tuple(
-        &self,
-        rewriting: &Rewriting,
-        from: &ViewTuple,
-        to: &ViewTuple,
-    ) -> Rewriting {
+    pub fn swap_tuple(&self, rewriting: &Rewriting, from: &ViewTuple, to: &ViewTuple) -> Rewriting {
         let mut out = rewriting.clone();
         for atom in &mut out.body {
             if *atom == from.atom {
@@ -191,31 +187,41 @@ impl<'a> CoreCover<'a> {
     }
 
     fn run_inner(&self, minimum_only: bool) -> CoreCoverResult {
-        // Step 1: minimize the query.
+        let _run_span = obs::span("corecover.run");
+
+        // Step 1: minimize the query (times itself as containment.minimize).
         let qm = minimize(self.query);
 
         // Step 1b (§5.2): group views into equivalence classes.
-        let (active_views, view_classes) = if self.config.group_equivalent_views {
-            let classes = view_equivalence_classes(self.views);
-            let reps = ViewSet::from_views(
-                classes
-                    .iter()
-                    .map(|c| self.views.as_slice()[c[0]].clone()),
-            );
-            (reps, classes.len())
-        } else {
-            (self.views.clone(), self.views.len())
+        let (active_views, view_classes) = {
+            let _span = obs::span("corecover.group_views");
+            if self.config.group_equivalent_views {
+                let classes = view_equivalence_classes(self.views);
+                let reps = ViewSet::from_views(
+                    classes.iter().map(|c| self.views.as_slice()[c[0]].clone()),
+                );
+                (reps, classes.len())
+            } else {
+                (self.views.clone(), self.views.len())
+            }
         };
 
         // Step 2: view tuples from the canonical database.
-        let tuples = view_tuples(&qm, &active_views);
+        let tuples = {
+            let _span = obs::span("corecover.view_tuples");
+            view_tuples(&qm, &active_views)
+        };
 
         // Step 3: tuple-cores.
-        let cores: Vec<TupleCore> = tuples
-            .iter()
-            .map(|t| tuple_core(&qm, t, &active_views))
-            .collect();
-        let tuple_classes = view_tuple_classes(&cores);
+        let (cores, tuple_classes) = {
+            let _span = obs::span("corecover.tuple_cores");
+            let cores: Vec<TupleCore> = tuples
+                .iter()
+                .map(|t| tuple_core(&qm, t, &active_views))
+                .collect();
+            let classes = view_tuple_classes(&cores);
+            (cores, classes)
+        };
 
         // Step 4: cover the query subgoals.
         let universe: u64 = if qm.body.is_empty() {
@@ -232,13 +238,21 @@ impl<'a> CoreCover<'a> {
                 .filter(|&i| !cores[i].is_empty())
                 .collect()
         } else {
-            (0..tuples.len()).filter(|&i| !cores[i].is_empty()).collect()
+            (0..tuples.len())
+                .filter(|&i| !cores[i].is_empty())
+                .collect()
         };
-        let masks: Vec<u64> = candidate_indices.iter().map(|&i| cores[i].bitmask()).collect();
-        let covers = if minimum_only {
-            all_minimum_covers(universe, &masks)
-        } else {
-            all_irredundant_covers(universe, &masks, self.config.max_rewritings)
+        let masks: Vec<u64> = candidate_indices
+            .iter()
+            .map(|&i| cores[i].bitmask())
+            .collect();
+        let covers = {
+            let _span = obs::span("corecover.set_cover");
+            if minimum_only {
+                all_minimum_covers(universe, &masks)
+            } else {
+                all_irredundant_covers(universe, &masks, self.config.max_rewritings)
+            }
         };
 
         let mut rewritings: Vec<Rewriting> = covers
@@ -256,6 +270,7 @@ impl<'a> CoreCover<'a> {
         rewritings = dedup_variants(rewritings);
 
         if self.config.verify_rewritings || cfg!(debug_assertions) {
+            let _span = obs::span("corecover.verify");
             for r in &rewritings {
                 let exp = expand(r, &active_views)
                     .expect("rewritings are built from view tuples of known views");
@@ -280,6 +295,15 @@ impl<'a> CoreCover<'a> {
             empty_core_tuples: cores.iter().filter(|c| c.is_empty()).count(),
             rewritings: rewritings.len(),
         };
+        // Mirror the per-run stats into the global registry so reporters
+        // and the bench harness see the same numbers (Figures 7 and 9).
+        obs::counter!("corecover.runs").incr();
+        obs::counter!("corecover.views").add(stats.views as u64);
+        obs::counter!("corecover.view_classes").add(stats.view_classes as u64);
+        obs::counter!("corecover.view_tuples").add(stats.view_tuples as u64);
+        obs::counter!("corecover.representative_tuples").add(stats.representative_tuples as u64);
+        obs::counter!("corecover.empty_core_tuples").add(stats.empty_core_tuples as u64);
+        obs::counter!("corecover.rewritings").add(stats.rewritings as u64);
         CoreCoverResult {
             minimized_query: qm,
             view_tuples: tuples,
@@ -389,8 +413,7 @@ mod tests {
         let q = parse_query("q(X) :- e(X, X)").unwrap();
         let views = parse_views("v(A, B) :- e(A, A), e(A, B)").unwrap();
         let result = CoreCover::new(&q, &views).run();
-        let printed: Vec<String> =
-            result.rewritings().iter().map(|r| r.to_string()).collect();
+        let printed: Vec<String> = result.rewritings().iter().map(|r| r.to_string()).collect();
         // The view-tuple space contains v(X, X) (from the canonical
         // database {e(x, x)}), giving P2. P1 uses a fresh variable B and is
         // outside the view-tuple space — the paper's point that a GMR need
@@ -455,7 +478,9 @@ mod tests {
             group_view_tuples: true,
             ..CoreCoverConfig::default()
         };
-        let result = CoreCover::new(&q, &views).with_config(config).run_all_minimal();
+        let result = CoreCover::new(&q, &views)
+            .with_config(config)
+            .run_all_minimal();
         let v1_tuple = result
             .view_tuples
             .iter()

@@ -16,6 +16,8 @@
 //! Subsets are enumerated in increasing index order, so each cover is
 //! produced exactly once; branch-and-bound prunes on the best size found.
 
+use viewplan_obs as obs;
+
 /// Every minimum-cardinality cover of `universe` using `sets`, as sorted
 /// index vectors. Empty result iff `universe` cannot be covered.
 pub fn all_minimum_covers(universe: u64, sets: &[u64]) -> Vec<Vec<usize>> {
@@ -29,7 +31,15 @@ pub fn all_minimum_covers(universe: u64, sets: &[u64]) -> Vec<Vec<usize>> {
     let mut best_size = usize::MAX;
     let mut covers: Vec<Vec<usize>> = Vec::new();
     let mut chosen: Vec<usize> = Vec::new();
-    minimum_dfs(universe, sets, 0, 0, &mut chosen, &mut best_size, &mut covers);
+    minimum_dfs(
+        universe,
+        sets,
+        0,
+        0,
+        &mut chosen,
+        &mut best_size,
+        &mut covers,
+    );
     covers
 }
 
@@ -42,6 +52,7 @@ fn minimum_dfs(
     best_size: &mut usize,
     covers: &mut Vec<Vec<usize>>,
 ) {
+    obs::counter!("cover.search_nodes").incr();
     if covered & universe == universe {
         match chosen.len().cmp(best_size) {
             std::cmp::Ordering::Less => {
@@ -55,11 +66,13 @@ fn minimum_dfs(
         return;
     }
     if chosen.len() >= *best_size {
+        obs::counter!("cover.pruned").incr();
         return; // cannot match the best size anymore
     }
     // Bound: remaining sets must be able to finish the job.
     let rest: u64 = sets[start..].iter().fold(0u64, |a, &s| a | s);
     if (covered | rest) & universe != universe {
+        obs::counter!("cover.pruned").incr();
         return;
     }
     for i in start..sets.len() {
@@ -107,6 +120,7 @@ fn irredundant_dfs(
     limit: usize,
     covers: &mut Vec<Vec<usize>>,
 ) {
+    obs::counter!("cover.search_nodes").incr();
     if covers.len() >= limit {
         return;
     }
@@ -128,6 +142,7 @@ fn irredundant_dfs(
     }
     let rest: u64 = sets[start..].iter().fold(0u64, |a, &s| a | s);
     if (covered | rest) & universe != universe {
+        obs::counter!("cover.pruned").incr();
         return;
     }
     for i in start..sets.len() {
@@ -135,7 +150,15 @@ fn irredundant_dfs(
             continue; // adding a no-progress set can never stay irredundant
         }
         chosen.push(i);
-        irredundant_dfs(universe, sets, i + 1, covered | sets[i], chosen, limit, covers);
+        irredundant_dfs(
+            universe,
+            sets,
+            i + 1,
+            covered | sets[i],
+            chosen,
+            limit,
+            covers,
+        );
         chosen.pop();
     }
 }

@@ -14,8 +14,8 @@
 //!   Lemma 3.1 / Propositions 3.1–3.2, the CMRs contain a GMR.
 
 use crate::rewriting::Rewriting;
-use viewplan_cq::{ConjunctiveQuery, ViewSet};
 use viewplan_containment::{are_equivalent, expand, is_contained_in, minimize};
+use viewplan_cq::{ConjunctiveQuery, ViewSet};
 
 /// True iff `p` is an equivalent rewriting of `q`: its expansion is
 /// equivalent to `q` (Definition 2.3). Unexpandable bodies (unknown views,
@@ -159,8 +159,7 @@ mod tests {
     fn example31_chain_of_lmrs() {
         // Example 3.1: P1 ⊏ P2 ⊏ P3 as queries; all three are LMRs.
         let q = parse_query("q(X, Y, Z) :- e1(X, c), e2(Y, c), e3(Z, c)").unwrap();
-        let views =
-            parse_views("v(X, Y, Z, W) :- e1(X, W), e2(Y, W), e3(Z, W)").unwrap();
+        let views = parse_views("v(X, Y, Z, W) :- e1(X, W), e2(Y, W), e3(Z, W)").unwrap();
         let ps: Vec<Rewriting> = [
             "q(X, Y, Z) :- v(X, Y, Z, c)",
             "q(X, Y, Z) :- v(X, Y, Z1, c), v(X1, Y1, Z, c)",

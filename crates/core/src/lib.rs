@@ -59,7 +59,7 @@ pub use cover::{all_irredundant_covers, all_minimum_covers};
 pub use lattice::{
     is_containment_minimal, is_equivalent_rewriting, is_locally_minimal, lmr_partial_order,
 };
-pub use minicon::{minicon_rewritings, MiniCon, Mcd};
+pub use minicon::{minicon_rewritings, Mcd, MiniCon};
 pub use naive::naive_gmrs;
 pub use rewriting::{dedup_variants, Rewriting};
 pub use tuple_core::{tuple_core, TupleCore};

@@ -26,8 +26,9 @@
 
 use crate::rewriting::{dedup_variants, Rewriting};
 use std::collections::{BTreeSet, HashMap};
-use viewplan_cq::{Atom, ConjunctiveQuery, Symbol, Term, View, ViewSet};
 use viewplan_containment::{are_equivalent, expand, minimize};
+use viewplan_cq::{Atom, ConjunctiveQuery, Symbol, Term, View, ViewSet};
+use viewplan_obs as obs;
 
 /// A MiniCon description: a view usage covering a minimal set of query
 /// subgoals.
@@ -222,9 +223,7 @@ impl<'a> MiniCon<'a> {
         // Dedup by covered set + literal shape modulo fresh names: compare
         // literal with fresh variables erased positionally.
         if !out.iter().any(|m| {
-            m.view == mcd.view
-                && m.covered == mcd.covered
-                && same_shape(&m.literal, &mcd.literal)
+            m.view == mcd.view && m.covered == mcd.covered && same_shape(&m.literal, &mcd.literal)
         }) {
             out.push(mcd);
         }
@@ -234,7 +233,9 @@ impl<'a> MiniCon<'a> {
     /// query; `equivalent_only` post-filters to equivalent rewritings
     /// (our closed-world adaptation); `limit` caps the output.
     pub fn rewritings(&self, equivalent_only: bool, limit: usize) -> Vec<Rewriting> {
+        let _span = obs::span("minicon.run");
         let mcds = self.mcds();
+        obs::counter!("minicon.mcds").add(mcds.len() as u64);
         let n = self.query.body.len();
         assert!(n <= 64, "queries are limited to 64 subgoals");
         let universe: u64 = if n == 0 { 0 } else { u64::MAX >> (64 - n) };
@@ -269,6 +270,7 @@ impl<'a> MiniCon<'a> {
         limit: usize,
         results: &mut Vec<Rewriting>,
     ) {
+        obs::counter!("minicon.combine_nodes").incr();
         if results.len() >= limit {
             return;
         }

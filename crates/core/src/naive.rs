@@ -9,13 +9,15 @@
 
 use crate::rewriting::{dedup_variants, Rewriting};
 use crate::view_tuple::view_tuples;
-use viewplan_cq::{ConjunctiveQuery, ViewSet};
 use viewplan_containment::{containment_mapping, expand, minimize};
+use viewplan_cq::{ConjunctiveQuery, ViewSet};
+use viewplan_obs as obs;
 
 /// Finds all globally-minimal rewritings by brute-force combination
 /// search. Exponential in the number of view tuples; exists as a
 /// correctness oracle and benchmark baseline for [`crate::CoreCover`].
 pub fn naive_gmrs(query: &ConjunctiveQuery, views: &ViewSet) -> Vec<Rewriting> {
+    let _span = obs::span("naive.run");
     let qm = minimize(query);
     let tuples = view_tuples(&qm, views);
     let n = qm.body.len();
@@ -23,6 +25,7 @@ pub fn naive_gmrs(query: &ConjunctiveQuery, views: &ViewSet) -> Vec<Rewriting> {
         let mut found: Vec<Rewriting> = Vec::new();
         let mut chosen: Vec<usize> = Vec::new();
         combos(&mut chosen, 0, size, tuples.len(), &mut |combo| {
+            obs::counter!("naive.candidates").incr();
             let candidate = ConjunctiveQuery::new(
                 qm.head.clone(),
                 combo.iter().map(|&i| tuples[i].atom.clone()).collect(),

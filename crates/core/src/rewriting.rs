@@ -1,8 +1,8 @@
 //! Rewritings and variant deduplication.
 
 use std::collections::HashMap;
-use viewplan_cq::{ConjunctiveQuery, Term};
 use viewplan_containment::is_variant;
+use viewplan_cq::{ConjunctiveQuery, Term};
 
 /// An equivalent rewriting of a query using views — a conjunctive query
 /// whose body subgoals are view literals. A plain type alias with helpers;

@@ -32,8 +32,8 @@
 
 use crate::view_tuple::ViewTuple;
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
-use viewplan_cq::{Atom, ConjunctiveQuery, Symbol, Term, ViewSet};
 use viewplan_containment::expand_atom;
+use viewplan_cq::{Atom, ConjunctiveQuery, Symbol, Term, ViewSet};
 
 /// The tuple-core of a view tuple: the covered subgoals (as indices into
 /// the minimized query's body) and the mapping of local variables.
@@ -230,7 +230,15 @@ fn search_component(
         let mut newly: Vec<Symbol> = Vec::new();
         if try_map_atom(g, target, tv_terms, is_local, assignment, used, &mut newly) {
             search_component(
-                q, comp, depth + 1, texp, tv_terms, is_local, assignment, used, emit,
+                q,
+                comp,
+                depth + 1,
+                texp,
+                tv_terms,
+                is_local,
+                assignment,
+                used,
+                emit,
             );
         }
         for v in newly {
@@ -360,8 +368,8 @@ fn resolve(
 mod tests {
     use super::*;
     use crate::view_tuple::view_tuples;
-    use viewplan_cq::{parse_query, parse_views};
     use viewplan_containment::minimize;
+    use viewplan_cq::{parse_query, parse_views};
 
     fn cores_of(q: &str, vs: &str) -> Vec<(String, Vec<usize>)> {
         let q = minimize(&parse_query(q).unwrap());
@@ -456,10 +464,7 @@ mod tests {
         // single existential E, the query needs two independent ones...
         // a(X,Y1), a(X,Y2) minimizes to a(X,Y1) first, so craft distinct
         // predicates to prevent minimization.
-        let cores = cores_of(
-            "q(X) :- a(X, Y1), b(X, Y2)",
-            "v(A) :- a(A, E), b(A, E).",
-        );
+        let cores = cores_of("q(X) :- a(X, Y1), b(X, Y2)", "v(A) :- a(A, E), b(A, E).");
         // Expansion forces Y1 -> E and Y2 -> E: violates one-to-one; but
         // components {a(X,Y1)} and {b(X,Y2)} are separate (Y1, Y2 not
         // shared), so globally only one of them can claim E. The maximum is

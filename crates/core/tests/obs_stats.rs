@@ -1,0 +1,89 @@
+//! The observability counters mirror `CoreCoverStats` exactly.
+//!
+//! This file holds a single test on purpose: the metrics registry is
+//! process-global, and keeping the test alone in its own integration
+//! binary means no other test's counter bumps can race with the
+//! before/after deltas taken here.
+
+use viewplan_core::CoreCover;
+use viewplan_cq::{parse_query, parse_views};
+use viewplan_obs as obs;
+
+#[test]
+fn counters_agree_with_corecover_stats() {
+    obs::set_enabled(true);
+
+    let query =
+        parse_query("q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C)").unwrap();
+    let views = parse_views(
+        "
+        v1(M, D, C)    :- car(M, D), loc(D, C).
+        v2(S, M, C)    :- part(S, M, C).
+        v3(S)          :- car(M, anderson), loc(anderson, C), part(S, M, C).
+        v4(M, D, C, S) :- car(M, D), loc(D, C), part(S, M, C).
+        v5(M, D, C)    :- car(M, D), loc(D, C).
+        ",
+    )
+    .unwrap();
+
+    let before = |name: &str| obs::counter_value(name);
+    let snapshot = [
+        "corecover.runs",
+        "corecover.views",
+        "corecover.view_classes",
+        "corecover.view_tuples",
+        "corecover.representative_tuples",
+        "corecover.empty_core_tuples",
+        "corecover.rewritings",
+    ]
+    .map(|name| (name, before(name)));
+
+    let result = CoreCover::new(&query, &views).run();
+    let stats = &result.stats;
+
+    let delta = |name: &str| {
+        let (_, start) = snapshot
+            .iter()
+            .find(|(n, _)| *n == name)
+            .expect("snapshotted");
+        obs::counter_value(name) - start
+    };
+
+    assert_eq!(delta("corecover.runs"), 1);
+    assert_eq!(delta("corecover.views"), stats.views as u64);
+    assert_eq!(delta("corecover.view_classes"), stats.view_classes as u64);
+    assert_eq!(delta("corecover.view_tuples"), stats.view_tuples as u64);
+    assert_eq!(
+        delta("corecover.representative_tuples"),
+        stats.representative_tuples as u64
+    );
+    assert_eq!(
+        delta("corecover.empty_core_tuples"),
+        stats.empty_core_tuples as u64
+    );
+    assert_eq!(delta("corecover.rewritings"), stats.rewritings as u64);
+
+    // Sanity-pin the paper's Example 1.1 numbers so the mirror cannot be
+    // trivially satisfied by all-zero stats.
+    assert_eq!(stats.views, 5);
+    assert_eq!(stats.view_classes, 4);
+    assert_eq!(stats.view_tuples, 4);
+    assert_eq!(stats.representative_tuples, 3);
+    assert_eq!(stats.empty_core_tuples, 1);
+
+    // The span tree recorded the CoreCover phases.
+    let tree = obs::span_tree();
+    let run = tree
+        .iter()
+        .find(|node| node.name == "corecover.run")
+        .expect("corecover.run span recorded");
+    let child_names: Vec<&str> = run.children.iter().map(|c| c.name).collect();
+    for phase in [
+        "corecover.group_views",
+        "corecover.view_tuples",
+        "corecover.tuple_cores",
+        "corecover.set_cover",
+    ] {
+        assert!(child_names.contains(&phase), "missing phase {phase}");
+    }
+}

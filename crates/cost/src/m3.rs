@@ -25,8 +25,9 @@
 use crate::oracle::SizeOracle;
 use crate::plan::PhysicalPlan;
 use std::collections::{BTreeSet, HashSet};
-use viewplan_cq::{Atom, ConjunctiveQuery, Substitution, Symbol, Term, ViewSet};
 use viewplan_containment::{are_equivalent, expand, minimize};
+use viewplan_cq::{Atom, ConjunctiveQuery, Substitution, Symbol, Term, ViewSet};
+use viewplan_obs as obs;
 
 /// How the planner decides what to drop (§6.2).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -123,8 +124,10 @@ fn descend(
             // Try renaming y in the prefix of each existing variant.
             let mut new_variants = Vec::new();
             for variant in &variants {
+                obs::counter!("m3.rename_attempts").incr();
                 let renamed = rename_in_prefix(variant, step, y);
                 if renaming_is_equivalent(qm, views, head, &renamed) {
+                    obs::counter!("m3.rename_drops").incr();
                     new_variants.push(renamed);
                 }
             }
@@ -145,7 +148,8 @@ fn descend(
         // Supplementary drops for this variant: prefix variables that are
         // neither head variables nor used by the suffix.
         let head_vars: HashSet<Symbol> = head.variables().collect();
-        let prefix_vars: BTreeSet<Symbol> = eff[..=step].iter().flat_map(|a| a.variables()).collect();
+        let prefix_vars: BTreeSet<Symbol> =
+            eff[..=step].iter().flat_map(|a| a.variables()).collect();
         let suffix_vars: HashSet<Symbol> =
             eff[step + 1..].iter().flat_map(|a| a.variables()).collect();
         let already_dropped: HashSet<Symbol> = steps_so_far
@@ -164,6 +168,7 @@ fn descend(
             .copied()
             .filter(|v| !drop_now.contains(v) && !already_dropped.contains(v))
             .collect();
+        obs::counter!("m3.supplementary_drops").add(drop_now.len() as u64);
         let mask: u32 = (0..=step).fold(0, |m, i| m | (1 << i));
         let gsr = oracle.intermediate_size(&eff, mask, &retained);
         let gsize = oracle.relation_size(&eff[step]);
@@ -195,7 +200,13 @@ fn rename_in_prefix(body: &[Atom], step: usize, y: Symbol) -> Vec<Atom> {
     let subst = Substitution::from_pairs([(y, fresh)]);
     body.iter()
         .enumerate()
-        .map(|(i, a)| if i <= step { a.apply(&subst) } else { a.clone() })
+        .map(|(i, a)| {
+            if i <= step {
+                a.apply(&subst)
+            } else {
+                a.clone()
+            }
+        })
         .collect()
 }
 
@@ -238,14 +249,7 @@ pub fn optimal_m3_plan(
     let mut order: Vec<usize> = Vec::with_capacity(n);
     let mut used = vec![false; n];
     permute(
-        query,
-        views,
-        rewriting,
-        policy,
-        oracle,
-        &mut order,
-        &mut used,
-        &mut best,
+        query, views, rewriting, policy, oracle, &mut order, &mut used, &mut best,
     );
     best
 }

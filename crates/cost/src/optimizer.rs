@@ -17,6 +17,7 @@ use crate::oracle::SizeOracle;
 use crate::plan::PhysicalPlan;
 use viewplan_core::{CoreCover, CoreCoverConfig, Rewriting};
 use viewplan_cq::{Atom, ConjunctiveQuery, ViewSet};
+use viewplan_obs as obs;
 
 /// Which of Table 1's cost models to optimize under.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -89,12 +90,14 @@ impl<'a> Optimizer<'a> {
         model: CostModel,
         oracle: &mut dyn SizeOracle,
     ) -> Option<PlannedRewriting> {
+        let _span = obs::span("optimizer.best_plan");
         let generator =
             CoreCover::new(self.query, self.views).with_config(self.config.corecover.clone());
         match model {
             CostModel::M1 => {
                 let result = generator.run();
                 let r = result.rewritings().first()?.clone();
+                obs::counter!("cost.plans_enumerated").incr();
                 let plan = PhysicalPlan::ordered(r.body.clone());
                 let cost = plan.m1_cost() as f64;
                 Some(PlannedRewriting {
@@ -105,6 +108,7 @@ impl<'a> Optimizer<'a> {
             }
             CostModel::M2 => {
                 let result = generator.run_all_minimal();
+                let _enum_span = obs::span("optimizer.enumerate");
                 let filters: Vec<Atom> = result
                     .filter_tuples()
                     .iter()
@@ -145,8 +149,10 @@ impl<'a> Optimizer<'a> {
             }
             CostModel::M3(policy) => {
                 let result = generator.run_all_minimal();
+                let _enum_span = obs::span("optimizer.enumerate");
                 let mut best: Option<PlannedRewriting> = None;
                 for r in result.rewritings() {
+                    obs::counter!("cost.plans_enumerated").incr();
                     let Some((plan, cost)) =
                         optimal_m3_plan(self.query, self.views, r, policy, oracle)
                     else {
@@ -170,6 +176,7 @@ impl<'a> Optimizer<'a> {
         rewriting: &Rewriting,
         oracle: &mut dyn SizeOracle,
     ) -> Option<PlannedRewriting> {
+        obs::counter!("cost.plans_enumerated").incr();
         let (order, _, cost) = optimal_m2_order(&rewriting.body, oracle)?;
         let atoms: Vec<Atom> = order.iter().map(|&i| rewriting.body[i].clone()).collect();
         Some(PlannedRewriting {

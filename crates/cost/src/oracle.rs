@@ -11,6 +11,7 @@ use crate::catalog::Catalog;
 use std::collections::{BTreeSet, HashMap};
 use viewplan_cq::{Atom, ConjunctiveQuery, Symbol, Term};
 use viewplan_engine::{evaluate, Database};
+use viewplan_obs as obs;
 
 /// Sizes used by the M2/M3 cost measures.
 pub trait SizeOracle {
@@ -20,8 +21,7 @@ pub trait SizeOracle {
     /// The size of the intermediate relation joining the subgoals of
     /// `body` selected by `mask`, projected onto `retained` (pass all
     /// variables of the subset for plain `IR`, a subset for `GSR`).
-    fn intermediate_size(&mut self, body: &[Atom], mask: u32, retained: &BTreeSet<Symbol>)
-        -> f64;
+    fn intermediate_size(&mut self, body: &[Atom], mask: u32, retained: &BTreeSet<Symbol>) -> f64;
 }
 
 /// Measures sizes against a real database (exact, memoized).
@@ -45,24 +45,18 @@ impl SizeOracle for ExactOracle<'_> {
         self.db.get(atom.predicate).map_or(0.0, |r| r.len() as f64)
     }
 
-    fn intermediate_size(
-        &mut self,
-        body: &[Atom],
-        mask: u32,
-        retained: &BTreeSet<Symbol>,
-    ) -> f64 {
+    fn intermediate_size(&mut self, body: &[Atom], mask: u32, retained: &BTreeSet<Symbol>) -> f64 {
         let atoms: Vec<Atom> = (0..body.len())
             .filter(|i| mask & (1 << i) != 0)
             .map(|i| body[i].clone())
             .collect();
         let key = (atoms.clone(), retained.iter().copied().collect::<Vec<_>>());
+        obs::counter!("cost.oracle_calls").incr();
         if let Some(&v) = self.memo.get(&key) {
+            obs::counter!("cost.oracle_cache_hits").incr();
             return v;
         }
-        let head = Atom::new(
-            "__ir__",
-            retained.iter().map(|&v| Term::Var(v)).collect(),
-        );
+        let head = Atom::new("__ir__", retained.iter().map(|&v| Term::Var(v)).collect());
         let q = ConjunctiveQuery::new(head, atoms);
         let size = evaluate(&q, self.db).len() as f64;
         self.memo.insert(key, size);
@@ -118,10 +112,7 @@ impl<'a> EstimateOracle<'a> {
             }
         }
         let rows = rows.max(if stats.cardinality > 0.0 { 1.0 } else { 0.0 });
-        let distinct = seen
-            .into_iter()
-            .map(|(v, d)| (v, d.min(rows)))
-            .collect();
+        let distinct = seen.into_iter().map(|(v, d)| (v, d.min(rows))).collect();
         Estimate { rows, distinct }
     }
 
@@ -140,7 +131,11 @@ impl<'a> EstimateOracle<'a> {
                 }
             }
         }
-        let rows = if a.rows == 0.0 || b.rows == 0.0 { 0.0 } else { rows.max(1.0) };
+        let rows = if a.rows == 0.0 || b.rows == 0.0 {
+            0.0
+        } else {
+            rows.max(1.0)
+        };
         for d in distinct.values_mut() {
             *d = d.min(rows.max(1.0));
         }
@@ -154,7 +149,9 @@ impl<'a> EstimateOracle<'a> {
             .filter(|i| mask & (1 << i) != 0)
             .map(|i| body[i].clone())
             .collect();
+        obs::counter!("cost.oracle_calls").incr();
         if let Some(e) = self.memo.get(&atoms) {
+            obs::counter!("cost.oracle_cache_hits").incr();
             return e.clone();
         }
         let mut acc: Option<Estimate> = None;
@@ -181,12 +178,7 @@ impl SizeOracle for EstimateOracle<'_> {
             .map_or(0.0, |s| s.cardinality)
     }
 
-    fn intermediate_size(
-        &mut self,
-        body: &[Atom],
-        mask: u32,
-        retained: &BTreeSet<Symbol>,
-    ) -> f64 {
+    fn intermediate_size(&mut self, body: &[Atom], mask: u32, retained: &BTreeSet<Symbol>) -> f64 {
         let e = self.subset_estimate(body, mask);
         // Projection estimate: capped product of retained distincts.
         let mut cap = 1.0f64;

@@ -59,8 +59,7 @@ impl fmt::Display for PhysicalPlan {
             }
             write!(f, "{}", step.atom)?;
             if !step.drop_after.is_empty() {
-                let mut drops: Vec<String> =
-                    step.drop_after.iter().map(|v| v.as_str()).collect();
+                let mut drops: Vec<String> = step.drop_after.iter().map(|v| v.as_str()).collect();
                 drops.sort();
                 write!(f, " [drop {}]", drops.join(", "))?;
             }

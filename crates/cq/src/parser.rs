@@ -299,7 +299,9 @@ pub fn parse_query(src: &str) -> Result<ConjunctiveQuery, ParseError> {
 /// Parses a program and wraps each rule as a view definition.
 pub fn parse_views(src: &str) -> Result<ViewSet, ParseError> {
     let program = parse_program(src)?;
-    Ok(ViewSet::from_views(program.rules.into_iter().map(View::new)))
+    Ok(ViewSet::from_views(
+        program.rules.into_iter().map(View::new),
+    ))
 }
 
 /// Parses a single atom such as `car(M, anderson)` (used for view-tuple

@@ -26,7 +26,10 @@ fn arb_query() -> impl Strategy<Value = ConjunctiveQuery> {
                 }
             }
         }
-        ConjunctiveQuery::new(Atom::new("q", vars.into_iter().map(Term::Var).collect()), body)
+        ConjunctiveQuery::new(
+            Atom::new("q", vars.into_iter().map(Term::Var).collect()),
+            body,
+        )
     })
 }
 

@@ -48,8 +48,7 @@ mod tests {
     #[test]
     fn carlocpart_canonical_database() {
         // §3.3: D_Q = {car(m, a), loc(a, c), part(s, m, c)}.
-        let q =
-            parse_query("q1(S, C) :- car(M, a), loc(a, C), part(S, M, C)").unwrap();
+        let q = parse_query("q1(S, C) :- car(M, a), loc(a, C), part(S, M, C)").unwrap();
         let db = canonical_database(&q);
         let car = db.get("car".into()).unwrap();
         assert_eq!(car.len(), 1);

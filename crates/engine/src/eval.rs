@@ -13,6 +13,7 @@ use crate::relation::{Relation, Tuple};
 use crate::value::Value;
 use std::collections::{HashMap, HashSet};
 use viewplan_cq::{Atom, ConjunctiveQuery, Symbol, Term};
+use viewplan_obs as obs;
 
 /// The bindings table carried through a multiway join.
 #[derive(Clone, Debug)]
@@ -129,6 +130,9 @@ fn join_atom(bindings: Bindings, atom: &Atom, db: &Database) -> Bindings {
             }
         }
     }
+    obs::counter!("engine.joins").incr();
+    obs::counter!("engine.join_probes").add(bindings.rows.len() as u64);
+    obs::histogram!("engine.intermediate_rows").record(rows.len() as u64);
     Bindings { vars, rows }
 }
 
@@ -167,6 +171,7 @@ fn project_head(head: &Atom, bindings: &Bindings) -> Relation {
 /// relation first, then most-connected) purely as an internal heuristic —
 /// the answer is order-independent.
 pub fn evaluate(q: &ConjunctiveQuery, db: &Database) -> Relation {
+    obs::counter!("engine.evaluations").incr();
     let order = greedy_order(&q.body, db);
     let mut bindings = Bindings::unit();
     for idx in order {
@@ -194,7 +199,10 @@ fn greedy_order(body: &[Atom], db: &Database) -> Vec<usize> {
             .min_by_key(|&(_, &i)| {
                 let connected = body[i].variables().any(|v| bound.contains(&v));
                 // Connected subgoals first (0 beats 1), then by size.
-                (if connected || order.is_empty() { 0 } else { 1 }, size(&body[i]))
+                (
+                    if connected || order.is_empty() { 0 } else { 1 },
+                    size(&body[i]),
+                )
             })
             .map(|(pos, _)| pos)
             .expect("remaining is nonempty");
@@ -258,6 +266,7 @@ pub struct AnnotatedStep {
 /// Panics if a head variable is dropped before the end — such a plan can
 /// no longer compute the query answer and is a planner bug.
 pub fn execute_annotated(head: &Atom, steps: &[AnnotatedStep], db: &Database) -> ExecutionTrace {
+    let _span = obs::span("engine.execute_plan");
     let mut bindings = Bindings::unit();
     let mut subgoal_sizes = Vec::with_capacity(steps.len());
     let mut intermediate_sizes = Vec::with_capacity(steps.len());
@@ -273,6 +282,7 @@ pub fn execute_annotated(head: &Atom, steps: &[AnnotatedStep], db: &Database) ->
             }
             bindings = project_away(bindings, &step.drop_after);
         }
+        obs::histogram!("engine.gsr_rows").record(bindings.rows.len() as u64);
         intermediate_sizes.push(bindings.rows.len());
     }
     ExecutionTrace {

@@ -32,9 +32,16 @@ mod tests {
         let mut db = Database::new();
         db.insert_sym(
             "car",
-            &[&["honda", "anderson"], &["bmw", "anderson"], &["ford", "smith"]],
+            &[
+                &["honda", "anderson"],
+                &["bmw", "anderson"],
+                &["ford", "smith"],
+            ],
         );
-        db.insert_sym("loc", &[&["anderson", "palo_alto"], &["smith", "menlo_park"]]);
+        db.insert_sym(
+            "loc",
+            &[&["anderson", "palo_alto"], &["smith", "menlo_park"]],
+        );
         db.insert_sym(
             "part",
             &[

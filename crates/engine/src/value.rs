@@ -89,8 +89,14 @@ mod tests {
 
     #[test]
     fn conversion_round_trips() {
-        assert_eq!(Value::from_constant(Constant::sym("a")).to_term(), Term::cst("a"));
-        assert_eq!(Value::from_constant(Constant::Int(5)).to_term(), Term::int(5));
+        assert_eq!(
+            Value::from_constant(Constant::sym("a")).to_term(),
+            Term::cst("a")
+        );
+        assert_eq!(
+            Value::from_constant(Constant::Int(5)).to_term(),
+            Term::int(5)
+        );
         assert_eq!(Value::Frozen(Symbol::new("X")).to_term(), Term::var("X"));
     }
 

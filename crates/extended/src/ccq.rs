@@ -13,8 +13,8 @@
 
 use crate::constraints::ConstraintSet;
 use std::collections::HashSet;
-use viewplan_cq::{Atom, ConjunctiveQuery, Substitution, Symbol, Term};
 use viewplan_containment::{head_bindings, HomomorphismSearch};
+use viewplan_cq::{Atom, ConjunctiveQuery, Substitution, Symbol, Term};
 use viewplan_engine::{evaluate, Database, Relation, Value};
 
 /// A conjunctive query with comparison predicates.
@@ -42,11 +42,8 @@ impl ConditionalQuery {
     /// Panics on a range-restriction violation — comparisons over unbound
     /// variables have no semantics.
     pub fn new(relational: ConjunctiveQuery, constraints: ConstraintSet) -> ConditionalQuery {
-        let body_vars: HashSet<Symbol> = relational
-            .body
-            .iter()
-            .flat_map(|a| a.variables())
-            .collect();
+        let body_vars: HashSet<Symbol> =
+            relational.body.iter().flat_map(|a| a.variables()).collect();
         for v in constraints.variables() {
             assert!(
                 body_vars.contains(&v),
@@ -108,9 +105,8 @@ pub fn evaluate_conditional(q: &ConditionalQuery, db: &Database) -> Relation {
     let rows = evaluate(&wide, db);
     let mut out = Relation::new(q.relational.head.arity());
     for row in &rows {
-        let lookup = |v: Symbol| -> Option<Value> {
-            vars.iter().position(|&x| x == v).map(|i| row[i])
-        };
+        let lookup =
+            |v: Symbol| -> Option<Value> { vars.iter().position(|&x| x == v).map(|i| row[i]) };
         let keep = q
             .constraints
             .iter()
@@ -324,12 +320,7 @@ mod tests {
 
     #[test]
     fn unsatisfiable_query_is_contained_in_everything() {
-        let empty = ccq(
-            "q(X) :- r(X, X)",
-            vec![
-                Comparison::lt(v("X"), v("X")),
-            ],
-        );
+        let empty = ccq("q(X) :- r(X, X)", vec![Comparison::lt(v("X"), v("X"))]);
         let any = ConditionalQuery::plain(parse_query("q(X) :- s(X)").unwrap());
         assert_eq!(is_contained_with_comparisons(&empty, &any, 7), Some(true));
     }
@@ -417,14 +408,17 @@ mod head_compat_tests {
     fn incompatible_heads_are_decidedly_not_contained() {
         let q1 = ConditionalQuery::new(
             parse_query("q(X, Y) :- r(X, Y)").unwrap(),
-            ConstraintSet::from_comparisons([Comparison::le(
-                Term::var("X"),
-                Term::var("Y"),
-            )]),
+            ConstraintSet::from_comparisons([Comparison::le(Term::var("X"), Term::var("Y"))]),
         );
         let different_arity = ConditionalQuery::plain(parse_query("q(X) :- r(X, X)").unwrap());
-        assert_eq!(is_contained_with_comparisons(&q1, &different_arity, 7), Some(false));
+        assert_eq!(
+            is_contained_with_comparisons(&q1, &different_arity, 7),
+            Some(false)
+        );
         let different_name = ConditionalQuery::plain(parse_query("p(X, Y) :- r(X, Y)").unwrap());
-        assert_eq!(is_contained_with_comparisons(&q1, &different_name, 7), Some(false));
+        assert_eq!(
+            is_contained_with_comparisons(&q1, &different_name, 7),
+            Some(false)
+        );
     }
 }

@@ -309,8 +309,8 @@ impl Solved {
         // Forced equality vs disequality / distinct constants.
         for i in 0..n {
             for j in (i + 1)..n {
-                let equal_forced =
-                    self.find(i) == self.find(j) || (self.rel[i][j] == Rel::Le && self.rel[j][i] == Rel::Le);
+                let equal_forced = self.find(i) == self.find(j)
+                    || (self.rel[i][j] == Rel::Le && self.rel[j][i] == Rel::Le);
                 if equal_forced {
                     if self.ne.contains(&(i.min(j), i.max(j))) {
                         self.unsat = true;
@@ -386,9 +386,7 @@ impl Solved {
         match c.op {
             CompOp::Eq => self.equal(c.lhs, c.rhs),
             CompOp::Ne => self.not_equal(c.lhs, c.rhs),
-            CompOp::Le => {
-                self.equal(c.lhs, c.rhs) || self.relation(c.lhs, c.rhs) != Rel::None
-            }
+            CompOp::Le => self.equal(c.lhs, c.rhs) || self.relation(c.lhs, c.rhs) != Rel::None,
             CompOp::Lt => self.relation(c.lhs, c.rhs) == Rel::Lt,
         }
     }
@@ -549,10 +547,7 @@ mod tests {
     #[test]
     fn substitution_application() {
         let cs = ConstraintSet::from_comparisons([Comparison::le(v("C"), v("D"))]);
-        let s = Substitution::from_pairs([
-            (Symbol::new("C"), v("U")),
-            (Symbol::new("D"), v("W")),
-        ]);
+        let s = Substitution::from_pairs([(Symbol::new("C"), v("U")), (Symbol::new("D"), v("W"))]);
         assert_eq!(cs.apply(&s).to_string(), "U <= W");
     }
 }

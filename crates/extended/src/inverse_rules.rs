@@ -25,10 +25,7 @@ struct SkolemTable {
 impl SkolemTable {
     fn witness(&mut self, view: Symbol, var: Symbol, args: &Tuple) -> Value {
         let next = self.map.len() as u32;
-        let id = *self
-            .map
-            .entry((view, var, args.clone()))
-            .or_insert(next);
+        let id = *self.map.entry((view, var, args.clone())).or_insert(next);
         Value::Skolem(id)
     }
 }
@@ -85,11 +82,7 @@ pub fn invert_views(views: &ViewSet, view_db: &Database) -> Database {
 /// The certain answers to `query` given only the view instance `view_db`:
 /// evaluate over the inverted base relations and drop any answer
 /// containing a Skolem witness.
-pub fn certain_answers(
-    query: &ConjunctiveQuery,
-    views: &ViewSet,
-    view_db: &Database,
-) -> Relation {
+pub fn certain_answers(query: &ConjunctiveQuery, views: &ViewSet, view_db: &Database) -> Relation {
     let base = invert_views(views, view_db);
     let raw = evaluate(query, &base);
     let mut out = Relation::new(raw.arity());

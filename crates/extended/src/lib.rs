@@ -53,6 +53,6 @@ pub use inverse_rules::{certain_answers, invert_views};
 pub use max_contained::maximally_contained_rewriting;
 pub use parse::{parse_comparison, parse_conditional};
 pub use ucq::{
-    evaluate_union, is_contained_in_union, is_ucq_contained_in, is_ucq_equivalent,
-    minimize_union, union_matches_query, UnionQuery,
+    evaluate_union, is_contained_in_union, is_ucq_contained_in, is_ucq_equivalent, minimize_union,
+    union_matches_query, UnionQuery,
 };

@@ -11,8 +11,8 @@
 //! the materialized views.
 
 use crate::ucq::UnionQuery;
-use viewplan_core::minicon_rewritings;
 use viewplan_containment::{expand, is_contained_in};
+use viewplan_core::minicon_rewritings;
 use viewplan_cq::{ConjunctiveQuery, ViewSet};
 
 /// Builds the maximally-contained rewriting of `query` using `views`, as a
@@ -66,8 +66,8 @@ mod tests {
     use super::*;
     use crate::ccq::ConditionalQuery;
     use crate::ucq::{evaluate_union, is_contained_in_union};
-    use viewplan_cq::{parse_query, parse_views};
     use viewplan_containment::{expand, is_contained_in};
+    use viewplan_cq::{parse_query, parse_views};
     use viewplan_engine::{evaluate, materialize_views, Database, Value};
 
     #[test]
@@ -148,10 +148,7 @@ mod tests {
         .unwrap();
         let u = maximally_contained_rewriting(&q, &views, 100).unwrap();
         assert_eq!(u.branches.len(), 1);
-        assert_eq!(
-            u.branches[0].relational.body[0].predicate.as_str(),
-            "wide"
-        );
+        assert_eq!(u.branches[0].relational.body[0].predicate.as_str(), "wide");
     }
 
     #[test]
@@ -165,8 +162,11 @@ mod tests {
         let u = maximally_contained_rewriting(&q, &views, 100).unwrap();
         // Hand-rolled contained rewritings over the view vocabulary must be
         // contained in the union (as queries over the view predicates).
-        for src in ["q(X, Y) :- va(X, Y)", "q(X, Y) :- vb(X, Y)", "q(X, Y) :- va(X, Y), vb(X, Z)"]
-        {
+        for src in [
+            "q(X, Y) :- va(X, Y)",
+            "q(X, Y) :- vb(X, Y)",
+            "q(X, Y) :- va(X, Y), vb(X, Z)",
+        ] {
             let cand = ConditionalQuery::plain(parse_query(src).unwrap());
             assert_eq!(is_contained_in_union(&cand, &u, 0), Some(true), "{src}");
         }

@@ -13,15 +13,13 @@ use viewplan_cq::{parse_query, ParseError, Term};
 fn parse_term(src: &str) -> Result<Term, ParseError> {
     let src = src.trim();
     if src.is_empty() {
-        return Err(err(format!("empty term in comparison")));
+        return Err(err("empty term in comparison".to_string()));
     }
     if let Ok(i) = src.parse::<i64>() {
         return Ok(Term::int(i));
     }
     let first = src.chars().next().expect("nonempty");
-    let valid = src
-        .chars()
-        .all(|c| c.is_ascii_alphanumeric() || c == '_');
+    let valid = src.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
     if !valid || !(first.is_ascii_alphabetic() || first == '_') {
         return Err(err(format!("bad term {src:?} in comparison")));
     }
@@ -54,7 +52,10 @@ pub fn parse_comparison(src: &str) -> Result<Comparison, ParseError> {
         ("=", CompOp::Eq, false),
     ] {
         if let Some(pos) = src.find(symbol) {
-            let (l, r) = (parse_term(&src[..pos])?, parse_term(&src[pos + symbol.len()..])?);
+            let (l, r) = (
+                parse_term(&src[..pos])?,
+                parse_term(&src[pos + symbol.len()..])?,
+            );
             let (lhs, rhs) = if flip { (r, l) } else { (l, r) };
             return Ok(Comparison { lhs, op, rhs });
         }
@@ -73,7 +74,10 @@ pub fn parse_conditional(
         .iter()
         .map(|c| parse_comparison(c))
         .collect::<Result<Vec<_>, _>>()?;
-    Ok(ConditionalQuery::new(q, ConstraintSet::from_comparisons(cs)))
+    Ok(ConditionalQuery::new(
+        q,
+        ConstraintSet::from_comparisons(cs),
+    ))
 }
 
 #[cfg(test)]
@@ -117,9 +121,8 @@ mod tests {
 
     #[test]
     fn conditional_rejects_unbound_comparison_vars() {
-        let out = std::panic::catch_unwind(|| {
-            parse_conditional("q(X) :- r(X, X)", &["Z < X"]).unwrap()
-        });
+        let out =
+            std::panic::catch_unwind(|| parse_conditional("q(X) :- r(X, X)", &["Z < X"]).unwrap());
         assert!(out.is_err());
     }
 }

@@ -13,8 +13,8 @@ use crate::ccq::{
     evaluate_conditional, for_each_weak_order, is_contained_with_comparisons, ConditionalQuery,
 };
 use std::collections::HashSet;
-use viewplan_cq::{ConjunctiveQuery, Term};
 use viewplan_containment::{head_bindings, HomomorphismSearch};
+use viewplan_cq::{ConjunctiveQuery, Term};
 use viewplan_engine::{Database, Relation};
 
 /// A union of conditional conjunctive queries with a common head shape.

@@ -1,0 +1,353 @@
+//! The metrics registry: named atomic counters and log₂ histograms.
+//!
+//! Instrumentation sites declare a `static` handle via [`counter!`] /
+//! [`histogram!`]; the handle resolves to a process-global atomic the
+//! first time it is touched while collection is enabled, so two call
+//! sites naming the same metric share one cell. Resolution is cached in
+//! a `OnceLock`, keeping the steady-state cost of a bump at one enabled
+//! check plus one relaxed `fetch_add`.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Buckets per histogram: one per power of two of a `u64`, plus bucket 0
+/// for the value 0.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+struct Registry {
+    counters: Vec<(&'static str, &'static AtomicU64)>,
+    histograms: Vec<(&'static str, &'static HistogramCell)>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        Mutex::new(Registry {
+            counters: Vec::new(),
+            histograms: Vec::new(),
+        })
+    })
+}
+
+fn register_counter(name: &'static str) -> &'static AtomicU64 {
+    let mut reg = registry().lock();
+    if let Some((_, cell)) = reg.counters.iter().find(|(n, _)| *n == name) {
+        return cell;
+    }
+    let cell: &'static AtomicU64 = Box::leak(Box::new(AtomicU64::new(0)));
+    reg.counters.push((name, cell));
+    cell
+}
+
+fn register_histogram(name: &'static str) -> &'static HistogramCell {
+    let mut reg = registry().lock();
+    if let Some((_, cell)) = reg.histograms.iter().find(|(n, _)| *n == name) {
+        return cell;
+    }
+    let cell: &'static HistogramCell = Box::leak(Box::new(HistogramCell::new()));
+    reg.histograms.push((name, cell));
+    cell
+}
+
+/// A named process-global counter. Declare via [`counter!`].
+pub struct Counter {
+    name: &'static str,
+    cell: OnceLock<&'static AtomicU64>,
+}
+
+impl Counter {
+    /// Const-constructs an unresolved handle (use the [`counter!`] macro
+    /// rather than calling this directly).
+    pub const fn new(name: &'static str) -> Counter {
+        Counter {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    fn cell(&self) -> &'static AtomicU64 {
+        self.cell.get_or_init(|| register_counter(self.name))
+    }
+
+    /// Adds `n` when collection is enabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.cell().fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds 1 when collection is enabled.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value (0 if never resolved).
+    pub fn get(&self) -> u64 {
+        self.cell().load(Ordering::Relaxed)
+    }
+}
+
+/// Declares a `static` [`Counter`] for this call site and returns a
+/// reference to it: `obs::counter!("corecover.view_tuples").add(n)`.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static COUNTER: $crate::Counter = $crate::Counter::new($name);
+        &COUNTER
+    }};
+}
+
+/// The shared storage behind a [`Histogram`].
+pub struct HistogramCell {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistogramCell {
+    fn new() -> HistogramCell {
+        HistogramCell {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, value: u64) {
+        let bucket = match value {
+            0 => 0,
+            v => 64 - v.leading_zeros() as usize,
+        };
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let n = b.load(Ordering::Relaxed);
+                    (n > 0).then(|| (bucket_bounds(i), n))
+                })
+                .map(|((lo, hi), n)| BucketCount { lo, hi, count: n })
+                .collect(),
+        }
+    }
+}
+
+/// The inclusive value range of bucket `i`.
+fn bucket_bounds(i: usize) -> (u64, u64) {
+    match i {
+        0 => (0, 0),
+        1 => (1, 1),
+        64 => (1u64 << 63, u64::MAX),
+        _ => (1u64 << (i - 1), (1u64 << i) - 1),
+    }
+}
+
+/// One nonempty bucket of a [`HistogramSnapshot`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BucketCount {
+    /// Smallest value landing in this bucket.
+    pub lo: u64,
+    /// Largest value landing in this bucket.
+    pub hi: u64,
+    /// Observations in `[lo, hi]`.
+    pub count: u64,
+}
+
+/// A point-in-time copy of one histogram.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+    /// Nonempty log₂ buckets in increasing value order.
+    pub buckets: Vec<BucketCount>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A named process-global log₂ histogram. Declare via [`histogram!`].
+pub struct Histogram {
+    name: &'static str,
+    cell: OnceLock<&'static HistogramCell>,
+}
+
+impl Histogram {
+    /// Const-constructs an unresolved handle (use the [`histogram!`]
+    /// macro rather than calling this directly).
+    pub const fn new(name: &'static str) -> Histogram {
+        Histogram {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    fn cell(&self) -> &'static HistogramCell {
+        self.cell.get_or_init(|| register_histogram(self.name))
+    }
+
+    /// Records one observation when collection is enabled.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if crate::enabled() {
+            self.cell().record(value);
+        }
+    }
+
+    /// Current snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.cell().snapshot()
+    }
+}
+
+/// Declares a `static` [`Histogram`] for this call site and returns a
+/// reference to it: `obs::histogram!("engine.join_output_rows").record(n)`.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static HISTOGRAM: $crate::Histogram = $crate::Histogram::new($name);
+        &HISTOGRAM
+    }};
+}
+
+/// All registered counters and their values, sorted by name.
+pub fn counters() -> Vec<(&'static str, u64)> {
+    let reg = registry().lock();
+    let mut out: Vec<(&'static str, u64)> = reg
+        .counters
+        .iter()
+        .map(|(name, cell)| (*name, cell.load(Ordering::Relaxed)))
+        .collect();
+    out.sort_unstable_by_key(|(name, _)| *name);
+    out
+}
+
+/// The value of one counter by name (0 if not registered).
+pub fn counter_value(name: &str) -> u64 {
+    let reg = registry().lock();
+    reg.counters
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map_or(0, |(_, cell)| cell.load(Ordering::Relaxed))
+}
+
+/// All registered histograms and their snapshots, sorted by name.
+pub fn histograms() -> Vec<(&'static str, HistogramSnapshot)> {
+    let reg = registry().lock();
+    let mut out: Vec<(&'static str, HistogramSnapshot)> = reg
+        .histograms
+        .iter()
+        .map(|(name, cell)| (*name, cell.snapshot()))
+        .collect();
+    out.sort_unstable_by_key(|(name, _)| *name);
+    out
+}
+
+/// One histogram's snapshot by name (`None` if not registered).
+pub fn histogram_snapshot(name: &str) -> Option<HistogramSnapshot> {
+    let reg = registry().lock();
+    reg.histograms
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, cell)| cell.snapshot())
+}
+
+/// Zeroes every registered counter and histogram.
+pub(crate) fn reset() {
+    let reg = registry().lock();
+    for (_, cell) in &reg.counters {
+        cell.store(0, Ordering::Relaxed);
+    }
+    for (_, cell) in &reg.histograms {
+        cell.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_partition_u64() {
+        assert_eq!(bucket_bounds(0), (0, 0));
+        assert_eq!(bucket_bounds(1), (1, 1));
+        assert_eq!(bucket_bounds(2), (2, 3));
+        assert_eq!(bucket_bounds(3), (4, 7));
+        assert_eq!(bucket_bounds(64), (1u64 << 63, u64::MAX));
+        // Every boundary is contiguous with its predecessor.
+        for i in 1..HISTOGRAM_BUCKETS {
+            assert_eq!(bucket_bounds(i).0, bucket_bounds(i - 1).1 + 1);
+        }
+    }
+
+    #[test]
+    fn histogram_cell_places_values_in_log_buckets() {
+        let cell = HistogramCell::new();
+        for v in [0, 1, 2, 3, 4, 1000, u64::MAX] {
+            cell.record(v);
+        }
+        let snap = cell.snapshot();
+        assert_eq!(snap.count, 7);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, u64::MAX);
+        for b in &snap.buckets {
+            assert!(b.lo <= b.hi);
+        }
+        assert_eq!(snap.buckets.iter().map(|b| b.count).sum::<u64>(), 7);
+        // 2 and 3 share the [2, 3] bucket.
+        assert!(snap.buckets.iter().any(|b| b.lo == 2 && b.count == 2));
+    }
+
+    #[test]
+    fn mean_of_empty_histogram_is_zero() {
+        assert_eq!(HistogramSnapshot::default().mean(), 0.0);
+    }
+}

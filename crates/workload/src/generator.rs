@@ -102,19 +102,25 @@ pub struct Workload {
 pub fn generate(config: &WorkloadConfig) -> Workload {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let query_body = query_body(config, &mut rng);
-    let query = make_query(
-        "q",
-        &query_body,
-        config.nondistinguished,
-        &mut rng,
-    );
+    let query = make_query("q", &query_body, config.nondistinguished, &mut rng);
     let mut views = ViewSet::new();
     for vi in 0..config.views {
-        let len = rng.gen_range(config.view_min_subgoals..=config.view_max_subgoals.max(config.view_min_subgoals));
+        let len = rng.gen_range(
+            config.view_min_subgoals..=config.view_max_subgoals.max(config.view_min_subgoals),
+        );
         let subset = view_subgoals(config, &query_body, len, &mut rng);
         // §7.2: single-subgoal views keep all variables distinguished.
-        let nondist = if subset.len() <= 1 { 0 } else { config.nondistinguished };
-        let def = make_query(&format!("v{vi}"), &rename_apart(&subset, vi), nondist, &mut rng);
+        let nondist = if subset.len() <= 1 {
+            0
+        } else {
+            config.nondistinguished
+        };
+        let def = make_query(
+            &format!("v{vi}"),
+            &rename_apart(&subset, vi),
+            nondist,
+            &mut rng,
+        );
         views.push(View::new(def));
     }
     Workload { query, views }
@@ -122,7 +128,11 @@ pub fn generate(config: &WorkloadConfig) -> Workload {
 
 /// The query body for the configured shape.
 fn query_body(config: &WorkloadConfig, rng: &mut StdRng) -> Vec<Atom> {
-    let arity = if config.shape == Shape::Chain { 2 } else { config.arity.max(2) };
+    let arity = if config.shape == Shape::Chain {
+        2
+    } else {
+        config.arity.max(2)
+    };
     let rel = |i: usize| Symbol::new(&format!("r{i}"));
     match config.shape {
         Shape::Chain => (0..config.query_subgoals)
@@ -244,7 +254,10 @@ fn make_query(
             }
         }
     }
-    let keep = vars.len().saturating_sub(nondistinguished).max(1.min(vars.len()));
+    let keep = vars
+        .len()
+        .saturating_sub(nondistinguished)
+        .max(1.min(vars.len()));
     // Choose which to drop, uniformly.
     let mut idx: Vec<usize> = (0..vars.len()).collect();
     for i in 0..vars.len() {

@@ -77,9 +77,8 @@ fn example_61() {
 /// §5.1: a very selective empty-core view used as a filter (P3 vs P2).
 fn filter_subgoals() {
     println!("\n═══ §5.1: filter subgoals under M2 ═══\n");
-    let query =
-        parse_query("q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C)")
-            .expect("query");
+    let query = parse_query("q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C)")
+        .expect("query");
     let views = parse_views(
         "v1(M, D, C) :- car(M, D), loc(D, C).
          v2(S, M, C) :- part(S, M, C).
@@ -95,7 +94,10 @@ fn filter_subgoals() {
     for c in 0..6 {
         base.insert("loc", vec![Value::sym("anderson"), Value::Int(100 + c)]);
     }
-    base.insert("part", vec![Value::Int(9000), Value::Int(3), Value::Int(102)]);
+    base.insert(
+        "part",
+        vec![Value::Int(9000), Value::Int(3), Value::Int(102)],
+    );
     for s in 0..300 {
         base.insert(
             "part",

@@ -57,10 +57,10 @@ fn main() {
         base.insert(
             "sales",
             vec![
-                Value::Int(i * 7 % 40),  // product
-                Value::Int(i * 3 % 12),  // store
-                Value::Int(i % 16),      // date
-                Value::Int(i % 100),     // customer
+                Value::Int(i * 7 % 40), // product
+                Value::Int(i * 3 % 12), // store
+                Value::Int(i % 16),     // date
+                Value::Int(i % 100),    // customer
             ],
         );
     }
@@ -108,9 +108,7 @@ fn main() {
         .rewritings()
         .iter()
         .filter(|r| r.body.len() <= 4)
-        .filter_map(|r| {
-            optimal_m3_plan(&query, &views, r, DropPolicy::SmartCostBased, &mut exact)
-        })
+        .filter_map(|r| optimal_m3_plan(&query, &views, r, DropPolicy::SmartCostBased, &mut exact))
         .min_by(|a, b| a.1.total_cmp(&b.1));
     if let Some((plan, cost)) = best {
         println!("\nBest M3 plan (exact sizes, cost {cost:.0}):");

@@ -13,10 +13,8 @@ use viewplan::prelude::*;
 fn main() {
     // ── The schema and query ────────────────────────────────────────────
     // car(Make, Dealer), loc(Dealer, City), part(Store, Make, City).
-    let query = parse_query(
-        "q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C)",
-    )
-    .expect("valid query");
+    let query = parse_query("q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C)")
+        .expect("valid query");
     println!("Query:\n  {query}\n");
 
     let views = parse_views(
@@ -68,11 +66,17 @@ fn main() {
     // ── The paper's P1–P5, classified (§3.1–3.2) ────────────────────────
     println!("\nThe paper's rewritings:");
     for (name, src) in [
-        ("P1", "q1(S, C) :- v1(M, anderson, C1), v1(M1, anderson, C), v2(S, M, C)"),
+        (
+            "P1",
+            "q1(S, C) :- v1(M, anderson, C1), v1(M1, anderson, C), v2(S, M, C)",
+        ),
         ("P2", "q1(S, C) :- v1(M, anderson, C), v2(S, M, C)"),
         ("P3", "q1(S, C) :- v3(S), v1(M, anderson, C), v2(S, M, C)"),
         ("P4", "q1(S, C) :- v4(M, anderson, C, S)"),
-        ("P5", "q1(S, C) :- v1(M, anderson, C1), v5(M1, anderson, C), v2(S, M, C)"),
+        (
+            "P5",
+            "q1(S, C) :- v1(M, anderson, C1), v5(M1, anderson, C), v2(S, M, C)",
+        ),
     ] {
         let p = parse_query(src).expect("valid rewriting");
         let lmr = is_locally_minimal(&p, &query, &views);

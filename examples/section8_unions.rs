@@ -49,8 +49,14 @@ fn union_rewritings() {
     let via_p1 = evaluate_union(&p1, &vdb);
     let via_p2 = evaluate_conditional(&p2, &vdb);
     println!("Direct answer: {} tuple(s)", direct.len());
-    println!("Via P1 (union of 2 CQs, 2 subgoals each): {} tuple(s)", via_p1.len());
-    println!("Via P2 (single CQ, 3 subgoals):           {} tuple(s)", via_p2.len());
+    println!(
+        "Via P1 (union of 2 CQs, 2 subgoals each): {} tuple(s)",
+        via_p1.len()
+    );
+    println!(
+        "Via P2 (single CQ, 3 subgoals):           {} tuple(s)",
+        via_p2.len()
+    );
     assert_eq!(direct, via_p1);
     assert_eq!(direct, via_p2);
     println!("✓ both §8 rewritings compute the query answer\n");

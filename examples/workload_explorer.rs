@@ -19,15 +19,18 @@ fn main() {
             (|views, seed| WorkloadConfig::star(views, 0, seed))
                 as fn(usize, u64) -> WorkloadConfig,
         ),
-        ("star queries, 1 nondistinguished variable", |views, seed| {
-            WorkloadConfig::star(views, 1, seed)
-        }),
-        ("chain queries, all variables distinguished", |views, seed| {
-            WorkloadConfig::chain(views, 0, seed)
-        }),
-        ("chain queries, 1 nondistinguished variable", |views, seed| {
-            WorkloadConfig::chain(views, 1, seed)
-        }),
+        (
+            "star queries, 1 nondistinguished variable",
+            |views, seed| WorkloadConfig::star(views, 1, seed),
+        ),
+        (
+            "chain queries, all variables distinguished",
+            |views, seed| WorkloadConfig::chain(views, 0, seed),
+        ),
+        (
+            "chain queries, 1 nondistinguished variable",
+            |views, seed| WorkloadConfig::chain(views, 1, seed),
+        ),
     ] {
         println!("── {label} ──");
         println!(

@@ -8,6 +8,10 @@
 //! viewplan help
 //! ```
 //!
+//! Every command also accepts `--stats` (print a phase/counter report to
+//! stderr) and `--stats-json FILE` (dump the full metrics registry as
+//! JSON).
+//!
 //! FILE is a plain-text problem description:
 //!
 //! ```text
@@ -46,11 +50,19 @@ fn run(args: &[String]) -> Result<(), String> {
             print_help();
             Ok(())
         }
-        "rewrite" => rewrite(&args[1..]),
-        "plan" => plan(&args[1..]),
-        "eval" => eval(&args[1..]),
+        "rewrite" => with_stats(&args[1..], rewrite),
+        "plan" => with_stats(&args[1..], plan),
+        "eval" => with_stats(&args[1..], eval),
         other => Err(format!("unknown command {other:?}")),
     }
+}
+
+/// Runs a command with stats collection enabled when requested, emitting
+/// the reports afterwards.
+fn with_stats(args: &[String], command: fn(&[String]) -> Result<(), String>) -> Result<(), String> {
+    let stats = stats_request(args);
+    command(args)?;
+    stats.emit()
 }
 
 fn print_help() {
@@ -61,6 +73,9 @@ fn print_help() {
          viewplan rewrite FILE [--all-minimal] [--no-grouping] [--baseline NAME]\n\
          viewplan plan    FILE [--model m1|m2|m3]\n\
          viewplan eval    FILE\n\
+         \n\
+         Common flags: --stats (phase/counter report on stderr),\n\
+         --stats-json FILE (dump the metrics registry as JSON).\n\
          \n\
          FILE holds a query (first rule), views (other rules), and optional\n\
          ground facts (base data). `rewrite` prints the view tuples, their\n\
@@ -98,8 +113,7 @@ fn load(path: &str) -> Result<Problem, String> {
             facts.push(atom);
         }
     }
-    let program =
-        viewplan::cq::parse_program(&rules_src).map_err(|e| format!("bad rule: {e}"))?;
+    let program = viewplan::cq::parse_program(&rules_src).map_err(|e| format!("bad rule: {e}"))?;
     let mut rules = program.rules.into_iter();
     let query = rules.next().ok_or("file contains no rules")?;
     let views = ViewSet::from_views(rules.map(View::new));
@@ -119,6 +133,9 @@ fn load(path: &str) -> Result<Problem, String> {
     Ok(Problem { query, views, base })
 }
 
+/// Options that consume the following argument as their value.
+const VALUE_OPTIONS: &[&str] = &["--model", "--baseline", "--stats-json"];
+
 fn flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
 }
@@ -130,11 +147,67 @@ fn option<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
+/// The positional (non-option) arguments, in order. Walks the argument
+/// list left to right so an option *value* is consumed by its option and
+/// never mistaken for a positional — and, conversely, a positional that
+/// merely *equals* some option's value is kept (the old any-match scan
+/// dropped `viewplan plan m2 --model m2`'s FILE).
+fn positional_args(args: &[String]) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if VALUE_OPTIONS.contains(&a) {
+            i += 2; // skip the option and its value
+        } else if a.starts_with("--") {
+            i += 1; // boolean flag
+        } else {
+            out.push(a);
+            i += 1;
+        }
+    }
+    out
+}
+
 fn file_arg(args: &[String]) -> Result<&str, String> {
-    args.iter()
-        .find(|a| !a.starts_with("--") && Some(a.as_str()) != option(args, "--model") && Some(a.as_str()) != option(args, "--baseline"))
-        .map(String::as_str)
-        .ok_or_else(|| "missing FILE argument".to_string())
+    let positionals = positional_args(args);
+    match positionals.as_slice() {
+        [] => Err("missing FILE argument".to_string()),
+        [file] => Ok(file),
+        [_, extra, ..] => Err(format!("unexpected extra argument {extra:?}")),
+    }
+}
+
+/// Which stats outputs the user asked for; constructing it (via
+/// [`stats_request`]) enables collection when any output is requested.
+struct StatsRequest {
+    report: bool,
+    json: Option<String>,
+}
+
+fn stats_request(args: &[String]) -> StatsRequest {
+    let request = StatsRequest {
+        report: flag(args, "--stats"),
+        json: option(args, "--stats-json").map(str::to_string),
+    };
+    if request.report || request.json.is_some() {
+        viewplan::obs::set_enabled(true);
+    }
+    request
+}
+
+impl StatsRequest {
+    /// Emits the requested reports (call after the command's work).
+    fn emit(&self) -> Result<(), String> {
+        if self.report {
+            viewplan::obs::report_to_stderr();
+        }
+        if let Some(path) = &self.json {
+            viewplan::obs::write_json_report(std::path::Path::new(path))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+        Ok(())
+    }
 }
 
 fn rewrite(args: &[String]) -> Result<(), String> {
@@ -252,4 +325,79 @@ fn eval(args: &[String]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{file_arg, option, positional_args};
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn file_arg_finds_plain_positional() {
+        assert_eq!(file_arg(&args(&["problem.vp"])).unwrap(), "problem.vp");
+        assert_eq!(
+            file_arg(&args(&["--all-minimal", "problem.vp"])).unwrap(),
+            "problem.vp"
+        );
+    }
+
+    #[test]
+    fn file_arg_skips_option_values() {
+        assert_eq!(
+            file_arg(&args(&["--model", "m2", "problem.vp"])).unwrap(),
+            "problem.vp"
+        );
+        assert_eq!(
+            file_arg(&args(&["problem.vp", "--baseline", "naive"])).unwrap(),
+            "problem.vp"
+        );
+        assert_eq!(
+            file_arg(&args(&["--stats-json", "out.json", "problem.vp"])).unwrap(),
+            "problem.vp"
+        );
+    }
+
+    #[test]
+    fn file_named_like_an_option_value_is_not_dropped() {
+        // Regression: the old scan dropped any positional equal to some
+        // option's value, so a file literally named `m2` was "missing".
+        assert_eq!(file_arg(&args(&["m2", "--model", "m2"])).unwrap(), "m2");
+        assert_eq!(
+            file_arg(&args(&["--baseline", "naive", "naive"])).unwrap(),
+            "naive"
+        );
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        assert!(file_arg(&args(&[])).is_err());
+        assert!(file_arg(&args(&["--model", "m2"])).is_err());
+        // A value-taking option at the end consumes nothing extra.
+        assert!(file_arg(&args(&["--stats-json"])).is_err());
+    }
+
+    #[test]
+    fn extra_positionals_are_rejected() {
+        let err = file_arg(&args(&["a.vp", "b.vp"])).unwrap_err();
+        assert!(err.contains("b.vp"));
+    }
+
+    #[test]
+    fn positional_order_is_preserved() {
+        assert_eq!(
+            positional_args(&args(&["--stats", "x", "--model", "m3", "y"])),
+            ["x", "y"]
+        );
+    }
+
+    #[test]
+    fn option_lookup_still_works() {
+        let a = args(&["plan.vp", "--model", "m3", "--stats-json", "o.json"]);
+        assert_eq!(option(&a, "--model"), Some("m3"));
+        assert_eq!(option(&a, "--stats-json"), Some("o.json"));
+        assert_eq!(option(&a, "--baseline"), None);
+    }
 }

@@ -17,7 +17,9 @@
 //! * [`core`] — `CoreCover`, tuple-cores, the rewriting lattice, and the
 //!   naive / MiniCon baselines;
 //! * [`cost`] — cost models, size oracles, plan search, the optimizer;
-//! * [`workload`] — the §7 star/chain/random generators.
+//! * [`workload`] — the §7 star/chain/random generators;
+//! * [`obs`] — the metrics registry, span timers, and stats reporters
+//!   behind the CLI's `--stats` / `--stats-json` flags.
 //!
 //! # Quickstart
 //!
@@ -51,13 +53,12 @@ pub use viewplan_cost as cost;
 pub use viewplan_cq as cq;
 pub use viewplan_engine as engine;
 pub use viewplan_extended as extended;
+pub use viewplan_obs as obs;
 pub use viewplan_workload as workload;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use viewplan_containment::{
-        are_equivalent, expand, is_contained_in, is_variant, minimize,
-    };
+    pub use viewplan_containment::{are_equivalent, expand, is_contained_in, is_variant, minimize};
     pub use viewplan_core::{
         is_locally_minimal, minicon_rewritings, naive_gmrs, tuple_core, view_tuples, CoreCover,
         CoreCoverConfig, MiniCon,

@@ -1,0 +1,786 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors this API-compatible subset: `Strategy` with
+//! `prop_map`/`prop_flat_map`/`boxed`, ranges and tuples and `Vec`s of
+//! strategies, `prop::collection::vec`, `any::<T>()`, `Just`, the
+//! `proptest!`/`prop_oneof!`/`prop_assert*`/`prop_assume!` macros, and
+//! `ProptestConfig`. Failing inputs are reported (via panic message) but
+//! **not shrunk** — rerun with `PROPTEST_SEED` to reproduce a failure.
+
+use rand::{Rng, RngCore, SeedableRng};
+use std::rc::Rc;
+
+/// Per-test configuration. Only the fields the workspace uses.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum rejected (`prop_assume!`) cases before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a test case did not count as a success.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: draw a fresh input and try again.
+    Reject(String),
+    /// `prop_assert*` failed: the property is violated.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// The RNG driving generation. Seeded from `PROPTEST_SEED` when set so
+/// failures can be reproduced, otherwise from the test name (stable
+/// across runs — this shim favours determinism over novelty).
+pub struct TestRng(rand::StdRng);
+
+impl TestRng {
+    pub fn for_test(name: &str) -> TestRng {
+        let seed = match std::env::var("PROPTEST_SEED") {
+            Ok(s) => s
+                .parse::<u64>()
+                .unwrap_or_else(|_| panic!("PROPTEST_SEED must be a u64, got {s:?}")),
+            Err(_) => name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+                (h ^ b as u64).wrapping_mul(0x100000001b3)
+            }),
+        };
+        TestRng(rand::StdRng::seed_from_u64(seed))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A generator of values of type `Value`. Object-safe core (`sample`)
+/// plus sized combinators, so strategies can be boxed for `prop_oneof!`.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A cloneable, type-erased strategy (`Rc` rather than `Box` because
+/// tests clone the result of `prop_oneof!`).
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> BoxedStrategy<T> {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.0.sample(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+#[derive(Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+#[derive(Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.sample(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter {:?} rejected 1000 samples in a row",
+            self.whence
+        );
+    }
+}
+
+/// Weighted union for `prop_oneof!`.
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! weights sum to zero");
+        Union { arms, total }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Union<T> {
+        Union {
+            arms: self.arms.clone(),
+            total: self.total,
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.gen_range(0..self.total);
+        for (w, s) in &self.arms {
+            if pick < *w as u64 {
+                return s.sample(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weights summed correctly")
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(usize, u32, u64, isize, i32, i64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// String strategies from a regex subset, mirroring proptest's
+/// `impl Strategy for &str`. Supported: literal chars, `[a-z0-9_]`
+/// classes with ranges, `\PC` (any non-control char), `\d`, `\w`, and
+/// the repetitions `{n}`, `{m,n}`, `?`, `*`, `+` (the latter two capped
+/// at 8 repeats).
+#[derive(Clone, Debug)]
+enum RegexItem {
+    Lit(char),
+    Class(Vec<(char, char)>),
+    AnyPrintable,
+}
+
+#[derive(Clone, Debug)]
+struct RegexPart {
+    item: RegexItem,
+    min: usize,
+    max: usize,
+}
+
+fn parse_string_pattern(pattern: &str) -> Vec<RegexPart> {
+    let mut chars = pattern.chars().peekable();
+    let mut parts = Vec::new();
+    while let Some(c) = chars.next() {
+        let item = match c {
+            '\\' => match chars.next() {
+                Some('P') => {
+                    assert_eq!(
+                        chars.next(),
+                        Some('C'),
+                        "string strategy {pattern:?}: only \\PC is supported after \\P"
+                    );
+                    RegexItem::AnyPrintable
+                }
+                Some('d') => RegexItem::Class(vec![('0', '9')]),
+                Some('w') => RegexItem::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+                Some(other) => RegexItem::Lit(other),
+                None => panic!("string strategy {pattern:?}: trailing backslash"),
+            },
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let lo = match chars.next() {
+                        Some(']') => break,
+                        Some('\\') => chars.next().expect("escape in class"),
+                        Some(ch) => ch,
+                        None => panic!("string strategy {pattern:?}: unterminated class"),
+                    };
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        let hi = match chars.next() {
+                            Some(']') => {
+                                // Trailing `-` is a literal.
+                                ranges.push((lo, lo));
+                                ranges.push(('-', '-'));
+                                break;
+                            }
+                            Some(ch) => ch,
+                            None => panic!("string strategy {pattern:?}: unterminated class"),
+                        };
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                RegexItem::Class(ranges)
+            }
+            other => RegexItem::Lit(other),
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let spec: String = chars.by_ref().take_while(|&ch| ch != '}').collect();
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("repetition bound"),
+                        hi.trim().parse().expect("repetition bound"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("repetition count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        parts.push(RegexPart { item, min, max });
+    }
+    parts
+}
+
+fn sample_regex_item(item: &RegexItem, rng: &mut TestRng) -> char {
+    match item {
+        RegexItem::Lit(c) => *c,
+        RegexItem::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|&(lo, hi)| (hi as u64).saturating_sub(lo as u64) + 1)
+                .sum();
+            let mut pick = rng.gen_range(0..total);
+            for &(lo, hi) in ranges {
+                let span = (hi as u64) - (lo as u64) + 1;
+                if pick < span {
+                    return char::from_u32(lo as u32 + pick as u32).unwrap_or(lo);
+                }
+                pick -= span;
+            }
+            unreachable!("class spans summed correctly")
+        }
+        RegexItem::AnyPrintable => loop {
+            // Mostly ASCII printable, occasionally wider Unicode, never a
+            // control character (the \PC contract).
+            let c = if rng.gen_range(0..8u32) != 0 {
+                char::from_u32(rng.gen_range(0x20..0x7fu32)).unwrap()
+            } else {
+                match char::from_u32(rng.gen_range(0xa0..0x2fa20u32)) {
+                    Some(c) => c,
+                    None => continue,
+                }
+            };
+            if !c.is_control() {
+                return c;
+            }
+        },
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let parts = parse_string_pattern(self);
+        let mut out = String::new();
+        for part in &parts {
+            let reps = rng.gen_range(part.min..=part.max);
+            for _ in 0..reps {
+                out.push(sample_regex_item(&part.item, rng));
+            }
+        }
+        out
+    }
+}
+
+/// A `Vec` of strategies samples each element (used for "one strategy
+/// per table" patterns).
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        self.iter().map(|s| s.sample(rng)).collect()
+    }
+}
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    type Strategy: Strategy<Value = Self>;
+
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Whole-domain strategy for integers and bool.
+#[derive(Clone, Copy, Debug)]
+pub struct AnyOf<T>(std::marker::PhantomData<T>);
+
+macro_rules! impl_arbitrary_via_cast {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyOf<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyOf<$t>;
+            fn arbitrary() -> AnyOf<$t> {
+                AnyOf(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_via_cast!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for AnyOf<bool> {
+    type Value = bool;
+
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyOf<bool>;
+
+    fn arbitrary() -> AnyOf<bool> {
+        AnyOf(std::marker::PhantomData)
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Size specifications accepted by [`vec`].
+    #[derive(Clone, Debug)]
+    pub enum SizeRange {
+        Exact(usize),
+        HalfOpen(usize, usize),
+        Inclusive(usize, usize),
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange::Exact(n)
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            SizeRange::HalfOpen(r.start, r.end)
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange::Inclusive(*r.start(), *r.end())
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = match self.size {
+                SizeRange::Exact(n) => n,
+                SizeRange::HalfOpen(lo, hi) => rng.gen_range(lo..hi),
+                SizeRange::Inclusive(lo, hi) => rng.gen_range(lo..=hi),
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `prop::collection::vec`: a vector of `size` samples of `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod strategy {
+    pub use super::{BoxedStrategy, Just, Strategy, Union};
+}
+
+pub mod test_runner {
+    pub use super::ProptestConfig as Config;
+    pub use super::{TestCaseError, TestRng};
+}
+
+pub mod prelude {
+    pub use super::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+
+    /// Mirror of proptest's `prelude::prop` module tree.
+    pub mod prop {
+        pub use super::super::collection;
+        pub use super::super::strategy;
+    }
+}
+
+/// Runs the body of one `proptest!`-defined test: draws inputs until
+/// `config.cases` successes, panicking on the first failure.
+pub fn run_proptest<F>(name: &str, config: ProptestConfig, mut one_case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::for_test(name);
+    let mut successes = 0u32;
+    let mut rejects = 0u32;
+    while successes < config.cases {
+        match one_case(&mut rng) {
+            Ok(()) => successes += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejects += 1;
+                if rejects > config.max_global_rejects {
+                    panic!(
+                        "{name}: too many prop_assume! rejections \
+                         ({rejects} rejects for {successes} successes)"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "{name}: property failed after {successes} passing case(s): {msg}\n\
+                     (this proptest shim does not shrink; set PROPTEST_SEED to reproduce)"
+                );
+            }
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::run_proptest(stringify!($name), config, |rng| {
+                $(let $pat = $crate::Strategy::sample(&($strat), rng);)+
+                $body
+                Ok(())
+            });
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)*),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::reject(format!($($fmt)*)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn union_respects_weights_roughly() {
+        let s = prop_oneof![9 => 0..1usize, 1 => 1..2usize];
+        let mut rng = super::TestRng::for_test("union_weights");
+        let ones = (0..10_000)
+            .filter(|_| super::Strategy::sample(&s, &mut rng) == 1)
+            .count();
+        assert!((500..1500).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn vec_strategy_sizes() {
+        let s = prop::collection::vec(0..10usize, 2..=5);
+        let mut rng = super::TestRng::for_test("vec_sizes");
+        for _ in 0..200 {
+            let v = super::Strategy::sample(&s, &mut rng);
+            assert!((2..=5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_pipeline_works((a, b) in (0..100usize, 0..100usize)) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+            prop_assert!(a < 100 && b < 100);
+        }
+
+        #[test]
+        fn flat_map_and_just(pair in (0..10usize).prop_flat_map(|n| (Just(n), 0..n + 1))) {
+            let (n, k) = pair;
+            prop_assert!(k <= n);
+        }
+    }
+}

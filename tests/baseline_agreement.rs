@@ -17,7 +17,11 @@ fn corecover_matches_naive_on_chain_workloads() {
             "existence disagrees for seed {seed}"
         );
         if let (Some(a), Some(b)) = (cc.rewritings().first(), naive.first()) {
-            assert_eq!(a.body.len(), b.body.len(), "GMR size disagrees, seed {seed}");
+            assert_eq!(
+                a.body.len(),
+                b.body.len(),
+                "GMR size disagrees, seed {seed}"
+            );
         }
         // CoreCover's grouping collapses equivalent views, so the naive
         // count can only be ≥ CoreCover's.
@@ -100,7 +104,10 @@ fn verify_mode_never_rejects() {
     // Theorem 4.1: covers are rewritings — the verification pass must be a
     // no-op on all workloads.
     for seed in 0..8 {
-        for config in [WorkloadConfig::chain(15, 1, seed), WorkloadConfig::star(15, 1, seed)] {
+        for config in [
+            WorkloadConfig::chain(15, 1, seed),
+            WorkloadConfig::star(15, 1, seed),
+        ] {
             let w = generate(&config);
             let cfg = CoreCoverConfig {
                 verify_rewritings: true,

@@ -1,0 +1,124 @@
+//! End-to-end tests of the `viewplan` binary against the bundled example
+//! problems: exit codes, answer agreement, and the `--stats` /
+//! `--stats-json` reporters.
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+const PROBLEM: &str = "examples/problems/carlocpart.vp";
+
+fn viewplan(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_viewplan"))
+        .args(args)
+        .output()
+        .expect("failed to spawn viewplan")
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+#[test]
+fn rewrite_succeeds_on_example_problem() {
+    let out = viewplan(&["rewrite", PROBLEM]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("v4"), "stdout: {}", stdout(&out));
+}
+
+#[test]
+fn plan_succeeds_for_each_cost_model() {
+    for model in ["m1", "m2", "m3"] {
+        let out = viewplan(&["plan", PROBLEM, "--model", model]);
+        assert!(
+            out.status.success(),
+            "model {model} failed, stderr: {}",
+            stderr(&out)
+        );
+        assert!(stdout(&out).contains("best rewriting"));
+    }
+}
+
+#[test]
+fn eval_answers_agree() {
+    let out = viewplan(&["eval", PROBLEM]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(
+        stdout(&out).contains("answers agree"),
+        "stdout: {}",
+        stdout(&out)
+    );
+}
+
+#[test]
+fn missing_file_fails_with_nonzero_exit() {
+    let out = viewplan(&["plan", "examples/problems/no_such_problem.vp"]);
+    assert!(!out.status.success());
+    assert!(!stderr(&out).is_empty());
+}
+
+#[test]
+fn unknown_subcommand_fails() {
+    let out = viewplan(&["frobnicate", PROBLEM]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn stats_prints_phase_tree_to_stderr() {
+    let out = viewplan(&["plan", PROBLEM, "--stats"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let err = stderr(&out);
+    // The report must show the nested phase tree spanning all layers:
+    // CoreCover and its sub-phases, containment, optimizer enumeration,
+    // and plan execution, plus the counter section.
+    for needle in [
+        "phases",
+        "corecover.run",
+        "corecover.tuple_cores",
+        "corecover.set_cover",
+        "containment.minimize",
+        "optimizer.enumerate",
+        "engine.execute_plan",
+        "containment.hom_nodes",
+        "cost.plans_enumerated",
+    ] {
+        assert!(err.contains(needle), "missing {needle:?} in:\n{err}");
+    }
+    // Without --stats the report must not appear.
+    let quiet = viewplan(&["plan", PROBLEM]);
+    assert!(quiet.status.success());
+    assert!(!stderr(&quiet).contains("phases"));
+}
+
+#[test]
+fn stats_json_writes_parseable_report() {
+    let path = std::env::temp_dir().join("viewplan_cli_stats.json");
+    let path_str = path.to_str().unwrap();
+    let _ = std::fs::remove_file(&path);
+
+    let out = viewplan(&["plan", PROBLEM, "--stats-json", path_str]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(Path::new(path_str).exists());
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let json = viewplan::obs::parse_json(&text).expect("report must be valid JSON");
+    let counters = json.get("counters").expect("report must have counters");
+    for key in [
+        "corecover.runs",
+        "corecover.view_tuples",
+        "containment.hom_nodes",
+        "cost.oracle_calls",
+        "engine.joins",
+    ] {
+        let value = counters
+            .get(key)
+            .and_then(|v| v.as_u64())
+            .unwrap_or_else(|| panic!("missing counter {key:?} in report"));
+        assert!(value > 0, "counter {key:?} should be nonzero");
+    }
+    assert!(json.get("spans").is_some(), "report must have spans");
+    let _ = std::fs::remove_file(&path);
+}

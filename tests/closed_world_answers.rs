@@ -27,7 +27,12 @@ fn check_workload(config: &WorkloadConfig, rows: usize, domain: i64) {
     if result.rewritings().is_empty() {
         return; // the paper ignores queries without rewritings
     }
-    let base = load(random_database(&w.query, rows, domain, config.seed ^ 0xbeef));
+    let base = load(random_database(
+        &w.query,
+        rows,
+        domain,
+        config.seed ^ 0xbeef,
+    ));
     let direct = evaluate(&w.query, &base);
     let vdb = materialize_views(&w.views, &base);
     for r in result.rewritings().iter().take(5) {
@@ -111,9 +116,13 @@ fn planned_m3_execution_preserves_answers() {
         let base = load(random_database(&w.query, 30, 40, seed ^ 0xabcd));
         let vdb = materialize_views(&w.views, &base);
         let mut oracle = ExactOracle::new(&vdb);
-        let Some((plan, _)) =
-            optimal_m3_plan(&w.query, &w.views, r, DropPolicy::SmartCostBased, &mut oracle)
-        else {
+        let Some((plan, _)) = optimal_m3_plan(
+            &w.query,
+            &w.views,
+            r,
+            DropPolicy::SmartCostBased,
+            &mut oracle,
+        ) else {
             continue;
         };
         let direct = evaluate(&w.query, &base);

@@ -17,8 +17,7 @@ fn onto_containment(p1: &ConjunctiveQuery, p2: &ConjunctiveQuery) -> bool {
     };
     let mut found = false;
     HomomorphismSearch::with_initial(&p1.body, &p2.body, initial).for_each(|phi| {
-        let image: std::collections::HashSet<Atom> =
-            p1.body.iter().map(|a| a.apply(phi)).collect();
+        let image: std::collections::HashSet<Atom> = p1.body.iter().map(|a| a.apply(phi)).collect();
         if p2.body.iter().all(|a| image.contains(a)) {
             found = true;
             true
@@ -95,10 +94,8 @@ fn inflated_rewritings_never_cost_less_under_m2() {
         let mut inflated = p.clone();
         let mut dup = p.body[0].clone();
         let head_vars: std::collections::HashSet<Symbol> = p.head.variables().collect();
-        let shared: std::collections::HashSet<Symbol> = p.body[1..]
-            .iter()
-            .flat_map(|a| a.variables())
-            .collect();
+        let shared: std::collections::HashSet<Symbol> =
+            p.body[1..].iter().flat_map(|a| a.variables()).collect();
         let mut subst = Substitution::new();
         for v in dup.variables().collect::<Vec<_>>() {
             if !head_vars.contains(&v) && !shared.contains(&v) {

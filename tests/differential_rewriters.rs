@@ -82,16 +82,25 @@ fn existence_is_agreed_on_by_complete_generators() {
     // direction for it: if MiniCon finds one, CoreCover must.
     for seed in 0..8 {
         let w = generate(&WorkloadConfig::star(10, 1, seed));
-        let cc_found = !CoreCover::new(&w.query, &w.views).run().rewritings().is_empty();
+        let cc_found = !CoreCover::new(&w.query, &w.views)
+            .run()
+            .rewritings()
+            .is_empty();
         let naive_found = !naive_gmrs(&w.query, &w.views).is_empty();
         assert_eq!(cc_found, naive_found, "seed {seed}");
         let mc_found = !minicon_rewritings(&w.query, &w.views, true, 300).is_empty();
         if mc_found {
-            assert!(cc_found, "MiniCon found one but CoreCover missed it (seed {seed})");
+            assert!(
+                cc_found,
+                "MiniCon found one but CoreCover missed it (seed {seed})"
+            );
         }
         let bucket_found = !bucket_rewritings(&w.query, &w.views, 20_000).is_empty();
         if bucket_found {
-            assert!(cc_found, "bucket found one but CoreCover missed it (seed {seed})");
+            assert!(
+                cc_found,
+                "bucket found one but CoreCover missed it (seed {seed})"
+            );
         }
     }
 }

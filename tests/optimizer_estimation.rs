@@ -31,8 +31,8 @@ fn estimated_plans_still_compute_correct_answers() {
         let vdb = materialize_views(&w.views, &base);
         let catalog = Catalog::from_database(&vdb);
         let mut estimator = EstimateOracle::new(&catalog);
-        let Some(plan) = Optimizer::new(&w.query, &w.views)
-            .best_plan(CostModel::M2, &mut estimator)
+        let Some(plan) =
+            Optimizer::new(&w.query, &w.views).best_plan(CostModel::M2, &mut estimator)
         else {
             continue;
         };
@@ -61,14 +61,14 @@ fn estimated_choice_is_close_to_exact_optimal_on_measured_catalogs() {
         let vdb = materialize_views(&w.views, &base);
         let catalog = Catalog::from_database(&vdb);
         let mut estimator = EstimateOracle::new(&catalog);
-        let Some(est_plan) = Optimizer::new(&w.query, &w.views)
-            .best_plan(CostModel::M2, &mut estimator)
+        let Some(est_plan) =
+            Optimizer::new(&w.query, &w.views).best_plan(CostModel::M2, &mut estimator)
         else {
             continue;
         };
         let mut exact = ExactOracle::new(&vdb);
-        let Some(exact_plan) = Optimizer::new(&w.query, &w.views)
-            .best_plan(CostModel::M2, &mut exact)
+        let Some(exact_plan) =
+            Optimizer::new(&w.query, &w.views).best_plan(CostModel::M2, &mut exact)
         else {
             continue;
         };

@@ -88,10 +88,8 @@ fn example_31_lmr_chain() {
     let views = parse_views("v(X, Y, Z, W) :- e1(X, W), e2(Y, W), e3(Z, W)").unwrap();
     let p1 = parse_query("q(X, Y, Z) :- v(X, Y, Z, c)").unwrap();
     let p2 = parse_query("q(X, Y, Z) :- v(X, Y, Z1, c), v(X1, Y1, Z, c)").unwrap();
-    let p3 = parse_query(
-        "q(X, Y, Z) :- v(X, Y1, Z1, c), v(X2, Y, Z2, c), v(X3, Y3, Z, c)",
-    )
-    .unwrap();
+    let p3 =
+        parse_query("q(X, Y, Z) :- v(X, Y1, Z1, c), v(X2, Y, Z2, c), v(X3, Y3, Z, c)").unwrap();
     for p in [&p1, &p2, &p3] {
         assert!(is_locally_minimal(p, &q, &views));
     }
@@ -202,7 +200,10 @@ fn section_51_filtering_subgoal() {
     }
     base.insert("part", vec![Value::Int(77), Value::Int(1), Value::Int(2)]);
     for s in 0..150i64 {
-        base.insert("part", vec![Value::Int(s), Value::Int(s % 25), Value::Int(99)]);
+        base.insert(
+            "part",
+            vec![Value::Int(s), Value::Int(s % 25), Value::Int(99)],
+        );
     }
     let vdb = materialize_views(&views, &base);
     let mut oracle = ExactOracle::new(&vdb);

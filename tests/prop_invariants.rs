@@ -12,9 +12,8 @@ fn arb_query(max_subgoals: usize) -> impl Strategy<Value = ConjunctiveQuery> {
         4 => (0..6usize).prop_map(|i| Term::var(&format!("X{i}"))),
         1 => (0..3usize).prop_map(|i| Term::cst(&format!("k{i}"))),
     ];
-    let atom = ((0..4usize), prop::collection::vec(term, 1..=3)).prop_map(|(p, terms)| {
-        Atom::new(format!("p{}_{}", p, terms.len()).as_str(), terms)
-    });
+    let atom = ((0..4usize), prop::collection::vec(term, 1..=3))
+        .prop_map(|(p, terms)| Atom::new(format!("p{}_{}", p, terms.len()).as_str(), terms));
     prop::collection::vec(atom, 1..=max_subgoals).prop_map(|body| {
         // Head: the (sorted) variables of the body, so the query is safe.
         let mut vars: Vec<Symbol> = Vec::new();

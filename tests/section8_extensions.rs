@@ -15,8 +15,7 @@
 
 use viewplan::engine::{evaluate, Database, Relation, Value};
 use viewplan::extended::{
-    evaluate_conditional, evaluate_union, CompOp, Comparison, ConditionalQuery, ConstraintSet,
-    UnionQuery,
+    evaluate_conditional, evaluate_union, Comparison, ConditionalQuery, ConstraintSet, UnionQuery,
 };
 use viewplan::prelude::{parse_query, Term};
 
@@ -28,10 +27,7 @@ fn materialize_section8_views(base: &Database) -> Database {
         parse_query("v1(A, B, C, D) :- p(A, B), r(C, D)").unwrap(),
         ConstraintSet::from_comparisons([Comparison::le(Term::var("C"), Term::var("D"))]),
     );
-    vdb.set(
-        "v1".into(),
-        evaluate_conditional(&v1_def, base),
-    );
+    vdb.set("v1".into(), evaluate_conditional(&v1_def, base));
     // v2(E, F) :- r(E, F).
     let v2_def = parse_query("v2(E, F) :- r(E, F)").unwrap();
     vdb.set("v2".into(), evaluate(&v2_def, base));
@@ -56,7 +52,10 @@ fn sample_base(seed: i64) -> Database {
     for i in 0..6 {
         base.insert(
             "p",
-            vec![Value::Int((i * 7 + seed) % 10), Value::Int((i * 3 + seed) % 10)],
+            vec![
+                Value::Int((i * 7 + seed) % 10),
+                Value::Int((i * 3 + seed) % 10),
+            ],
         );
     }
     // r with both symmetric pairs and one-directional edges, plus loops.
