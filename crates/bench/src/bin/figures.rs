@@ -7,7 +7,12 @@
 //! ```text
 //! cargo run -p viewplan-bench --release --bin figures           # paper scale (40 queries/point)
 //! cargo run -p viewplan-bench --release --bin figures -- quick  # 8 queries/point
+//! cargo run -p viewplan-bench --release --bin figures -- quick --threads 8
 //! ```
+//!
+//! `--threads N` spreads each sweep point's query instances over N
+//! workers (default: `VIEWPLAN_THREADS` or 1). The accepted queries and
+//! all averaged stats are identical for any N; only wall-clock changes.
 
 use std::fs;
 use std::time::Instant;
@@ -22,14 +27,36 @@ use viewplan_engine::{materialize_views, Database};
 use viewplan_workload::{generate, WorkloadConfig};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "quick");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "quick");
+    let mut threads = viewplan_core::default_threads();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "quick" => {}
+            "--threads" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => threads = n,
+                _ => {
+                    eprintln!("error: --threads expects a positive integer");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown argument `{other}` (expected `quick` or `--threads N`)");
+                std::process::exit(2);
+            }
+        }
+    }
+    eprintln!("[sweep] harness threads: {threads}");
     fs::create_dir_all("results").expect("create results dir");
     let mk = |family, nondist| {
-        if quick {
+        let mut c = if quick {
             SweepConfig::quick(family, nondist)
         } else {
             SweepConfig::paper(family, nondist)
-        }
+        };
+        c.threads = threads;
+        c
     };
 
     // ── Figures 6 & 7: star queries ─────────────────────────────────────

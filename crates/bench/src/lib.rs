@@ -9,7 +9,7 @@
 //! quantities Figures 6–9 plot.
 
 use std::time::Instant;
-use viewplan_core::{CoreCover, CoreCoverConfig};
+use viewplan_core::{default_threads, parallel_map, CoreCover, CoreCoverConfig};
 use viewplan_obs as obs;
 use viewplan_workload::{generate, WorkloadConfig};
 
@@ -49,6 +49,8 @@ pub struct SweepPoint {
     /// Average set-cover search nodes per run (from the
     /// `cover.search_nodes` counter).
     pub set_cover_nodes: f64,
+    /// Worker threads the harness used for this point (1 = serial).
+    pub threads: usize,
 }
 
 /// Sweep parameters.
@@ -67,6 +69,12 @@ pub struct SweepConfig {
     /// CoreCover configuration (grouping on by default; the ablation bench
     /// turns it off).
     pub corecover: CoreCoverConfig,
+    /// Worker threads for the harness itself: query instances of a point
+    /// run concurrently. The accepted query set, per-query stats, and GMR
+    /// counts are identical for any value (attempts are processed in
+    /// order); only wall-clock changes. Per-run CoreCover stays serial
+    /// unless `corecover.threads` is raised too.
+    pub threads: usize,
 }
 
 impl SweepConfig {
@@ -79,7 +87,11 @@ impl SweepConfig {
             view_counts: (1..=10).map(|k| k * 100).collect(),
             queries_per_point: 40,
             base_seed: 20010521, // SIGMOD 2001, May 21
-            corecover: CoreCoverConfig::default(),
+            corecover: CoreCoverConfig {
+                threads: 1,
+                ..CoreCoverConfig::default()
+            },
+            threads: default_threads(),
         }
     }
 
@@ -110,17 +122,74 @@ pub fn run_sweep(config: &SweepConfig) -> Vec<SweepPoint> {
         .collect()
 }
 
+/// What one generated workload produced, before the accept/skip decision.
+struct AttemptOutcome {
+    ms: f64,
+    empty: bool,
+    view_classes: f64,
+    view_tuples: f64,
+    representative_tuples: f64,
+    gmrs: f64,
+    /// Per-run counter deltas; only meaningful on serial runs (the
+    /// counters are process-global, so concurrent runs interleave).
+    hom_delta: f64,
+    cover_delta: f64,
+}
+
+fn run_attempt(config: &SweepConfig, views: usize, attempt: usize, serial: bool) -> AttemptOutcome {
+    let seed = config
+        .base_seed
+        .wrapping_add((views as u64) << 20)
+        .wrapping_add(attempt as u64);
+    let w = generate(&workload_config(config, views, seed));
+    let hom_before = obs::counter_value("containment.hom_nodes");
+    let cover_before = obs::counter_value("cover.search_nodes");
+    let start = Instant::now();
+    let result = CoreCover::new(&w.query, &w.views)
+        .with_config(config.corecover.clone())
+        .run();
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    let (hom_delta, cover_delta) = if serial {
+        (
+            (obs::counter_value("containment.hom_nodes") - hom_before) as f64,
+            (obs::counter_value("cover.search_nodes") - cover_before) as f64,
+        )
+    } else {
+        (0.0, 0.0)
+    };
+    AttemptOutcome {
+        ms,
+        empty: result.rewritings().is_empty(),
+        view_classes: result.stats.view_classes as f64,
+        view_tuples: result.stats.view_tuples as f64,
+        representative_tuples: result.stats.representative_tuples as f64,
+        gmrs: result.stats.rewritings as f64,
+        hom_delta,
+        cover_delta,
+    }
+}
+
 /// Runs one data point: `queries_per_point` accepted queries (skipping
 /// rewriting-less ones, bounded retries), averaged.
+///
+/// With `config.threads > 1`, attempts are evaluated in in-order chunks
+/// across the workers and the accept/skip scan stays in attempt order,
+/// so the accepted query set and every averaged quantity except
+/// wall-clock (`avg_ms`) and the work counters match the serial run
+/// exactly. The `hom_nodes` / `set_cover_nodes` columns are per-run
+/// deltas when serial; under concurrency the process-global counters
+/// interleave, so they become point-level averages that include the work
+/// of skipped attempts.
 pub fn run_point(config: &SweepConfig, views: usize) -> SweepPoint {
     // Collect counters for the whole sweep; the registry is process-global,
     // so work metrics are read as before/after deltas rather than by
     // resetting (counter bumps are relaxed atomics — cheap enough to leave
     // on while timing).
     obs::set_enabled(true);
-    let mut accepted = 0usize;
-    let mut attempts = 0usize;
+    let threads = config.threads.max(1);
+    let serial = threads == 1;
     let max_attempts = config.queries_per_point * 5;
+    let mut accepted = 0usize;
     let mut total_ms = 0.0;
     let mut classes = 0.0;
     let mut tuples = 0.0;
@@ -128,33 +197,44 @@ pub fn run_point(config: &SweepConfig, views: usize) -> SweepPoint {
     let mut gmrs = 0.0;
     let mut hom_nodes = 0.0;
     let mut set_cover_nodes = 0.0;
-    while accepted < config.queries_per_point && attempts < max_attempts {
-        let seed = config
-            .base_seed
-            .wrapping_add((views as u64) << 20)
-            .wrapping_add(attempts as u64);
-        attempts += 1;
-        let w = generate(&workload_config(config, views, seed));
-        let hom_before = obs::counter_value("containment.hom_nodes");
-        let cover_before = obs::counter_value("cover.search_nodes");
-        let start = Instant::now();
-        let result = CoreCover::new(&w.query, &w.views)
-            .with_config(config.corecover.clone())
-            .run();
-        let elapsed = start.elapsed().as_secs_f64() * 1e3;
-        if result.rewritings().is_empty() {
-            continue; // "we ignored queries that did not have rewritings"
+    let hom_point_before = obs::counter_value("containment.hom_nodes");
+    let cover_point_before = obs::counter_value("cover.search_nodes");
+    // Each chunk is exactly the remaining quota: the serial loop always
+    // evaluates at least that many more attempts (an attempt accepts at
+    // most one query), and a chunk can only fill the quota at its very
+    // end (that needs every attempt accepted) — so the parallel run
+    // evaluates *exactly* the attempt set the serial run would, with no
+    // speculative waste, and the in-order scan below keeps the accepted
+    // set identical.
+    let mut next_attempt = 0usize;
+    while accepted < config.queries_per_point && next_attempt < max_attempts {
+        let chunk = config.queries_per_point - accepted;
+        let ids: Vec<usize> = (next_attempt..(next_attempt + chunk).min(max_attempts)).collect();
+        next_attempt = *ids.last().unwrap() + 1;
+        let outcomes = parallel_map(threads, &ids, |&a| run_attempt(config, views, a, serial));
+        for o in outcomes {
+            if accepted >= config.queries_per_point {
+                break;
+            }
+            if o.empty {
+                continue; // "we ignored queries that did not have rewritings"
+            }
+            accepted += 1;
+            total_ms += o.ms;
+            classes += o.view_classes;
+            tuples += o.view_tuples;
+            reps += o.representative_tuples;
+            gmrs += o.gmrs;
+            hom_nodes += o.hom_delta;
+            set_cover_nodes += o.cover_delta;
         }
-        accepted += 1;
-        total_ms += elapsed;
-        classes += result.stats.view_classes as f64;
-        tuples += result.stats.view_tuples as f64;
-        reps += result.stats.representative_tuples as f64;
-        gmrs += result.stats.rewritings as f64;
-        hom_nodes += (obs::counter_value("containment.hom_nodes") - hom_before) as f64;
-        set_cover_nodes += (obs::counter_value("cover.search_nodes") - cover_before) as f64;
     }
     let n = accepted.max(1) as f64;
+    if !serial {
+        // Point-level attribution (see the doc comment).
+        hom_nodes = (obs::counter_value("containment.hom_nodes") - hom_point_before) as f64;
+        set_cover_nodes = (obs::counter_value("cover.search_nodes") - cover_point_before) as f64;
+    }
     SweepPoint {
         views,
         queries: accepted,
@@ -165,6 +245,7 @@ pub fn run_point(config: &SweepConfig, views: usize) -> SweepPoint {
         gmrs: gmrs / n,
         hom_nodes: hom_nodes / n,
         set_cover_nodes: set_cover_nodes / n,
+        threads,
     }
 }
 
@@ -172,11 +253,11 @@ pub fn run_point(config: &SweepConfig, views: usize) -> SweepPoint {
 pub fn to_csv(points: &[SweepPoint]) -> String {
     let mut out = String::from(
         "views,queries,avg_ms,view_classes,view_tuples,representative_tuples,gmrs,\
-         hom_nodes,set_cover_nodes\n",
+         hom_nodes,set_cover_nodes,threads\n",
     );
     for p in points {
         out.push_str(&format!(
-            "{},{},{:.3},{:.1},{:.1},{:.1},{:.1},{:.1},{:.1}\n",
+            "{},{},{:.3},{:.1},{:.1},{:.1},{:.1},{:.1},{:.1},{}\n",
             p.views,
             p.queries,
             p.avg_ms,
@@ -185,7 +266,8 @@ pub fn to_csv(points: &[SweepPoint]) -> String {
             p.representative_tuples,
             p.gmrs,
             p.hom_nodes,
-            p.set_cover_nodes
+            p.set_cover_nodes,
+            p.threads
         ));
     }
     out
@@ -219,9 +301,37 @@ mod tests {
             gmrs: 4.0,
             hom_nodes: 120.0,
             set_cover_nodes: 15.0,
+            threads: 8,
         };
         let csv = to_csv(&[p]);
         assert!(csv.starts_with("views,"));
+        assert!(csv.lines().next().unwrap().ends_with(",threads"));
         assert!(csv.contains("100,40,1.500"));
+        assert!(csv.lines().nth(1).unwrap().ends_with(",8"));
+    }
+
+    /// The tentpole guarantee at the harness level: a parallel sweep
+    /// accepts the same queries and averages the same per-query stats as
+    /// a serial one (wall-clock and work-counter columns excepted).
+    #[test]
+    fn parallel_sweep_matches_serial_stats() {
+        let mut config = SweepConfig::quick(Family::Star, 1);
+        config.view_counts = vec![60];
+        config.queries_per_point = 4;
+        config.threads = 1;
+        let serial = run_sweep(&config);
+        for threads in [2, 8] {
+            config.threads = threads;
+            let par = run_sweep(&config);
+            assert_eq!(par.len(), serial.len());
+            for (p, s) in par.iter().zip(&serial) {
+                assert_eq!(p.queries, s.queries, "threads = {threads}");
+                assert_eq!(p.view_classes, s.view_classes);
+                assert_eq!(p.view_tuples, s.view_tuples);
+                assert_eq!(p.representative_tuples, s.representative_tuples);
+                assert_eq!(p.gmrs, s.gmrs);
+                assert_eq!(p.threads, threads);
+            }
+        }
     }
 }

@@ -48,9 +48,11 @@ pub fn containment_mapping(
 
 /// True iff `q1 ⊑ q2`: for every database, `q1`'s answer is a subset of
 /// `q2`'s. Decided by searching for a containment mapping from `q2` to
-/// `q1`.
+/// `q1`; the boolean verdict is memoized in the process-global
+/// [containment cache](crate::cache) (containment is invariant under
+/// variable renaming, so the cache keys on canonicalized pairs).
 pub fn is_contained_in(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> bool {
-    containment_mapping(q2, q1).is_some()
+    crate::cache::cached_verdict(q1, q2, || containment_mapping(q2, q1).is_some())
 }
 
 /// True iff the queries are equivalent (contained in each other).

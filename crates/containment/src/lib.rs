@@ -17,6 +17,10 @@
 //!   ([`is_variant`]), the identification the paper adopts ("we assume two
 //!   rewritings are the same if the only difference between them is
 //!   variable renamings", §3.3).
+//! * **Memoization** — a process-global, lock-sharded cache of containment
+//!   verdicts keyed on canonicalized query pairs ([`cache`]), shared by
+//!   containment, minimization, view-class grouping, and the M3 dropping
+//!   heuristic, and safe to hit from parallel workers.
 //!
 //! # Example
 //!
@@ -34,12 +38,17 @@
 //! assert!(are_equivalent(&redundant, &q2));
 //! ```
 
+pub mod cache;
 pub mod containment;
 pub mod expansion;
 pub mod homomorphism;
 pub mod minimize;
 pub mod variant;
 
+pub use cache::{
+    cache_enabled, canonical_key, clear_containment_cache, containment_cache_len,
+    set_cache_enabled, CanonicalQuery,
+};
 pub use containment::{are_equivalent, containment_mapping, head_bindings, is_contained_in};
 pub use expansion::{expand, expand_atom, ExpandError};
 pub use homomorphism::{find_homomorphism, find_homomorphism_with, HomomorphismSearch};

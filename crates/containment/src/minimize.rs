@@ -7,7 +7,7 @@
 //! yields the **minimal equivalent query** (unique up to variable renaming
 //! — Chandra & Merlin), which is step (1) of `CoreCover` (Figure 4).
 
-use crate::containment::containment_mapping;
+use crate::containment::is_contained_in;
 use viewplan_cq::ConjunctiveQuery;
 use viewplan_obs as obs;
 
@@ -29,9 +29,10 @@ pub fn minimize(q: &ConjunctiveQuery) -> ConjunctiveQuery {
         obs::counter!("containment.minimize_rounds").incr();
         let candidate = current.without_subgoal(i);
         // candidate ⊒ current always; equivalence needs current ⊑ candidate,
-        // i.e. a containment mapping current → candidate. We map from the
+        // i.e. a containment mapping current → candidate — the (cached)
+        // check is_contained_in(candidate, current). We map from the
         // *original-sized* current, which is equivalent to q throughout.
-        if containment_mapping(&current, &candidate).is_some() {
+        if is_contained_in(&candidate, &current) {
             obs::counter!("containment.minimize_removed").incr();
             current = candidate;
             // restart scanning from the beginning: removing one subgoal can

@@ -23,10 +23,12 @@
 //! (Figures 6–9).
 
 use crate::classes::{view_equivalence_classes, view_tuple_classes};
-use crate::cover::{all_irredundant_covers, all_minimum_covers};
+use crate::cover::{all_irredundant_covers_counted, all_minimum_covers};
+use crate::error::{CoreError, MAX_SUBGOALS};
+use crate::parallel::{default_threads, parallel_map};
 use crate::rewriting::{dedup_variants, Rewriting};
 use crate::tuple_core::{tuple_core, TupleCore};
-use crate::view_tuple::{view_tuples, ViewTuple};
+use crate::view_tuple::{view_tuples_with_threads, ViewTuple};
 use viewplan_containment::{are_equivalent, expand, minimize};
 use viewplan_cq::{ConjunctiveQuery, ViewSet};
 use viewplan_obs as obs;
@@ -47,6 +49,11 @@ pub struct CoreCoverConfig {
     pub verify_rewritings: bool,
     /// Cap on the number of rewritings enumerated by `CoreCover*`.
     pub max_rewritings: usize,
+    /// Worker threads for the parallel stages (view tuples, tuple-cores,
+    /// verification). `1` runs fully serial; results are identical for
+    /// every thread count. Defaults to the `VIEWPLAN_THREADS` environment
+    /// variable, or 1 when unset.
+    pub threads: usize,
 }
 
 impl Default for CoreCoverConfig {
@@ -56,6 +63,7 @@ impl Default for CoreCoverConfig {
             group_view_tuples: true,
             verify_rewritings: false,
             max_rewritings: 10_000,
+            threads: default_threads(),
         }
     }
 }
@@ -79,6 +87,10 @@ pub struct CoreCoverStats {
     pub empty_core_tuples: usize,
     /// Number of rewritings produced.
     pub rewritings: usize,
+    /// True iff the `CoreCover*` enumeration was cut short by
+    /// [`CoreCoverConfig::max_rewritings`] — the rewriting list is then a
+    /// prefix of the full space, not the whole of it.
+    pub truncated: bool,
 }
 
 /// The output of a [`CoreCover`] run.
@@ -175,22 +187,51 @@ impl<'a> CoreCover<'a> {
     }
 
     /// Runs `CoreCover`: all globally-minimal rewritings.
+    ///
+    /// # Panics
+    /// Panics when the query exceeds [`MAX_SUBGOALS`] subgoals; use
+    /// [`CoreCover::try_run`] to get the error instead.
     pub fn run(&self) -> CoreCoverResult {
-        self.run_inner(true)
+        self.try_run().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Runs `CoreCover*`: all minimal rewritings using view tuples (the
     /// M2 search space of Theorem 5.1), capped at
     /// [`CoreCoverConfig::max_rewritings`].
+    ///
+    /// # Panics
+    /// Panics when the query exceeds [`MAX_SUBGOALS`] subgoals; use
+    /// [`CoreCover::try_run_all_minimal`] to get the error instead.
     pub fn run_all_minimal(&self) -> CoreCoverResult {
+        self.try_run_all_minimal().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`CoreCover::run`], returning an error instead of panicking on
+    /// queries the 64-bit cover masks cannot represent.
+    pub fn try_run(&self) -> Result<CoreCoverResult, CoreError> {
+        self.run_inner(true)
+    }
+
+    /// [`CoreCover::run_all_minimal`], returning an error instead of
+    /// panicking on queries the 64-bit cover masks cannot represent.
+    pub fn try_run_all_minimal(&self) -> Result<CoreCoverResult, CoreError> {
         self.run_inner(false)
     }
 
-    fn run_inner(&self, minimum_only: bool) -> CoreCoverResult {
+    fn run_inner(&self, minimum_only: bool) -> Result<CoreCoverResult, CoreError> {
         let _run_span = obs::span("corecover.run");
+        let threads = self.config.threads.max(1);
 
         // Step 1: minimize the query (times itself as containment.minimize).
         let qm = minimize(self.query);
+        // Guard before any mask arithmetic: the cover step encodes subgoal
+        // sets as u64 bitmasks, and `1 << i` for i ≥ 64 wraps silently in
+        // release builds — report, don't miscompute.
+        if qm.body.len() > MAX_SUBGOALS {
+            return Err(CoreError::TooManySubgoals {
+                subgoals: qm.body.len(),
+            });
+        }
 
         // Step 1b (§5.2): group views into equivalence classes.
         let (active_views, view_classes) = {
@@ -206,19 +247,19 @@ impl<'a> CoreCover<'a> {
             }
         };
 
-        // Step 2: view tuples from the canonical database.
+        // Step 2: view tuples from the canonical database, one parallel
+        // task per view (merged back in view order — same output as serial).
         let tuples = {
             let _span = obs::span("corecover.view_tuples");
-            view_tuples(&qm, &active_views)
+            view_tuples_with_threads(&qm, &active_views, threads)
         };
 
-        // Step 3: tuple-cores.
+        // Step 3: tuple-cores, one parallel task per view tuple (collected
+        // per-index, so `cores[i]` matches `tuples[i]` as in a serial run).
         let (cores, tuple_classes) = {
             let _span = obs::span("corecover.tuple_cores");
-            let cores: Vec<TupleCore> = tuples
-                .iter()
-                .map(|t| tuple_core(&qm, t, &active_views))
-                .collect();
+            let cores: Vec<TupleCore> =
+                parallel_map(threads, &tuples, |t| tuple_core(&qm, t, &active_views));
             let classes = view_tuple_classes(&cores);
             (cores, classes)
         };
@@ -227,8 +268,8 @@ impl<'a> CoreCover<'a> {
         let universe: u64 = if qm.body.is_empty() {
             0
         } else {
-            // `1u64 << 64` overflows, and tuple_core admits exactly 64
-            // subgoals; shift from the top instead.
+            // `1u64 << 64` overflows, and the MAX_SUBGOALS guard above
+            // admits exactly 64 subgoals; shift from the top instead.
             u64::MAX >> (64 - qm.body.len())
         };
         let candidate_indices: Vec<usize> = if self.config.group_view_tuples {
@@ -246,12 +287,14 @@ impl<'a> CoreCover<'a> {
             .iter()
             .map(|&i| cores[i].bitmask())
             .collect();
-        let covers = {
+        let (covers, truncated) = {
             let _span = obs::span("corecover.set_cover");
             if minimum_only {
-                all_minimum_covers(universe, &masks)
+                (all_minimum_covers(universe, &masks), false)
             } else {
-                all_irredundant_covers(universe, &masks, self.config.max_rewritings)
+                let e =
+                    all_irredundant_covers_counted(universe, &masks, self.config.max_rewritings);
+                (e.covers, e.truncated)
             }
         };
 
@@ -271,18 +314,17 @@ impl<'a> CoreCover<'a> {
 
         if self.config.verify_rewritings || cfg!(debug_assertions) {
             let _span = obs::span("corecover.verify");
-            for r in &rewritings {
+            // One parallel verification task per cover; verdicts line up
+            // with `rewritings` by index.
+            let verified: Vec<bool> = parallel_map(threads, &rewritings, |r| {
                 let exp = expand(r, &active_views)
                     .expect("rewritings are built from view tuples of known views");
-                debug_assert!(
-                    are_equivalent(&exp, &qm),
-                    "CoreCover produced a non-equivalent rewriting: {r}"
-                );
+                are_equivalent(&exp, &qm)
+            });
+            for (r, &ok) in rewritings.iter().zip(&verified) {
+                debug_assert!(ok, "CoreCover produced a non-equivalent rewriting: {r}");
                 if self.config.verify_rewritings {
-                    assert!(
-                        are_equivalent(&exp, &qm),
-                        "CoreCover produced a non-equivalent rewriting: {r}"
-                    );
+                    assert!(ok, "CoreCover produced a non-equivalent rewriting: {r}");
                 }
             }
         }
@@ -294,6 +336,7 @@ impl<'a> CoreCover<'a> {
             representative_tuples: candidate_indices.len(),
             empty_core_tuples: cores.iter().filter(|c| c.is_empty()).count(),
             rewritings: rewritings.len(),
+            truncated,
         };
         // Mirror the per-run stats into the global registry so reporters
         // and the bench harness see the same numbers (Figures 7 and 9).
@@ -304,14 +347,17 @@ impl<'a> CoreCover<'a> {
         obs::counter!("corecover.representative_tuples").add(stats.representative_tuples as u64);
         obs::counter!("corecover.empty_core_tuples").add(stats.empty_core_tuples as u64);
         obs::counter!("corecover.rewritings").add(stats.rewritings as u64);
-        CoreCoverResult {
+        if truncated {
+            obs::counter!("corecover.truncated_runs").incr();
+        }
+        Ok(CoreCoverResult {
             minimized_query: qm,
             view_tuples: tuples,
             cores,
             tuple_classes,
             stats,
             rewritings,
-        }
+        })
     }
 }
 
@@ -554,5 +600,88 @@ mod wide_query_tests {
         let result = CoreCover::new(&q, &views).run();
         assert_eq!(result.rewritings().len(), 1);
         assert_eq!(result.rewritings()[0].body.len(), 64);
+    }
+
+    fn wide_problem(subgoals: usize) -> (ConjunctiveQuery, ViewSet) {
+        let body: Vec<String> = (0..subgoals).map(|i| format!("p{i}(X{i})")).collect();
+        let head: Vec<String> = (0..subgoals).map(|i| format!("X{i}")).collect();
+        let q = parse_query(&format!("q({}) :- {}", head.join(", "), body.join(", "))).unwrap();
+        let mut vs = String::new();
+        for i in 0..subgoals {
+            vs.push_str(&format!("v{i}(A) :- p{i}(A).\n"));
+        }
+        (q, parse_views(&vs).unwrap())
+    }
+
+    /// Regression: with 65 subgoals the mask folds would shift by ≥ 64
+    /// and wrap silently in release builds; the pipeline must return a
+    /// clear error instead of wrong covers.
+    #[test]
+    fn beyond_64_subgoals_is_a_clear_error_not_a_wrong_answer() {
+        let (q, views) = wide_problem(65);
+        let err = CoreCover::new(&q, &views).try_run().unwrap_err();
+        assert_eq!(
+            err,
+            crate::error::CoreError::TooManySubgoals { subgoals: 65 }
+        );
+        assert!(err.to_string().contains("65 subgoals"));
+        let err2 = CoreCover::new(&q, &views)
+            .try_run_all_minimal()
+            .unwrap_err();
+        assert_eq!(err2, err);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64")]
+    fn run_panics_with_the_same_message() {
+        let (q, views) = wide_problem(65);
+        let _ = CoreCover::new(&q, &views).run();
+    }
+
+    /// A >64-subgoal query whose *core* fits in 64 subgoals is fine: the
+    /// guard applies after minimization, as the masks do.
+    #[test]
+    fn wide_but_redundant_queries_still_minimize_through() {
+        // 70 copies of the same subgoal minimize to one.
+        let body = vec!["e(X, Y)".to_string(); 70].join(", ");
+        let q = parse_query(&format!("q(X) :- {body}")).unwrap();
+        let views = parse_views("v(A) :- e(A, B)").unwrap();
+        let result = CoreCover::new(&q, &views).try_run().unwrap();
+        assert_eq!(result.rewritings().len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod truncation_tests {
+    use super::*;
+    use viewplan_cq::{parse_query, parse_views};
+
+    /// Three subgoals, pairwise two-subgoal views: many irredundant
+    /// covers exist, so a cap of 1 must flag the run as truncated.
+    #[test]
+    fn max_rewritings_cap_is_recorded_in_stats() {
+        let q = parse_query("q(X, Y, Z) :- a(X), b(Y), c(Z)").unwrap();
+        let views = parse_views(
+            "vab(X, Y) :- a(X), b(Y).\n\
+             vbc(Y, Z) :- b(Y), c(Z).\n\
+             vca(Z, X) :- c(Z), a(X).\n\
+             va(X) :- a(X).\n\
+             vb(Y) :- b(Y).\n\
+             vc(Z) :- c(Z).",
+        )
+        .unwrap();
+        let capped = CoreCover::new(&q, &views)
+            .with_config(CoreCoverConfig {
+                max_rewritings: 1,
+                ..CoreCoverConfig::default()
+            })
+            .run_all_minimal();
+        assert_eq!(capped.rewritings().len(), 1);
+        assert!(capped.stats.truncated, "cap must be reported, not silent");
+        let full = CoreCover::new(&q, &views).run_all_minimal();
+        assert!(full.rewritings().len() > 1);
+        assert!(!full.stats.truncated);
+        // `run` (minimum covers) never truncates.
+        assert!(!CoreCover::new(&q, &views).run().stats.truncated);
     }
 }

@@ -93,24 +93,67 @@ fn minimum_dfs(
     }
 }
 
+/// The result of a capped cover enumeration: the covers found plus
+/// whether the `limit` actually cut the search short ("no silent caps" —
+/// a truncated enumeration must be reported, not swallowed).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CoverEnumeration {
+    /// The covers found, in increasing-index subset order.
+    pub covers: Vec<Vec<usize>>,
+    /// True iff the search was abandoned because `limit` was reached
+    /// while unexplored branches remained.
+    pub truncated: bool,
+}
+
 /// Every irredundant cover: a cover where each member covers at least one
 /// subgoal no other member covers. Produced in increasing-index subset
 /// order; `limit` caps the number of covers returned (the count can grow
 /// combinatorially — the paper's §5.2 concise representation exists for a
-/// reason).
+/// reason). Prefer [`all_irredundant_covers_counted`] when the caller
+/// needs to know whether the cap truncated the enumeration.
 pub fn all_irredundant_covers(universe: u64, sets: &[u64], limit: usize) -> Vec<Vec<usize>> {
+    all_irredundant_covers_counted(universe, sets, limit).covers
+}
+
+/// [`all_irredundant_covers`] plus an explicit truncation flag; bumps the
+/// `cover.truncated` counter when the limit cut the search short.
+pub fn all_irredundant_covers_counted(
+    universe: u64,
+    sets: &[u64],
+    limit: usize,
+) -> CoverEnumeration {
     if universe == 0 {
-        return vec![Vec::new()];
+        return CoverEnumeration {
+            covers: vec![Vec::new()],
+            truncated: false,
+        };
     }
     if sets.iter().fold(0u64, |a, &s| a | s) & universe != universe {
-        return Vec::new();
+        return CoverEnumeration {
+            covers: Vec::new(),
+            truncated: false,
+        };
     }
     let mut covers: Vec<Vec<usize>> = Vec::new();
     let mut chosen: Vec<usize> = Vec::new();
-    irredundant_dfs(universe, sets, 0, 0, &mut chosen, limit, &mut covers);
-    covers
+    let mut truncated = false;
+    irredundant_dfs(
+        universe,
+        sets,
+        0,
+        0,
+        &mut chosen,
+        limit,
+        &mut covers,
+        &mut truncated,
+    );
+    if truncated {
+        obs::counter!("cover.truncated").incr();
+    }
+    CoverEnumeration { covers, truncated }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn irredundant_dfs(
     universe: u64,
     sets: &[u64],
@@ -119,9 +162,12 @@ fn irredundant_dfs(
     chosen: &mut Vec<usize>,
     limit: usize,
     covers: &mut Vec<Vec<usize>>,
+    truncated: &mut bool,
 ) {
     obs::counter!("cover.search_nodes").incr();
     if covers.len() >= limit {
+        // The search still had branches to explore — record, don't hide.
+        *truncated = true;
         return;
     }
     if covered & universe == universe {
@@ -158,6 +204,7 @@ fn irredundant_dfs(
             chosen,
             limit,
             covers,
+            truncated,
         );
         chosen.pop();
     }
@@ -222,6 +269,19 @@ mod tests {
         assert!(all.len() > 3);
         let capped = all_irredundant_covers(0b111, &sets, 2);
         assert_eq!(capped.len(), 2);
+    }
+
+    #[test]
+    fn truncation_is_reported_not_silent() {
+        let sets = [0b001, 0b010, 0b100, 0b011, 0b110, 0b101];
+        let capped = all_irredundant_covers_counted(0b111, &sets, 2);
+        assert_eq!(capped.covers.len(), 2);
+        assert!(capped.truncated, "hitting the cap must set the flag");
+        let full = all_irredundant_covers_counted(0b111, &sets, usize::MAX);
+        assert!(!full.truncated, "an exhaustive run must not set the flag");
+        // Degenerate inputs never truncate.
+        assert!(!all_irredundant_covers_counted(0, &sets, 1).truncated);
+        assert!(!all_irredundant_covers_counted(0b1000, &sets, 1).truncated);
     }
 
     #[test]

@@ -1,0 +1,33 @@
+//! Errors of the rewriting generators.
+
+use std::fmt;
+
+/// A failure of `CoreCover` or a baseline rewriter to process a query.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CoreError {
+    /// The (minimized) query has more body subgoals than the 64-bit
+    /// set-cover bitmasks can represent. Without this guard the `1 << i`
+    /// mask folds would wrap silently in release builds and produce wrong
+    /// covers.
+    TooManySubgoals {
+        /// Subgoals in the offending query.
+        subgoals: usize,
+    },
+}
+
+/// The widest query the bitmask-based cover engines accept.
+pub const MAX_SUBGOALS: usize = 64;
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CoreError::TooManySubgoals { subgoals } => write!(
+                f,
+                "query has {subgoals} subgoals, but the set-cover engine supports at most \
+                 {MAX_SUBGOALS} (64-bit subgoal bitmasks)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}

@@ -45,9 +45,11 @@ pub mod bucket;
 pub mod classes;
 pub mod corecover;
 pub mod cover;
+pub mod error;
 pub mod lattice;
 pub mod minicon;
 pub mod naive;
+pub mod parallel;
 pub mod rewriting;
 pub mod tuple_core;
 pub mod view_tuple;
@@ -55,12 +57,16 @@ pub mod view_tuple;
 pub use bucket::{bucket_rewritings, build_buckets, BucketEntry, Buckets};
 pub use classes::{view_equivalence_classes, view_tuple_classes};
 pub use corecover::{CoreCover, CoreCoverConfig, CoreCoverResult, CoreCoverStats};
-pub use cover::{all_irredundant_covers, all_minimum_covers};
+pub use cover::{
+    all_irredundant_covers, all_irredundant_covers_counted, all_minimum_covers, CoverEnumeration,
+};
+pub use error::{CoreError, MAX_SUBGOALS};
 pub use lattice::{
     is_containment_minimal, is_equivalent_rewriting, is_locally_minimal, lmr_partial_order,
 };
 pub use minicon::{minicon_rewritings, Mcd, MiniCon};
 pub use naive::naive_gmrs;
+pub use parallel::{default_threads, parallel_map};
 pub use rewriting::{dedup_variants, Rewriting};
 pub use tuple_core::{tuple_core, TupleCore};
-pub use view_tuple::{view_tuples, ViewTuple};
+pub use view_tuple::{view_tuples, view_tuples_with_threads, ViewTuple};

@@ -24,6 +24,7 @@
 //! post-filters them to the equivalent ones (and this filtering cost is
 //! part of what the comparison benchmarks measure).
 
+use crate::error::{CoreError, MAX_SUBGOALS};
 use crate::rewriting::{dedup_variants, Rewriting};
 use std::collections::{BTreeSet, HashMap};
 use viewplan_containment::{are_equivalent, expand, minimize};
@@ -232,12 +233,32 @@ impl<'a> MiniCon<'a> {
     /// Combines MCDs with pairwise-disjoint coverage into rewritings of the
     /// query; `equivalent_only` post-filters to equivalent rewritings
     /// (our closed-world adaptation); `limit` caps the output.
+    ///
+    /// # Panics
+    /// Panics with the [`CoreError::TooManySubgoals`] message if the
+    /// minimized query has more than 64 subgoals; use
+    /// [`MiniCon::try_rewritings`] to handle that case as an error.
     pub fn rewritings(&self, equivalent_only: bool, limit: usize) -> Vec<Rewriting> {
+        self.try_rewritings(equivalent_only, limit)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`MiniCon::rewritings`] returning an error instead of panicking on
+    /// queries too wide for the 64-bit coverage masks. Without the guard,
+    /// `1 << i` for a subgoal index ≥ 64 would wrap silently in release
+    /// builds and corrupt the disjointness checks.
+    pub fn try_rewritings(
+        &self,
+        equivalent_only: bool,
+        limit: usize,
+    ) -> Result<Vec<Rewriting>, CoreError> {
         let _span = obs::span("minicon.run");
+        let n = self.query.body.len();
+        if n > MAX_SUBGOALS {
+            return Err(CoreError::TooManySubgoals { subgoals: n });
+        }
         let mcds = self.mcds();
         obs::counter!("minicon.mcds").add(mcds.len() as u64);
-        let n = self.query.body.len();
-        assert!(n <= 64, "queries are limited to 64 subgoals");
         let universe: u64 = if n == 0 { 0 } else { u64::MAX >> (64 - n) };
         let masks: Vec<u64> = mcds
             .iter()
@@ -255,7 +276,7 @@ impl<'a> MiniCon<'a> {
             limit,
             &mut results,
         );
-        dedup_variants(results)
+        Ok(dedup_variants(results))
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -447,6 +468,10 @@ fn same_shape(a: &Atom, b: &Atom) -> bool {
 
 /// Convenience wrapper: runs MiniCon and returns the (optionally
 /// equivalence-filtered) rewritings.
+///
+/// # Panics
+/// Panics if the minimized query exceeds 64 subgoals; see
+/// [`MiniCon::try_rewritings`].
 pub fn minicon_rewritings(
     query: &ConjunctiveQuery,
     views: &ViewSet,
@@ -561,6 +586,20 @@ mod tests {
         assert_eq!(contained[0].body[0].predicate.as_str(), "v");
         assert!(contained[0].body[0].terms[1].is_var());
         assert_ne!(contained[0].body[0].terms[1], Term::var("Y"));
+    }
+
+    #[test]
+    fn beyond_64_subgoals_is_a_clear_error() {
+        // Regression for the silent `1 << i` wrap: a 65-subgoal (minimal)
+        // query must be rejected, not mis-covered.
+        let body: Vec<String> = (0..65).map(|i| format!("p{i}(X{i})")).collect();
+        let head: Vec<String> = (0..65).map(|i| format!("X{i}")).collect();
+        let q = parse_query(&format!("q({}) :- {}", head.join(", "), body.join(", "))).unwrap();
+        let views = parse_views("v0(A) :- p0(A)").unwrap();
+        let err = MiniCon::new(&q, &views)
+            .try_rewritings(true, 100)
+            .unwrap_err();
+        assert_eq!(err, CoreError::TooManySubgoals { subgoals: 65 });
     }
 
     #[test]

@@ -63,7 +63,15 @@ impl TupleCore {
     /// The core as a bitmask over subgoal indices (queries have ≤ 64
     /// subgoals in this system; enforced by [`tuple_core`]).
     pub fn bitmask(&self) -> u64 {
-        self.subgoals.iter().fold(0u64, |m, &i| m | (1 << i))
+        self.subgoals.iter().fold(0u64, |m, &i| {
+            // A shift by ≥ 64 would wrap silently in release builds and
+            // corrupt the cover search; fail loudly instead.
+            assert!(
+                i < crate::error::MAX_SUBGOALS,
+                "subgoal index {i} does not fit a 64-bit cover mask"
+            );
+            m | (1 << i)
+        })
     }
 }
 

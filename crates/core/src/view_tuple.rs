@@ -9,8 +9,9 @@
 //! `T(Q, V)` the raw material of both search spaces (Theorems 3.1
 //! and 5.1).
 
-use viewplan_cq::{Atom, ConjunctiveQuery, Symbol, ViewSet};
-use viewplan_engine::{canonical_database, evaluate, unfreeze_value};
+use crate::parallel::parallel_map;
+use viewplan_cq::{Atom, ConjunctiveQuery, Symbol, View, ViewSet};
+use viewplan_engine::{canonical_database, evaluate, unfreeze_value, Database};
 
 /// A view tuple: a literal of view `view` whose arguments are terms of the
 /// query.
@@ -34,22 +35,49 @@ impl std::fmt::Display for ViewTuple {
 /// `v1(X, Z)` and `v1(Z, Z)`); exact duplicates are removed. The order is
 /// deterministic: views in `views` order, tuples in evaluation order.
 pub fn view_tuples(min_query: &ConjunctiveQuery, views: &ViewSet) -> Vec<ViewTuple> {
+    view_tuples_with_threads(min_query, views, 1)
+}
+
+/// [`view_tuples`] with the per-view evaluations spread over up to
+/// `threads` workers. The per-view results are merged back in `views`
+/// order with the same duplicate filter, so the output is identical to
+/// the serial one for any thread count.
+pub fn view_tuples_with_threads(
+    min_query: &ConjunctiveQuery,
+    views: &ViewSet,
+    threads: usize,
+) -> Vec<ViewTuple> {
     let canonical = canonical_database(min_query);
+    let per_view: Vec<Vec<ViewTuple>> = parallel_map(threads, views.as_slice(), |view| {
+        tuples_of_view(view, &canonical)
+    });
     let mut out: Vec<ViewTuple> = Vec::new();
-    for view in views {
-        let rel = evaluate(&view.definition, &canonical);
-        for tuple in &rel {
-            let atom = Atom::new(
-                view.name(),
-                tuple.iter().map(|&v| unfreeze_value(v)).collect(),
-            );
-            let vt = ViewTuple {
-                view: view.name(),
-                atom,
-            };
+    for tuples in per_view {
+        for vt in tuples {
             if !out.contains(&vt) {
                 out.push(vt);
             }
+        }
+    }
+    out
+}
+
+/// All tuples a single view contributes, in evaluation order (duplicates
+/// from *other* views are filtered by the caller's merge).
+fn tuples_of_view(view: &View, canonical: &Database) -> Vec<ViewTuple> {
+    let rel = evaluate(&view.definition, canonical);
+    let mut out: Vec<ViewTuple> = Vec::new();
+    for tuple in &rel {
+        let atom = Atom::new(
+            view.name(),
+            tuple.iter().map(|&v| unfreeze_value(v)).collect(),
+        );
+        let vt = ViewTuple {
+            view: view.name(),
+            atom,
+        };
+        if !out.contains(&vt) {
+            out.push(vt);
         }
     }
     out
@@ -129,6 +157,27 @@ mod tests {
             for v in t.atom.variables() {
                 assert!(qvars.contains(&v));
             }
+        }
+    }
+
+    #[test]
+    fn threaded_view_tuples_match_serial() {
+        let q = parse_query("q1(S, C) :- car(M, a), loc(a, C), part(S, M, C)").unwrap();
+        let views = parse_views(
+            "v1(M, D, C) :- car(M, D), loc(D, C).\n\
+             v2(S, M, C) :- part(S, M, C).\n\
+             v3(S) :- car(M, a), loc(a, C), part(S, M, C).\n\
+             v4(M, D, C, S) :- car(M, D), loc(D, C), part(S, M, C).\n\
+             v5(M, D, C) :- car(M, D), loc(D, C).",
+        )
+        .unwrap();
+        let serial = view_tuples(&q, &views);
+        for threads in [2, 3, 8] {
+            assert_eq!(
+                view_tuples_with_threads(&q, &views, threads),
+                serial,
+                "threads = {threads}"
+            );
         }
     }
 

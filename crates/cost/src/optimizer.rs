@@ -15,7 +15,7 @@ use crate::m2::optimal_m2_order;
 use crate::m3::{optimal_m3_plan, DropPolicy};
 use crate::oracle::SizeOracle;
 use crate::plan::PhysicalPlan;
-use viewplan_core::{CoreCover, CoreCoverConfig, Rewriting};
+use viewplan_core::{CoreCover, CoreCoverConfig, CoreCoverResult, CoreError, Rewriting};
 use viewplan_cq::{Atom, ConjunctiveQuery, ViewSet};
 use viewplan_obs as obs;
 
@@ -85,90 +85,118 @@ impl<'a> Optimizer<'a> {
     /// Finds the best physical plan over all generated rewritings under
     /// `model`, costing with `oracle`. Returns `None` when the query has
     /// no equivalent rewriting over the views.
+    ///
+    /// # Panics
+    /// Panics if the query is too wide for the rewriting generator; use
+    /// [`Optimizer::try_best_plan`] to handle that case as an error.
     pub fn best_plan(
         &self,
         model: CostModel,
         oracle: &mut dyn SizeOracle,
     ) -> Option<PlannedRewriting> {
+        self.try_best_plan(model, oracle)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Optimizer::best_plan`] returning an error instead of panicking
+    /// when the rewriting generator rejects the query (more than 64
+    /// subgoals after minimization).
+    pub fn try_best_plan(
+        &self,
+        model: CostModel,
+        oracle: &mut dyn SizeOracle,
+    ) -> Result<Option<PlannedRewriting>, CoreError> {
         let _span = obs::span("optimizer.best_plan");
         let generator =
             CoreCover::new(self.query, self.views).with_config(self.config.corecover.clone());
-        match model {
-            CostModel::M1 => {
-                let result = generator.run();
-                let r = result.rewritings().first()?.clone();
-                obs::counter!("cost.plans_enumerated").incr();
-                let plan = PhysicalPlan::ordered(r.body.clone());
-                let cost = plan.m1_cost() as f64;
-                Some(PlannedRewriting {
-                    rewriting: r,
-                    plan,
-                    cost,
-                })
-            }
-            CostModel::M2 => {
-                let result = generator.run_all_minimal();
-                let _enum_span = obs::span("optimizer.enumerate");
-                let filters: Vec<Atom> = result
-                    .filter_tuples()
-                    .iter()
-                    .map(|t| t.atom.clone())
-                    .collect();
-                let mut best: Option<PlannedRewriting> = None;
-                for r in result.rewritings() {
-                    // Base plan, then greedy filter grafting.
-                    let mut current = r.clone();
-                    let Some(mut current_best) = self.m2_plan(&current, oracle) else {
-                        continue; // degenerate (empty-body) rewriting
-                    };
-                    for _ in 0..self.config.max_filters {
-                        let mut improved = false;
-                        for f in &filters {
-                            if current.body.contains(f) {
-                                continue;
-                            }
-                            let mut with_f = current.clone();
-                            with_f.body.push(f.clone());
-                            if let Some(p) = self.m2_plan(&with_f, oracle) {
-                                if p.cost < current_best.cost {
-                                    current = with_f;
-                                    current_best = p;
-                                    improved = true;
-                                }
-                            }
-                        }
-                        if !improved {
-                            break;
-                        }
-                    }
-                    if best.as_ref().is_none_or(|b| current_best.cost < b.cost) {
-                        best = Some(current_best);
-                    }
-                }
-                best
-            }
-            CostModel::M3(policy) => {
-                let result = generator.run_all_minimal();
-                let _enum_span = obs::span("optimizer.enumerate");
-                let mut best: Option<PlannedRewriting> = None;
-                for r in result.rewritings() {
-                    obs::counter!("cost.plans_enumerated").incr();
-                    let Some((plan, cost)) =
-                        optimal_m3_plan(self.query, self.views, r, policy, oracle)
-                    else {
+        let best = match model {
+            CostModel::M1 => self.plan_m1(generator.try_run()?),
+            CostModel::M2 => self.plan_m2(generator.try_run_all_minimal()?, oracle),
+            CostModel::M3(policy) => self.plan_m3(generator.try_run_all_minimal()?, policy, oracle),
+        };
+        Ok(best)
+    }
+
+    fn plan_m1(&self, result: CoreCoverResult) -> Option<PlannedRewriting> {
+        let r = result.rewritings().first()?.clone();
+        obs::counter!("cost.plans_enumerated").incr();
+        let plan = PhysicalPlan::ordered(r.body.clone());
+        let cost = plan.m1_cost() as f64;
+        Some(PlannedRewriting {
+            rewriting: r,
+            plan,
+            cost,
+        })
+    }
+
+    fn plan_m2(
+        &self,
+        result: CoreCoverResult,
+        oracle: &mut dyn SizeOracle,
+    ) -> Option<PlannedRewriting> {
+        let _enum_span = obs::span("optimizer.enumerate");
+        let filters: Vec<Atom> = result
+            .filter_tuples()
+            .iter()
+            .map(|t| t.atom.clone())
+            .collect();
+        let mut best: Option<PlannedRewriting> = None;
+        for r in result.rewritings() {
+            // Base plan, then greedy filter grafting.
+            let mut current = r.clone();
+            let Some(mut current_best) = self.m2_plan(&current, oracle) else {
+                continue; // degenerate (empty-body) rewriting
+            };
+            for _ in 0..self.config.max_filters {
+                let mut improved = false;
+                for f in &filters {
+                    if current.body.contains(f) {
                         continue;
-                    };
-                    if best.as_ref().is_none_or(|b| cost < b.cost) {
-                        best = Some(PlannedRewriting {
-                            rewriting: r.clone(),
-                            plan,
-                            cost,
-                        });
+                    }
+                    let mut with_f = current.clone();
+                    with_f.body.push(f.clone());
+                    if let Some(p) = self.m2_plan(&with_f, oracle) {
+                        if p.cost < current_best.cost {
+                            current = with_f;
+                            current_best = p;
+                            improved = true;
+                        }
                     }
                 }
-                best
+                if !improved {
+                    break;
+                }
+            }
+            if best.as_ref().is_none_or(|b| current_best.cost < b.cost) {
+                best = Some(current_best);
             }
         }
+        best
+    }
+
+    fn plan_m3(
+        &self,
+        result: CoreCoverResult,
+        policy: DropPolicy,
+        oracle: &mut dyn SizeOracle,
+    ) -> Option<PlannedRewriting> {
+        let _enum_span = obs::span("optimizer.enumerate");
+        let mut best: Option<PlannedRewriting> = None;
+        for r in result.rewritings() {
+            obs::counter!("cost.plans_enumerated").incr();
+            let Some((plan, cost)) = optimal_m3_plan(self.query, self.views, r, policy, oracle)
+            else {
+                continue;
+            };
+            if best.as_ref().is_none_or(|b| cost < b.cost) {
+                best = Some(PlannedRewriting {
+                    rewriting: r.clone(),
+                    plan,
+                    cost,
+                });
+            }
+        }
+        best
     }
 
     fn m2_plan(
@@ -300,6 +328,20 @@ mod tests {
         // GSRs are projections of IRs, so the best M3 cost can only be ≤
         // the best plain-order cost of the same rewritings (filters aside).
         assert!(m3.cost <= m2.cost + 1e-9 || m2.rewriting.body.len() > m3.rewriting.body.len());
+    }
+
+    #[test]
+    fn too_wide_query_is_an_error_not_a_panic() {
+        let body: Vec<String> = (0..65).map(|i| format!("p{i}(X{i})")).collect();
+        let head: Vec<String> = (0..65).map(|i| format!("X{i}")).collect();
+        let q = parse_query(&format!("q({}) :- {}", head.join(", "), body.join(", "))).unwrap();
+        let views = parse_views("v0(A) :- p0(A)").unwrap();
+        let db = Database::new();
+        let mut oracle = ExactOracle::new(&db);
+        let err = Optimizer::new(&q, &views)
+            .try_best_plan(CostModel::M2, &mut oracle)
+            .unwrap_err();
+        assert_eq!(err, CoreError::TooManySubgoals { subgoals: 65 });
     }
 
     #[test]

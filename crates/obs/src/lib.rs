@@ -46,7 +46,7 @@ pub use metrics::{
     counter_value, counters, histogram_snapshot, histograms, Counter, Histogram, HistogramSnapshot,
 };
 pub use report::{json_report, render_report, report_to_stderr, write_json_report};
-pub use span::{span, span_tree, Span, SpanNode};
+pub use span::{attach_path, current_path, span, span_tree, Span, SpanNode, SpanPathGuard};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

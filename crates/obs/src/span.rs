@@ -67,6 +67,45 @@ impl Drop for Span {
     }
 }
 
+/// The full path of spans currently open on this thread (root first).
+/// A worker pool captures this on the spawning thread and re-attaches it
+/// on each worker via [`attach_path`], so spans opened inside parallel
+/// workers aggregate under the same phase-tree node as in a serial run.
+pub fn current_path() -> Vec<&'static str> {
+    STACK.with(|stack| stack.borrow().clone())
+}
+
+/// A guard that keeps a borrowed span path attached to this thread;
+/// detaches on drop. Returned by [`attach_path`].
+pub struct SpanPathGuard {
+    depth: usize,
+}
+
+/// Pushes `path` onto this thread's span stack without starting a timer,
+/// so subsequent [`span`] calls on this thread nest under it. Used to
+/// carry the spawning thread's phase context onto pool workers. A no-op
+/// when collection is disabled.
+pub fn attach_path(path: &[&'static str]) -> SpanPathGuard {
+    if !crate::enabled() || path.is_empty() {
+        return SpanPathGuard { depth: 0 };
+    }
+    STACK.with(|stack| stack.borrow_mut().extend_from_slice(path));
+    SpanPathGuard { depth: path.len() }
+}
+
+impl Drop for SpanPathGuard {
+    fn drop(&mut self) {
+        if self.depth == 0 {
+            return;
+        }
+        STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let keep = stack.len().saturating_sub(self.depth);
+            stack.truncate(keep);
+        });
+    }
+}
+
 /// One node of the aggregated phase tree.
 #[derive(Clone, Debug)]
 pub struct SpanNode {
@@ -153,6 +192,43 @@ mod tests {
         let a = tree.iter().find(|n| n.name == "span_test.sib_a").unwrap();
         assert!(a.children.is_empty());
         assert!(tree.iter().any(|n| n.name == "span_test.sib_b"));
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn attached_path_nests_worker_spans_under_the_parent() {
+        crate::set_enabled(true);
+        let path = {
+            let _outer = span("span_test.attach_outer");
+            current_path()
+        };
+        assert_eq!(path.last(), Some(&"span_test.attach_outer"));
+        // Simulate a pool worker: fresh thread, parent path re-attached.
+        let handle = std::thread::spawn(move || {
+            let _attach = attach_path(&path);
+            let _inner = span("span_test.attach_inner");
+        });
+        handle.join().unwrap();
+        let tree = span_tree();
+        let outer = tree
+            .iter()
+            .find(|n| n.name == "span_test.attach_outer")
+            .unwrap();
+        assert!(outer
+            .children
+            .iter()
+            .any(|c| c.name == "span_test.attach_inner"));
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn attach_path_detaches_on_drop() {
+        crate::set_enabled(true);
+        {
+            let _g = attach_path(&["span_test.detach_a", "span_test.detach_b"]);
+            assert_eq!(current_path(), ["span_test.detach_a", "span_test.detach_b"]);
+        }
+        assert!(current_path().is_empty());
         crate::set_enabled(false);
     }
 

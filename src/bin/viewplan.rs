@@ -9,8 +9,12 @@
 //! ```
 //!
 //! Every command also accepts `--stats` (print a phase/counter report to
-//! stderr) and `--stats-json FILE` (dump the full metrics registry as
-//! JSON).
+//! stderr), `--stats-json FILE` (dump the full metrics registry as JSON),
+//! and `--threads N` (parallelize the CoreCover pipeline; results are
+//! identical for any N — default `VIEWPLAN_THREADS` or 1).
+//!
+//! Exit codes: 0 success, 2 malformed input (bad file, bad flag value,
+//! unsupported query), 1 internal error.
 //!
 //! FILE is a plain-text problem description:
 //!
@@ -27,23 +31,49 @@
 //! ```
 
 use std::process::ExitCode;
+use viewplan::core::{default_threads, CoreError};
 use viewplan::prelude::*;
+
+/// A CLI failure, split by whose fault it is: malformed input exits with
+/// code 2 (scriptable: "fix your file/flags"), internal errors — states
+/// the program itself promises are impossible — exit with code 1.
+#[derive(Debug)]
+enum CliError {
+    Input(String),
+    Internal(String),
+}
+
+impl CliError {
+    fn input(msg: impl Into<String>) -> CliError {
+        CliError::Input(msg.into())
+    }
+}
+
+impl From<CoreError> for CliError {
+    fn from(e: CoreError) -> CliError {
+        CliError::Input(e.to_string())
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+        Err(CliError::Input(msg)) => {
             eprintln!("error: {msg}");
             eprintln!("run `viewplan help` for usage");
+            ExitCode::from(2)
+        }
+        Err(CliError::Internal(msg)) => {
+            eprintln!("internal error: {msg}");
             ExitCode::FAILURE
         }
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), CliError> {
     let Some(command) = args.first() else {
-        return Err("missing command".into());
+        return Err(CliError::input("missing command"));
     };
     match command.as_str() {
         "help" | "--help" | "-h" => {
@@ -53,13 +83,16 @@ fn run(args: &[String]) -> Result<(), String> {
         "rewrite" => with_stats(&args[1..], rewrite),
         "plan" => with_stats(&args[1..], plan),
         "eval" => with_stats(&args[1..], eval),
-        other => Err(format!("unknown command {other:?}")),
+        other => Err(CliError::Input(format!("unknown command {other:?}"))),
     }
 }
 
 /// Runs a command with stats collection enabled when requested, emitting
 /// the reports afterwards.
-fn with_stats(args: &[String], command: fn(&[String]) -> Result<(), String>) -> Result<(), String> {
+fn with_stats(
+    args: &[String],
+    command: fn(&[String]) -> Result<(), CliError>,
+) -> Result<(), CliError> {
     let stats = stats_request(args);
     command(args)?;
     stats.emit()
@@ -75,7 +108,11 @@ fn print_help() {
          viewplan eval    FILE\n\
          \n\
          Common flags: --stats (phase/counter report on stderr),\n\
-         --stats-json FILE (dump the metrics registry as JSON).\n\
+         --stats-json FILE (dump the metrics registry as JSON),\n\
+         --threads N (parallel CoreCover pipeline; identical results for\n\
+         any N; default: VIEWPLAN_THREADS or 1).\n\
+         \n\
+         Exit codes: 0 success, 2 malformed input, 1 internal error.\n\
          \n\
          FILE holds a query (first rule), views (other rules), and optional\n\
          ground facts (base data). `rewrite` prints the view tuples, their\n\
@@ -92,8 +129,9 @@ struct Problem {
     base: Database,
 }
 
-fn load(path: &str) -> Result<Problem, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+fn load(path: &str) -> Result<Problem, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Input(format!("cannot read {path}: {e}")))?;
     let mut rules_src = String::new();
     let mut facts: Vec<Atom> = Vec::new();
     for raw in text.lines() {
@@ -106,16 +144,20 @@ fn load(path: &str) -> Result<Problem, String> {
             rules_src.push('\n');
         } else {
             let atom_src = line.trim_end_matches('.');
-            let atom = parse_atom(atom_src).map_err(|e| format!("bad fact {line:?}: {e}"))?;
+            let atom = parse_atom(atom_src)
+                .map_err(|e| CliError::Input(format!("bad fact {line:?}: {e}")))?;
             if atom.terms.iter().any(|t| t.is_var()) {
-                return Err(format!("fact {atom} must be ground"));
+                return Err(CliError::Input(format!("fact {atom} must be ground")));
             }
             facts.push(atom);
         }
     }
-    let program = viewplan::cq::parse_program(&rules_src).map_err(|e| format!("bad rule: {e}"))?;
+    let program = viewplan::cq::parse_program(&rules_src)
+        .map_err(|e| CliError::Input(format!("bad rule: {e}")))?;
     let mut rules = program.rules.into_iter();
-    let query = rules.next().ok_or("file contains no rules")?;
+    let query = rules
+        .next()
+        .ok_or_else(|| CliError::input("file contains no rules"))?;
     let views = ViewSet::from_views(rules.map(View::new));
     let mut base = Database::new();
     for f in facts {
@@ -134,7 +176,7 @@ fn load(path: &str) -> Result<Problem, String> {
 }
 
 /// Options that consume the following argument as their value.
-const VALUE_OPTIONS: &[&str] = &["--model", "--baseline", "--stats-json"];
+const VALUE_OPTIONS: &[&str] = &["--model", "--baseline", "--stats-json", "--threads"];
 
 fn flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
@@ -169,12 +211,25 @@ fn positional_args(args: &[String]) -> Vec<&str> {
     out
 }
 
-fn file_arg(args: &[String]) -> Result<&str, String> {
+fn file_arg(args: &[String]) -> Result<&str, CliError> {
     let positionals = positional_args(args);
     match positionals.as_slice() {
-        [] => Err("missing FILE argument".to_string()),
+        [] => Err(CliError::input("missing FILE argument")),
         [file] => Ok(file),
-        [_, extra, ..] => Err(format!("unexpected extra argument {extra:?}")),
+        [_, extra, ..] => Err(CliError::Input(format!(
+            "unexpected extra argument {extra:?}"
+        ))),
+    }
+}
+
+/// The `--threads` value: a positive integer, defaulting to
+/// `VIEWPLAN_THREADS` (or 1) when the flag is absent.
+fn threads_arg(args: &[String]) -> Result<usize, CliError> {
+    match option(args, "--threads") {
+        None => Ok(default_threads()),
+        Some(v) => v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+            CliError::Input(format!("--threads expects a positive integer, got {v:?}"))
+        }),
     }
 }
 
@@ -198,26 +253,29 @@ fn stats_request(args: &[String]) -> StatsRequest {
 
 impl StatsRequest {
     /// Emits the requested reports (call after the command's work).
-    fn emit(&self) -> Result<(), String> {
+    fn emit(&self) -> Result<(), CliError> {
         if self.report {
             viewplan::obs::report_to_stderr();
         }
         if let Some(path) = &self.json {
             viewplan::obs::write_json_report(std::path::Path::new(path))
-                .map_err(|e| format!("cannot write {path}: {e}"))?;
+                .map_err(|e| CliError::Input(format!("cannot write {path}: {e}")))?;
         }
         Ok(())
     }
 }
 
-fn rewrite(args: &[String]) -> Result<(), String> {
+fn rewrite(args: &[String]) -> Result<(), CliError> {
     let problem = load(file_arg(args)?)?;
+    let threads = threads_arg(args)?;
     if let Some(baseline) = option(args, "--baseline") {
         let rs = match baseline {
             "naive" => naive_gmrs(&problem.query, &problem.views),
-            "minicon" => minicon_rewritings(&problem.query, &problem.views, true, 10_000),
+            "minicon" => {
+                MiniCon::new(&problem.query, &problem.views).try_rewritings(true, 10_000)?
+            }
             "bucket" => viewplan::core::bucket_rewritings(&problem.query, &problem.views, 100_000),
-            other => return Err(format!("unknown baseline {other:?}")),
+            other => return Err(CliError::Input(format!("unknown baseline {other:?}"))),
         };
         println!("{} rewriting(s) via {baseline}:", rs.len());
         for r in rs {
@@ -225,16 +283,19 @@ fn rewrite(args: &[String]) -> Result<(), String> {
         }
         return Ok(());
     }
-    let mut config = CoreCoverConfig::default();
+    let mut config = CoreCoverConfig {
+        threads,
+        ..CoreCoverConfig::default()
+    };
     if flag(args, "--no-grouping") {
         config.group_equivalent_views = false;
         config.group_view_tuples = false;
     }
     let cc = CoreCover::new(&problem.query, &problem.views).with_config(config);
     let result = if flag(args, "--all-minimal") {
-        cc.run_all_minimal()
+        cc.try_run_all_minimal()?
     } else {
-        cc.run()
+        cc.try_run()?
     };
     println!("minimized query:\n  {}", result.minimized_query);
     println!("\nview tuples and tuple-cores:");
@@ -259,6 +320,9 @@ fn rewrite(args: &[String]) -> Result<(), String> {
         "\nstats: {} views -> {} classes; {} tuples -> {} representatives",
         s.views, s.view_classes, s.view_tuples, s.representative_tuples
     );
+    if s.truncated {
+        println!("note: enumeration stopped at the rewriting cap — the list below is incomplete");
+    }
     println!(
         "\n{} {} rewriting(s):",
         result.rewritings().len(),
@@ -274,16 +338,19 @@ fn rewrite(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn plan(args: &[String]) -> Result<(), String> {
+fn plan(args: &[String]) -> Result<(), CliError> {
     let problem = load(file_arg(args)?)?;
+    let threads = threads_arg(args)?;
     if problem.base.is_empty() {
-        return Err("`plan` needs ground facts in the file (base data)".into());
+        return Err(CliError::input(
+            "`plan` needs ground facts in the file (base data)",
+        ));
     }
     let model = match option(args, "--model").unwrap_or("m2") {
         "m1" => CostModel::M1,
         "m2" => CostModel::M2,
         "m3" => CostModel::M3(DropPolicy::SmartCostBased),
-        other => return Err(format!("unknown cost model {other:?}")),
+        other => return Err(CliError::Input(format!("unknown cost model {other:?}"))),
     };
     let vdb = materialize_views(&problem.views, &problem.base);
     println!("materialized views:");
@@ -291,9 +358,17 @@ fn plan(args: &[String]) -> Result<(), String> {
         println!("  {name}: {} tuple(s)", rel.len());
     }
     let mut oracle = ExactOracle::new(&vdb);
+    let config = OptimizerConfig {
+        corecover: CoreCoverConfig {
+            threads,
+            ..CoreCoverConfig::default()
+        },
+        ..OptimizerConfig::default()
+    };
     let best = Optimizer::new(&problem.query, &problem.views)
-        .best_plan(model, &mut oracle)
-        .ok_or("the query has no equivalent rewriting over these views")?;
+        .with_config(config)
+        .try_best_plan(model, &mut oracle)?
+        .ok_or_else(|| CliError::input("the query has no equivalent rewriting over these views"))?;
     println!("\nbest rewriting: {}", best.rewriting);
     println!("physical plan:  {}", best.plan);
     println!("cost:           {}", best.cost);
@@ -304,12 +379,19 @@ fn plan(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn eval(args: &[String]) -> Result<(), String> {
+fn eval(args: &[String]) -> Result<(), CliError> {
     let problem = load(file_arg(args)?)?;
+    let threads = threads_arg(args)?;
     let direct = evaluate(&problem.query, &problem.base);
     println!("direct answer ({} tuple(s)):", direct.len());
     print!("{direct}");
-    let result = CoreCover::new(&problem.query, &problem.views).run();
+    let config = CoreCoverConfig {
+        threads,
+        ..CoreCoverConfig::default()
+    };
+    let result = CoreCover::new(&problem.query, &problem.views)
+        .with_config(config)
+        .try_run()?;
     match result.rewritings().first() {
         None => println!("\n(no equivalent rewriting over the views)"),
         Some(r) => {
@@ -320,7 +402,9 @@ fn eval(args: &[String]) -> Result<(), String> {
             if via == direct {
                 println!("\n✓ answers agree (closed-world equivalence)");
             } else {
-                return Err("answers disagree — this is a bug".into());
+                return Err(CliError::Internal(
+                    "answers disagree — this is a bug".into(),
+                ));
             }
         }
     }
@@ -329,7 +413,7 @@ fn eval(args: &[String]) -> Result<(), String> {
 
 #[cfg(test)]
 mod tests {
-    use super::{file_arg, option, positional_args};
+    use super::{file_arg, option, positional_args, threads_arg, CliError};
 
     fn args(list: &[&str]) -> Vec<String> {
         list.iter().map(|s| s.to_string()).collect()
@@ -381,8 +465,26 @@ mod tests {
 
     #[test]
     fn extra_positionals_are_rejected() {
-        let err = file_arg(&args(&["a.vp", "b.vp"])).unwrap_err();
-        assert!(err.contains("b.vp"));
+        match file_arg(&args(&["a.vp", "b.vp"])).unwrap_err() {
+            CliError::Input(msg) => assert!(msg.contains("b.vp")),
+            other => panic!("expected an input error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn threads_arg_parses_and_rejects() {
+        assert_eq!(threads_arg(&args(&["f.vp", "--threads", "8"])).unwrap(), 8);
+        assert!(threads_arg(&args(&["f.vp"])).unwrap() >= 1);
+        for bad in [
+            &["--threads", "0"][..],
+            &["--threads", "eight"],
+            &["--threads", "-2"],
+        ] {
+            match threads_arg(&args(bad)).unwrap_err() {
+                CliError::Input(msg) => assert!(msg.contains("--threads")),
+                other => panic!("expected an input error, got {other:?}"),
+            }
+        }
     }
 
     #[test]

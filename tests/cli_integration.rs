@@ -54,16 +54,100 @@ fn eval_answers_agree() {
 }
 
 #[test]
-fn missing_file_fails_with_nonzero_exit() {
+fn missing_file_fails_with_exit_code_2() {
     let out = viewplan(&["plan", "examples/problems/no_such_problem.vp"]);
-    assert!(!out.status.success());
-    assert!(!stderr(&out).is_empty());
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("cannot read"));
 }
 
 #[test]
 fn unknown_subcommand_fails() {
     let out = viewplan(&["frobnicate", PROBLEM]);
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown command"));
+}
+
+/// Writes a throwaway problem file and returns its path.
+fn temp_problem(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(name);
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+#[test]
+fn malformed_fact_fails_with_exit_code_2() {
+    let path = temp_problem(
+        "viewplan_cli_bad_fact.vp",
+        "q(X) :- e(X, Y).\nv(A, B) :- e(A, B).\ncar(honda, .\n",
+    );
+    let out = viewplan(&["rewrite", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("bad fact"));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn non_ground_fact_fails_with_exit_code_2() {
+    let path = temp_problem(
+        "viewplan_cli_nonground.vp",
+        "q(X) :- e(X, Y).\nv(A, B) :- e(A, B).\ncar(Honda, anderson).\n",
+    );
+    let out = viewplan(&["eval", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("must be ground"));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn empty_file_fails_with_exit_code_2() {
+    let path = temp_problem("viewplan_cli_no_rules.vp", "% nothing but comments\n");
+    let out = viewplan(&["rewrite", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("no rules"));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn unknown_model_and_baseline_fail_with_exit_code_2() {
+    let out = viewplan(&["plan", PROBLEM, "--model", "m9"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown cost model"));
+    let out = viewplan(&["rewrite", PROBLEM, "--baseline", "quantum"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown baseline"));
+}
+
+#[test]
+fn bad_threads_value_fails_with_exit_code_2() {
+    for bad in ["0", "many", "-3"] {
+        let out = viewplan(&["rewrite", PROBLEM, "--threads", bad]);
+        assert_eq!(out.status.code(), Some(2), "--threads {bad}");
+        assert!(stderr(&out).contains("--threads"));
+    }
+}
+
+#[test]
+fn too_wide_query_fails_with_exit_code_2() {
+    let body: Vec<String> = (0..65).map(|i| format!("p{i}(X{i})")).collect();
+    let head: Vec<String> = (0..65).map(|i| format!("X{i}")).collect();
+    let mut contents = format!("q({}) :- {}.\n", head.join(", "), body.join(", "));
+    contents.push_str("v0(A) :- p0(A).\n");
+    let path = temp_problem("viewplan_cli_wide.vp", &contents);
+    let out = viewplan(&["rewrite", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("65 subgoals"));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn threads_flag_gives_identical_rewrite_output() {
+    let serial = viewplan(&["rewrite", PROBLEM, "--threads", "1"]);
+    assert!(serial.status.success(), "stderr: {}", stderr(&serial));
+    for n in ["2", "8"] {
+        let par = viewplan(&["rewrite", PROBLEM, "--threads", n]);
+        assert!(par.status.success(), "stderr: {}", stderr(&par));
+        assert_eq!(stdout(&par), stdout(&serial), "--threads {n}");
+    }
 }
 
 #[test]
