@@ -206,7 +206,8 @@ fn example61() -> String {
             (DropPolicy::Supplementary, "supplementary"),
             (DropPolicy::SmartCostBased, "renaming §6.2"),
         ] {
-            let (_, gsrs, cost) = plan_with_order(&q, &views, &p2, &order, policy, &mut oracle);
+            let (_, gsrs, cost) = plan_with_order(&q, &views, &p2, &order, policy, &mut oracle)
+                .expect("unbudgeted M3 planning always completes");
             out.push_str(&format!("{oname:<10} | {pname:<13} | {gsrs:?} | {cost}\n"));
         }
     }

@@ -51,6 +51,11 @@ pub struct SweepPoint {
     pub set_cover_nodes: f64,
     /// Worker threads the harness used for this point (1 = serial).
     pub threads: usize,
+    /// Fraction of accepted runs that reported
+    /// [`viewplan_obs::Completeness::Complete`] (1.0 whenever no budget
+    /// is installed; lower values mean some runs returned best-so-far
+    /// results under an exhausted budget).
+    pub completeness: f64,
 }
 
 /// Sweep parameters.
@@ -134,6 +139,8 @@ struct AttemptOutcome {
     /// counters are process-global, so concurrent runs interleave).
     hom_delta: f64,
     cover_delta: f64,
+    /// Whether the run covered its whole search space (no budget fired).
+    complete: bool,
 }
 
 fn run_attempt(config: &SweepConfig, views: usize, attempt: usize, serial: bool) -> AttemptOutcome {
@@ -166,6 +173,7 @@ fn run_attempt(config: &SweepConfig, views: usize, attempt: usize, serial: bool)
         gmrs: result.stats.rewritings as f64,
         hom_delta,
         cover_delta,
+        complete: result.stats.completeness == obs::Completeness::Complete,
     }
 }
 
@@ -197,6 +205,7 @@ pub fn run_point(config: &SweepConfig, views: usize) -> SweepPoint {
     let mut gmrs = 0.0;
     let mut hom_nodes = 0.0;
     let mut set_cover_nodes = 0.0;
+    let mut complete_runs = 0usize;
     let hom_point_before = obs::counter_value("containment.hom_nodes");
     let cover_point_before = obs::counter_value("cover.search_nodes");
     // Each chunk is exactly the remaining quota: the serial loop always
@@ -227,6 +236,7 @@ pub fn run_point(config: &SweepConfig, views: usize) -> SweepPoint {
             gmrs += o.gmrs;
             hom_nodes += o.hom_delta;
             set_cover_nodes += o.cover_delta;
+            complete_runs += o.complete as usize;
         }
     }
     let n = accepted.max(1) as f64;
@@ -246,6 +256,7 @@ pub fn run_point(config: &SweepConfig, views: usize) -> SweepPoint {
         hom_nodes: hom_nodes / n,
         set_cover_nodes: set_cover_nodes / n,
         threads,
+        completeness: complete_runs as f64 / n,
     }
 }
 
@@ -253,11 +264,11 @@ pub fn run_point(config: &SweepConfig, views: usize) -> SweepPoint {
 pub fn to_csv(points: &[SweepPoint]) -> String {
     let mut out = String::from(
         "views,queries,avg_ms,view_classes,view_tuples,representative_tuples,gmrs,\
-         hom_nodes,set_cover_nodes,threads\n",
+         hom_nodes,set_cover_nodes,threads,completeness\n",
     );
     for p in points {
         out.push_str(&format!(
-            "{},{},{:.3},{:.1},{:.1},{:.1},{:.1},{:.1},{:.1},{}\n",
+            "{},{},{:.3},{:.1},{:.1},{:.1},{:.1},{:.1},{:.1},{},{:.3}\n",
             p.views,
             p.queries,
             p.avg_ms,
@@ -267,7 +278,8 @@ pub fn to_csv(points: &[SweepPoint]) -> String {
             p.gmrs,
             p.hom_nodes,
             p.set_cover_nodes,
-            p.threads
+            p.threads,
+            p.completeness
         ));
     }
     out
@@ -287,6 +299,8 @@ mod tests {
         assert!(points[0].queries >= 1);
         assert!(points[0].view_tuples >= points[0].representative_tuples);
         assert!(points[0].hom_nodes > 0.0);
+        // No budget installed → every run is complete by definition.
+        assert_eq!(points[0].completeness, 1.0);
     }
 
     #[test]
@@ -302,12 +316,13 @@ mod tests {
             hom_nodes: 120.0,
             set_cover_nodes: 15.0,
             threads: 8,
+            completeness: 0.75,
         };
         let csv = to_csv(&[p]);
         assert!(csv.starts_with("views,"));
-        assert!(csv.lines().next().unwrap().ends_with(",threads"));
+        assert!(csv.lines().next().unwrap().ends_with(",completeness"));
         assert!(csv.contains("100,40,1.500"));
-        assert!(csv.lines().nth(1).unwrap().ends_with(",8"));
+        assert!(csv.lines().nth(1).unwrap().ends_with(",8,0.750"));
     }
 
     /// The tentpole guarantee at the harness level: a parallel sweep

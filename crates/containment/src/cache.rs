@@ -145,13 +145,22 @@ fn shard_of(key: &(CanonicalQuery, CanonicalQuery)) -> &'static Shard {
 /// Memoizes the verdict of `compute` under the canonicalized `(q1, q2)`
 /// pair. The caller fixes the semantics of the pair (here: "q1 ⊑ q2");
 /// canonicalization guarantees any variant pair gets the same verdict.
-pub(crate) fn cached_verdict(
+///
+/// `compute` additionally reports whether it ran to completion: a
+/// verdict from a budget-truncated search is returned to the caller but
+/// **never inserted** into the cache — truncated verdicts are
+/// conservative under-approximations, and memoizing one would poison
+/// later unbudgeted (or more generously budgeted) checks. Cache *hits*
+/// under a budget are safe in the other direction: a cached verdict is
+/// always from a complete search, i.e. at least as accurate as the
+/// truncated search it replaces.
+pub(crate) fn cached_verdict_complete(
     q1: &ConjunctiveQuery,
     q2: &ConjunctiveQuery,
-    compute: impl FnOnce() -> bool,
+    compute: impl FnOnce() -> (bool, bool),
 ) -> bool {
     if !cache_enabled() || q1.body.len() + q2.body.len() < MIN_CACHED_SUBGOALS {
-        return compute();
+        return compute().0;
     }
     let key = (canonical_key(q1), canonical_key(q2));
     let shard = shard_of(&key);
@@ -160,7 +169,11 @@ pub(crate) fn cached_verdict(
         return verdict;
     }
     obs::counter!("containment.cache_misses").incr();
-    let verdict = compute();
+    let (verdict, complete) = compute();
+    if !complete {
+        obs::counter!("containment.cache_uncacheable").incr();
+        return verdict;
+    }
     let mut wr = shard.write();
     if wr.len() >= SHARD_CAPACITY {
         obs::counter!("containment.cache_evictions").incr();
@@ -270,6 +283,30 @@ mod tests {
         let q2 = parse_query("q(X) :- p(X, Y)").unwrap();
         assert!(is_contained_in(&q1, &q2));
         assert_eq!(containment_cache_len(), 0);
+    }
+
+    #[test]
+    fn truncated_verdicts_are_not_cached() {
+        let _guard = state_lock();
+        clear_containment_cache();
+        set_cache_enabled(true);
+        let q1 = parse_query(&chain("X", 8)).unwrap();
+        let q2 = parse_query(&chain("Y", 6)).unwrap();
+        // Under a 1-node hom budget the check truncates: conservative
+        // `false`, and nothing may be written to the cache.
+        let truncated = {
+            let _b = obs::budget::install(
+                obs::budget::BudgetSpec::new()
+                    .phase_nodes(obs::Phase::Hom, 1)
+                    .build(),
+            );
+            is_contained_in(&q1, &q2)
+        };
+        assert!(!truncated, "truncated check must under-approximate");
+        assert_eq!(containment_cache_len(), 0, "truncated verdict was cached");
+        // The same check without a budget is complete, correct, cached.
+        assert!(is_contained_in(&q1, &q2));
+        assert!(containment_cache_len() > 0);
     }
 
     #[test]

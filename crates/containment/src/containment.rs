@@ -41,9 +41,22 @@ pub fn containment_mapping(
     from: &ConjunctiveQuery,
     onto: &ConjunctiveQuery,
 ) -> Option<Substitution> {
+    containment_mapping_complete(from, onto).0
+}
+
+/// Like [`containment_mapping`], also reporting whether the search ran
+/// to completion under the ambient budget. A truncated search can only
+/// *miss* a mapping — `(None, false)` is a conservative "not proven",
+/// never a fabricated proof.
+pub fn containment_mapping_complete(
+    from: &ConjunctiveQuery,
+    onto: &ConjunctiveQuery,
+) -> (Option<Substitution>, bool) {
     obs::counter!("containment.checks").incr();
-    let initial = head_bindings(from, onto)?;
-    HomomorphismSearch::with_initial(&from.body, &onto.body, initial).find()
+    let Some(initial) = head_bindings(from, onto) else {
+        return (None, true);
+    };
+    HomomorphismSearch::with_initial(&from.body, &onto.body, initial).find_complete()
 }
 
 /// True iff `q1 ⊑ q2`: for every database, `q1`'s answer is a subset of
@@ -51,8 +64,14 @@ pub fn containment_mapping(
 /// `q1`; the boolean verdict is memoized in the process-global
 /// [containment cache](crate::cache) (containment is invariant under
 /// variable renaming, so the cache keys on canonicalized pairs).
+/// Verdicts from budget-truncated searches are conservative (`false` =
+/// "not proven") and are **not** written to the cache, so a budgeted
+/// run can never poison an unbudgeted one.
 pub fn is_contained_in(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> bool {
-    crate::cache::cached_verdict(q1, q2, || containment_mapping(q2, q1).is_some())
+    crate::cache::cached_verdict_complete(q1, q2, || {
+        let (mapping, complete) = containment_mapping_complete(q2, q1);
+        (mapping.is_some(), complete)
+    })
 }
 
 /// True iff the queries are equivalent (contained in each other).

@@ -73,26 +73,49 @@ impl<'a> HomomorphismSearch<'a> {
 
     /// Finds one homomorphism, if any.
     pub fn find(&self) -> Option<Substitution> {
-        let mut subst = self.initial.clone();
+        self.find_complete().0
+    }
+
+    /// Like [`HomomorphismSearch::find`], also reporting whether the
+    /// search ran to completion. Under an exhausted budget the search is
+    /// truncated: `(None, false)` means "none found *so far*" — a
+    /// conservative miss, never a fabricated match.
+    pub fn find_complete(&self) -> (Option<Substitution>, bool) {
         let mut found = None;
-        self.search(0, &mut subst, &mut |s| {
+        let complete = self.for_each_complete(|s| {
             found = Some(s.clone());
             true
         });
-        found
+        // A found homomorphism is valid regardless of truncation.
+        (found, complete)
     }
 
     /// True iff a homomorphism exists.
     pub fn exists(&self) -> bool {
-        let mut subst = self.initial.clone();
-        self.search(0, &mut subst, &mut |_| true)
+        self.exists_complete().0
+    }
+
+    /// Like [`HomomorphismSearch::exists`], also reporting completeness.
+    /// `(false, false)` means the truncated search found none so far.
+    pub fn exists_complete(&self) -> (bool, bool) {
+        let (found, complete) = self.find_complete();
+        (found.is_some(), complete)
     }
 
     /// Enumerates homomorphisms, invoking `visit` for each; `visit`
     /// returning `true` stops the enumeration early.
-    pub fn for_each(&self, mut visit: impl FnMut(&Substitution) -> bool) {
+    pub fn for_each(&self, visit: impl FnMut(&Substitution) -> bool) {
+        self.for_each_complete(visit);
+    }
+
+    /// Enumerates homomorphisms under the ambient budget; returns `true`
+    /// when the enumeration ran to completion (or the visitor stopped it),
+    /// `false` when the budget truncated it.
+    pub fn for_each_complete(&self, mut visit: impl FnMut(&Substitution) -> bool) -> bool {
+        let mut meter = obs::Meter::start(obs::Phase::Hom);
         let mut subst = self.initial.clone();
-        self.search(0, &mut subst, &mut visit);
+        self.search(0, &mut subst, &mut meter, &mut visit);
+        !meter.exhausted()
     }
 
     /// Collects all homomorphisms (use only on small instances — the count
@@ -107,13 +130,19 @@ impl<'a> HomomorphismSearch<'a> {
     }
 
     /// Depth-first search over pattern positions. Returns `true` when the
-    /// visitor requested a stop.
+    /// visitor requested a stop. A refused meter tick unwinds the whole
+    /// search (every level returns `false`, reading as "no match"); the
+    /// caller distinguishes truncation via `meter.exhausted()`.
     fn search(
         &self,
         depth: usize,
         subst: &mut Substitution,
+        meter: &mut obs::Meter,
         visit: &mut dyn FnMut(&Substitution) -> bool,
     ) -> bool {
+        if !meter.tick() {
+            return false;
+        }
         obs::counter!("containment.hom_nodes").incr();
         if depth == self.pattern.len() {
             return visit(subst);
@@ -121,11 +150,16 @@ impl<'a> HomomorphismSearch<'a> {
         let pat = self.pattern[depth];
         for &cand in &self.candidates[depth] {
             let mut bound: Vec<Symbol> = Vec::new();
-            if unify_atom(pat, cand, subst, &mut bound) && self.search(depth + 1, subst, visit) {
+            if unify_atom(pat, cand, subst, &mut bound)
+                && self.search(depth + 1, subst, meter, visit)
+            {
                 return true;
             }
             for v in bound.drain(..) {
                 subst.unbind(v);
+            }
+            if meter.exhausted() {
+                break;
             }
         }
         false
@@ -267,5 +301,51 @@ mod tests {
     fn empty_pattern_has_trivial_homomorphism() {
         let tgt = body("q(X) :- e(X, X)");
         assert!(find_homomorphism(&[], &tgt).is_some());
+    }
+
+    #[test]
+    fn unbudgeted_search_reports_complete() {
+        let pat = body("q(X) :- e(X, Y)");
+        let tgt = body("q(A) :- e(A, B)");
+        let (found, complete) = HomomorphismSearch::new(&pat, &tgt).find_complete();
+        assert!(found.is_some());
+        assert!(complete);
+    }
+
+    #[test]
+    fn exhausted_budget_truncates_but_never_fabricates() {
+        // A 1-node budget stops the search before any mapping is built.
+        let pat = body("q(X) :- e(X, Y), e(Y, Z)");
+        let tgt = body("q(A) :- e(A, B), e(B, C)");
+        let budget = obs::budget::BudgetSpec::new()
+            .phase_nodes(obs::Phase::Hom, 1)
+            .build();
+        let _g = obs::budget::install(budget.clone());
+        let (found, complete) = HomomorphismSearch::new(&pat, &tgt).find_complete();
+        assert!(found.is_none(), "truncated search must not invent matches");
+        assert!(!complete, "truncation must be reported");
+        assert_eq!(budget.abandoned(obs::Phase::Hom), 1);
+    }
+
+    #[test]
+    fn node_capped_search_is_deterministic() {
+        let pat = body("q(X) :- e(X, Y), e(Y, Z), e(Z, W)");
+        let tgt = body("q() :- e(a, b), e(b, c), e(c, d), e(d, a)");
+        let run = |cap: u64| {
+            let _g = obs::budget::install(
+                obs::budget::BudgetSpec::new()
+                    .phase_nodes(obs::Phase::Hom, cap)
+                    .build(),
+            );
+            let mut seen = Vec::new();
+            let complete = HomomorphismSearch::new(&pat, &tgt).for_each_complete(|s| {
+                seen.push(s.apply(Term::var("X")));
+                false
+            });
+            (seen, complete)
+        };
+        for cap in [1, 5, 20, 10_000] {
+            assert_eq!(run(cap), run(cap), "cap {cap} not deterministic");
+        }
     }
 }

@@ -26,6 +26,14 @@ pub fn minimize(q: &ConjunctiveQuery) -> ConjunctiveQuery {
         if current.body.len() == 1 {
             break; // a single-subgoal safe query is already minimal
         }
+        // Graceful degradation: once the ambient budget is cancelled,
+        // stop removing subgoals. The partial result is still equivalent
+        // to `q` (every removal so far was proven), just not minimal —
+        // and individual truncated containment checks inside the loop
+        // only err toward keeping subgoals, which is equally sound.
+        if obs::budget::cancelled() {
+            break;
+        }
         obs::counter!("containment.minimize_rounds").incr();
         let candidate = current.without_subgoal(i);
         // candidate ⊒ current always; equivalence needs current ⊑ candidate,

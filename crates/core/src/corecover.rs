@@ -23,7 +23,7 @@
 //! (Figures 6–9).
 
 use crate::classes::{view_equivalence_classes, view_tuple_classes};
-use crate::cover::{all_irredundant_covers_counted, all_minimum_covers};
+use crate::cover::{all_irredundant_covers_counted, all_minimum_covers_counted};
 use crate::error::{CoreError, MAX_SUBGOALS};
 use crate::parallel::{default_threads, parallel_map};
 use crate::rewriting::{dedup_variants, Rewriting};
@@ -32,6 +32,7 @@ use crate::view_tuple::{view_tuples_with_threads, ViewTuple};
 use viewplan_containment::{are_equivalent, expand, minimize};
 use viewplan_cq::{ConjunctiveQuery, ViewSet};
 use viewplan_obs as obs;
+use viewplan_obs::Completeness;
 
 /// Tuning knobs for [`CoreCover`].
 #[derive(Clone, Debug)]
@@ -43,9 +44,12 @@ pub struct CoreCoverConfig {
     /// per class (§5.2 step 2). Default `true`.
     pub group_view_tuples: bool,
     /// Verify each produced rewriting by expanding it and checking
-    /// equivalence with the query. Theorem 4.1 makes this redundant —
-    /// covers *are* rewritings — so it defaults to `false`; debug builds
-    /// always assert it.
+    /// equivalence with the query; candidates that fail are dropped
+    /// (counted under `corecover.nonequivalent_covers`, or marked
+    /// `Truncated` when a budget may have cut the equivalence search
+    /// short). Covers whose overlapping tuple-cores disagree on a shared
+    /// variable are not rewritings, so this defaults to `false` only for
+    /// speed; debug builds always verify.
     pub verify_rewritings: bool,
     /// Cap on the number of rewritings enumerated by `CoreCover*`.
     pub max_rewritings: usize,
@@ -87,10 +91,19 @@ pub struct CoreCoverStats {
     pub empty_core_tuples: usize,
     /// Number of rewritings produced.
     pub rewritings: usize,
-    /// True iff the `CoreCover*` enumeration was cut short by
-    /// [`CoreCoverConfig::max_rewritings`] — the rewriting list is then a
-    /// prefix of the full space, not the whole of it.
+    /// True iff the enumeration was cut short — by
+    /// [`CoreCoverConfig::max_rewritings`] or by the ambient budget —
+    /// so the rewriting list is a subset of the full space, not the
+    /// whole of it.
     pub truncated: bool,
+    /// How complete the run was under the ambient
+    /// [budget](viewplan_obs::budget): [`Completeness::Complete`] when
+    /// nothing was cut short, [`Completeness::Truncated`] when a node
+    /// cap or count cap fired (deterministic subset),
+    /// [`Completeness::DeadlineExceeded`] when the wall clock fired
+    /// (nondeterministic best-so-far). Every rewriting returned is a
+    /// genuine equivalent rewriting regardless of this marker.
+    pub completeness: Completeness,
 }
 
 /// The output of a [`CoreCover`] run.
@@ -221,6 +234,10 @@ impl<'a> CoreCover<'a> {
     fn run_inner(&self, minimum_only: bool) -> Result<CoreCoverResult, CoreError> {
         let _run_span = obs::span("corecover.run");
         let threads = self.config.threads.max(1);
+        // Scope completeness classification to this run: the ambient
+        // budget handle may carry hits from earlier runs.
+        let budget_active = obs::budget::current().is_some();
+        let budget_before = obs::budget::snapshot();
 
         // Step 1: minimize the query (times itself as containment.minimize).
         let qm = minimize(self.query);
@@ -290,7 +307,8 @@ impl<'a> CoreCover<'a> {
         let (covers, truncated) = {
             let _span = obs::span("corecover.set_cover");
             if minimum_only {
-                (all_minimum_covers(universe, &masks), false)
+                let e = all_minimum_covers_counted(universe, &masks);
+                (e.covers, e.truncated)
             } else {
                 let e =
                     all_irredundant_covers_counted(universe, &masks, self.config.max_rewritings);
@@ -312,6 +330,7 @@ impl<'a> CoreCover<'a> {
             .collect();
         rewritings = dedup_variants(rewritings);
 
+        let mut unverified_dropped = false;
         if self.config.verify_rewritings || cfg!(debug_assertions) {
             let _span = obs::span("corecover.verify");
             // One parallel verification task per cover; verdicts line up
@@ -321,14 +340,38 @@ impl<'a> CoreCover<'a> {
                     .expect("rewritings are built from view tuples of known views");
                 are_equivalent(&exp, &qm)
             });
-            for (r, &ok) in rewritings.iter().zip(&verified) {
-                debug_assert!(ok, "CoreCover produced a non-equivalent rewriting: {r}");
-                if self.config.verify_rewritings {
-                    assert!(ok, "CoreCover produced a non-equivalent rewriting: {r}");
+            // Candidates that fail the check are dropped, never
+            // asserted on: a cover whose overlapping tuple-cores treat
+            // a shared variable inconsistently (identity in one core,
+            // existential image in the other) is not a rewriting, and a
+            // production pipeline must shed it, not abort. Under a
+            // budget a failed check can also mean the equivalence
+            // search itself was truncated — a possibly-valid rewriting
+            // dropped for lack of proof — so the run is additionally
+            // marked truncated.
+            let kept: Vec<Rewriting> = rewritings
+                .into_iter()
+                .zip(&verified)
+                .filter_map(|(r, &ok)| ok.then_some(r))
+                .collect();
+            let dropped = verified.len() - kept.len();
+            if dropped > 0 {
+                if budget_active {
+                    unverified_dropped = true;
+                    obs::counter!("budget.unverified_dropped").add(dropped as u64);
+                } else {
+                    obs::counter!("corecover.nonequivalent_covers").add(dropped as u64);
                 }
             }
+            rewritings = kept;
         }
 
+        let truncated = truncated || unverified_dropped;
+        let completeness = obs::budget::completeness_since(budget_before).worst(if truncated {
+            Completeness::Truncated
+        } else {
+            Completeness::Complete
+        });
         let stats = CoreCoverStats {
             views: self.views.len(),
             view_classes,
@@ -337,6 +380,7 @@ impl<'a> CoreCover<'a> {
             empty_core_tuples: cores.iter().filter(|c| c.is_empty()).count(),
             rewritings: rewritings.len(),
             truncated,
+            completeness,
         };
         // Mirror the per-run stats into the global registry so reporters
         // and the bench harness see the same numbers (Figures 7 and 9).
@@ -349,6 +393,9 @@ impl<'a> CoreCover<'a> {
         obs::counter!("corecover.rewritings").add(stats.rewritings as u64);
         if truncated {
             obs::counter!("corecover.truncated_runs").incr();
+        }
+        if completeness.is_incomplete() {
+            obs::counter!("corecover.incomplete_runs").incr();
         }
         Ok(CoreCoverResult {
             minimized_query: qm,
@@ -648,6 +695,98 @@ mod wide_query_tests {
         let views = parse_views("v(A) :- e(A, B)").unwrap();
         let result = CoreCover::new(&q, &views).try_run().unwrap();
         assert_eq!(result.rewritings().len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod budget_tests {
+    use super::*;
+    use obs::budget::{BudgetSpec, Fault, FaultPoint};
+    use viewplan_cq::{parse_query, parse_views};
+
+    fn chain_problem() -> (ConjunctiveQuery, ViewSet) {
+        (
+            parse_query("q(X, Y) :- e(X, Z), f(Z, W), g(W, Y)").unwrap(),
+            parse_views(
+                "vef(X, W) :- e(X, Z), f(Z, W).\n\
+                 vfg(Z, Y) :- f(Z, W), g(W, Y).\n\
+                 ve(X, Z) :- e(X, Z).\n\
+                 vf(Z, W) :- f(Z, W).\n\
+                 vg(W, Y) :- g(W, Y).",
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn unbudgeted_runs_report_complete() {
+        let (q, views) = chain_problem();
+        let result = CoreCover::new(&q, &views).run_all_minimal();
+        assert_eq!(result.stats.completeness, Completeness::Complete);
+        assert!(result.rewritings().len() >= 2);
+    }
+
+    #[test]
+    fn tight_node_budget_degrades_honestly_and_deterministically() {
+        let (q, views) = chain_problem();
+        let run = || {
+            let _g = obs::budget::install(BudgetSpec::new().node_budget(6).build());
+            CoreCover::new(&q, &views).try_run_all_minimal().unwrap()
+        };
+        let a = run();
+        assert!(
+            a.stats.completeness.is_incomplete(),
+            "a 6-node budget must truncate this pipeline"
+        );
+        // Everything that *was* returned is still a genuine rewriting
+        // (verified here with no budget installed).
+        for r in a.rewritings() {
+            let exp = expand(r, &views).unwrap();
+            assert!(are_equivalent(&exp, &a.minimized_query), "bogus: {r}");
+        }
+        // Node budgets are per-search: the degraded result is stable.
+        let b = run();
+        let printed = |res: &CoreCoverResult| -> Vec<String> {
+            res.rewritings().iter().map(|r| r.to_string()).collect()
+        };
+        assert_eq!(printed(&a), printed(&b));
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn injected_deadline_fault_yields_best_so_far_not_a_panic() {
+        let (q, views) = chain_problem();
+        let budget = BudgetSpec::new()
+            .fault(Fault {
+                point: FaultPoint::Deadline,
+                nth: 5,
+            })
+            .build();
+        let _g = obs::budget::install(budget.clone());
+        let result = CoreCover::new(&q, &views).try_run_all_minimal().unwrap();
+        assert!(budget.cancelled());
+        assert_eq!(result.stats.completeness, Completeness::DeadlineExceeded);
+        // Best-so-far output stays sound (checked outside the budget).
+        drop(_g);
+        for r in result.rewritings() {
+            let exp = expand(r, &views).unwrap();
+            assert!(are_equivalent(&exp, &result.minimized_query));
+        }
+    }
+
+    #[test]
+    fn deadline_takes_precedence_over_truncation() {
+        let (q, views) = chain_problem();
+        let budget = BudgetSpec::new()
+            .node_budget(6)
+            .fault(Fault {
+                point: FaultPoint::Deadline,
+                nth: 2,
+            })
+            .build();
+        let _g = obs::budget::install(budget);
+        let result = CoreCover::new(&q, &views).try_run_all_minimal().unwrap();
+        assert_eq!(result.stats.completeness, Completeness::DeadlineExceeded);
     }
 }
 

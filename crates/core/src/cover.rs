@@ -21,16 +21,31 @@ use viewplan_obs as obs;
 /// Every minimum-cardinality cover of `universe` using `sets`, as sorted
 /// index vectors. Empty result iff `universe` cannot be covered.
 pub fn all_minimum_covers(universe: u64, sets: &[u64]) -> Vec<Vec<usize>> {
+    all_minimum_covers_counted(universe, sets).covers
+}
+
+/// [`all_minimum_covers`] plus an explicit truncation flag for searches
+/// cut short by the ambient budget. A truncated enumeration still
+/// contains only genuine covers of the best size *found so far* — each
+/// one a valid rewriting — but may miss smaller or additional covers.
+pub fn all_minimum_covers_counted(universe: u64, sets: &[u64]) -> CoverEnumeration {
     if universe == 0 {
-        return vec![Vec::new()];
+        return CoverEnumeration {
+            covers: vec![Vec::new()],
+            truncated: false,
+        };
     }
     // Quick feasibility check.
     if sets.iter().fold(0u64, |a, &s| a | s) & universe != universe {
-        return Vec::new();
+        return CoverEnumeration {
+            covers: Vec::new(),
+            truncated: false,
+        };
     }
     let mut best_size = usize::MAX;
     let mut covers: Vec<Vec<usize>> = Vec::new();
     let mut chosen: Vec<usize> = Vec::new();
+    let mut meter = obs::Meter::start(obs::Phase::Cover);
     minimum_dfs(
         universe,
         sets,
@@ -39,10 +54,18 @@ pub fn all_minimum_covers(universe: u64, sets: &[u64]) -> Vec<Vec<usize>> {
         &mut chosen,
         &mut best_size,
         &mut covers,
+        &mut meter,
     );
-    covers
+    if meter.exhausted() {
+        obs::counter!("cover.truncated").incr();
+    }
+    CoverEnumeration {
+        covers,
+        truncated: meter.exhausted(),
+    }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn minimum_dfs(
     universe: u64,
     sets: &[u64],
@@ -51,7 +74,11 @@ fn minimum_dfs(
     chosen: &mut Vec<usize>,
     best_size: &mut usize,
     covers: &mut Vec<Vec<usize>>,
+    meter: &mut obs::Meter,
 ) {
+    if !meter.tick() {
+        return;
+    }
     obs::counter!("cover.search_nodes").incr();
     if covered & universe == universe {
         match chosen.len().cmp(best_size) {
@@ -88,8 +115,12 @@ fn minimum_dfs(
             chosen,
             best_size,
             covers,
+            meter,
         );
         chosen.pop();
+        if meter.exhausted() {
+            return;
+        }
     }
 }
 
@@ -137,6 +168,7 @@ pub fn all_irredundant_covers_counted(
     let mut covers: Vec<Vec<usize>> = Vec::new();
     let mut chosen: Vec<usize> = Vec::new();
     let mut truncated = false;
+    let mut meter = obs::Meter::start(obs::Phase::Cover);
     irredundant_dfs(
         universe,
         sets,
@@ -146,7 +178,9 @@ pub fn all_irredundant_covers_counted(
         limit,
         &mut covers,
         &mut truncated,
+        &mut meter,
     );
+    truncated |= meter.exhausted();
     if truncated {
         obs::counter!("cover.truncated").incr();
     }
@@ -163,7 +197,11 @@ fn irredundant_dfs(
     limit: usize,
     covers: &mut Vec<Vec<usize>>,
     truncated: &mut bool,
+    meter: &mut obs::Meter,
 ) {
+    if !meter.tick() {
+        return;
+    }
     obs::counter!("cover.search_nodes").incr();
     if covers.len() >= limit {
         // The search still had branches to explore — record, don't hide.
@@ -205,8 +243,12 @@ fn irredundant_dfs(
             limit,
             covers,
             truncated,
+            meter,
         );
         chosen.pop();
+        if meter.exhausted() {
+            return;
+        }
     }
 }
 
@@ -282,6 +324,37 @@ mod tests {
         // Degenerate inputs never truncate.
         assert!(!all_irredundant_covers_counted(0, &sets, 1).truncated);
         assert!(!all_irredundant_covers_counted(0b1000, &sets, 1).truncated);
+    }
+
+    #[test]
+    fn budget_truncation_is_reported_and_partial_covers_are_real() {
+        let sets = [0b001, 0b010, 0b100, 0b011, 0b110, 0b101];
+        let full = all_minimum_covers_counted(0b111, &sets);
+        assert!(!full.truncated);
+        let budgeted = {
+            let _g = obs::budget::install(
+                obs::budget::BudgetSpec::new()
+                    .phase_nodes(obs::Phase::Cover, 4)
+                    .build(),
+            );
+            all_minimum_covers_counted(0b111, &sets)
+        };
+        assert!(budgeted.truncated, "a 4-node cap must truncate this search");
+        // Whatever was found is a genuine cover from the full result set.
+        for cover in &budgeted.covers {
+            let mask: u64 = cover.iter().fold(0, |a, &i| a | sets[i]);
+            assert_eq!(mask & 0b111, 0b111, "partial result contains a non-cover");
+        }
+        // And the budgeted run is deterministic.
+        let again = {
+            let _g = obs::budget::install(
+                obs::budget::BudgetSpec::new()
+                    .phase_nodes(obs::Phase::Cover, 4)
+                    .build(),
+            );
+            all_minimum_covers_counted(0b111, &sets)
+        };
+        assert_eq!(budgeted, again);
     }
 
     #[test]

@@ -252,7 +252,22 @@ impl<'a> MiniCon<'a> {
         equivalent_only: bool,
         limit: usize,
     ) -> Result<Vec<Rewriting>, CoreError> {
+        self.try_rewritings_with_completeness(equivalent_only, limit)
+            .map(|(rs, _)| rs)
+    }
+
+    /// [`MiniCon::try_rewritings`] plus an explicit
+    /// [`Completeness`](obs::Completeness) marker for runs cut short by
+    /// the ambient [budget](obs::budget). Every rewriting returned is
+    /// genuine regardless of the marker; an incomplete run may simply
+    /// miss some.
+    pub fn try_rewritings_with_completeness(
+        &self,
+        equivalent_only: bool,
+        limit: usize,
+    ) -> Result<(Vec<Rewriting>, obs::Completeness), CoreError> {
         let _span = obs::span("minicon.run");
+        let budget_before = obs::budget::snapshot();
         let n = self.query.body.len();
         if n > MAX_SUBGOALS {
             return Err(CoreError::TooManySubgoals { subgoals: n });
@@ -266,6 +281,7 @@ impl<'a> MiniCon<'a> {
             .collect();
         let mut results: Vec<Rewriting> = Vec::new();
         let mut chosen: Vec<usize> = Vec::new();
+        let mut meter = obs::Meter::start(obs::Phase::Cover);
         self.combine(
             universe,
             &masks,
@@ -275,8 +291,10 @@ impl<'a> MiniCon<'a> {
             equivalent_only,
             limit,
             &mut results,
+            &mut meter,
         );
-        Ok(dedup_variants(results))
+        let completeness = obs::budget::completeness_since(budget_before);
+        Ok((dedup_variants(results), completeness))
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -290,7 +308,11 @@ impl<'a> MiniCon<'a> {
         equivalent_only: bool,
         limit: usize,
         results: &mut Vec<Rewriting>,
+        meter: &mut obs::Meter,
     ) {
+        if !meter.tick() {
+            return;
+        }
         obs::counter!("minicon.combine_nodes").incr();
         if results.len() >= limit {
             return;
@@ -319,8 +341,12 @@ impl<'a> MiniCon<'a> {
                     equivalent_only,
                     limit,
                     results,
+                    meter,
                 );
                 chosen.pop();
+                if meter.exhausted() {
+                    return;
+                }
             }
         }
     }
@@ -600,6 +626,33 @@ mod tests {
             .try_rewritings(true, 100)
             .unwrap_err();
         assert_eq!(err, CoreError::TooManySubgoals { subgoals: 65 });
+    }
+
+    #[test]
+    fn tight_budget_truncates_combination_honestly() {
+        let q = parse_query("q(X, Y) :- e(X, Z), f(Z, Y)").unwrap();
+        let views = parse_views(
+            "ve(A, B) :- e(A, B).\n\
+             vf(A, B) :- f(A, B).\n\
+             vef(A, B) :- e(A, C), f(C, B).",
+        )
+        .unwrap();
+        let mc = MiniCon::new(&q, &views);
+        let (full, complete) = mc.try_rewritings_with_completeness(true, 100).unwrap();
+        assert_eq!(complete, obs::Completeness::Complete);
+        assert!(full.len() >= 2);
+        let _g = obs::budget::install(
+            obs::budget::BudgetSpec::new()
+                .phase_nodes(obs::Phase::Cover, 2)
+                .build(),
+        );
+        let (some, marker) = mc.try_rewritings_with_completeness(true, 100).unwrap();
+        assert_eq!(marker, obs::Completeness::Truncated);
+        assert!(some.len() < full.len());
+        // Whatever survived is from the full result set.
+        for r in &some {
+            assert!(full.iter().any(|f| f.to_string() == r.to_string()));
+        }
     }
 
     #[test]

@@ -19,6 +19,13 @@
 //! and re-attached on every worker ([`obs::attach_path`]), so spans
 //! opened inside `f` aggregate under the same phase-tree node a serial
 //! run would use instead of dangling at the root.
+//!
+//! Budget propagation: likewise, the spawning thread's ambient
+//! [`obs::Budget`] (if any) is attached on every worker, so the whole
+//! pool shares one deadline/cancellation flag and stops promptly when
+//! it fires. Node caps are per-search, so budgeted results keep the
+//! byte-identical-to-serial guarantee; only wall-clock deadlines are
+//! nondeterministic.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -55,6 +62,7 @@ where
     obs::counter!("parallel.batches").incr();
     obs::counter!("parallel.tasks").add(items.len() as u64);
     let parent_path = obs::current_path();
+    let parent_budget = obs::budget::current();
     let next = AtomicUsize::new(0);
     let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
     // Workers catch panics from `f` so the original payload (not the
@@ -64,6 +72,7 @@ where
         for _ in 0..workers {
             scope.spawn(|| {
                 let _phase = obs::attach_path(&parent_path);
+                let _budget = obs::budget::attach(parent_budget.clone());
                 let mut local: Vec<(usize, R)> = Vec::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
@@ -131,6 +140,22 @@ mod tests {
     #[test]
     fn default_threads_is_at_least_one() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn ambient_budget_reaches_workers() {
+        let budget = obs::budget::BudgetSpec::new().node_budget(1).build();
+        let _g = obs::budget::install(budget.clone());
+        let items: Vec<u64> = (0..8).collect();
+        let out = parallel_map(4, &items, |&x| {
+            let mut m = obs::budget::Meter::start(obs::Phase::Hom);
+            while m.tick() {}
+            x
+        });
+        assert_eq!(out, items);
+        // Every worker saw the spawning thread's budget: all 8 searches
+        // hit the 1-node cap.
+        assert_eq!(budget.abandoned(obs::Phase::Hom), 8);
     }
 
     #[test]

@@ -34,6 +34,7 @@ use crate::view_tuple::ViewTuple;
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use viewplan_containment::expand_atom;
 use viewplan_cq::{Atom, ConjunctiveQuery, Symbol, Term, ViewSet};
+use viewplan_obs as obs;
 
 /// The tuple-core of a view tuple: the covered subgoals (as indices into
 /// the minimized query's body) and the mapping of local variables.
@@ -132,11 +133,16 @@ pub fn tuple_core(min_query: &ConjunctiveQuery, tv: &ViewTuple, views: &ViewSet)
     let mut components: Vec<Vec<usize>> = components.into_values().collect();
     components.sort(); // deterministic order
 
-    // Enumerate each component's consistent mappings.
+    // Enumerate each component's consistent mappings. One meter covers
+    // the whole per-tuple search; truncation only *shrinks* the core
+    // (an underestimated core is a subset of the true core, and covers
+    // built from subsets are still valid rewritings).
+    let mut meter = obs::Meter::start(obs::Phase::Hom);
     let per_component: Vec<(Vec<usize>, Vec<ComponentMapping>)> = components
         .into_iter()
         .map(|comp| {
-            let mappings = component_mappings(min_query, &comp, &texp, &tv_terms, &is_local);
+            let mappings =
+                component_mappings(min_query, &comp, &texp, &tv_terms, &is_local, &mut meter);
             (comp, mappings)
         })
         .collect();
@@ -177,9 +183,11 @@ pub fn tuple_core(min_query: &ConjunctiveQuery, tv: &ViewTuple, views: &ViewSet)
         &mut chosen,
         &mut HashSet::new(),
         &mut best,
+        &mut meter,
     );
-    let (_, core) = best.expect("resolve always yields at least the empty selection");
-    core
+    // A budget-truncated resolution may not even reach the all-excluded
+    // leaf; the empty core is the sound fallback.
+    best.map(|(_, core)| core).unwrap_or_else(TupleCore::empty)
 }
 
 /// Backtracking enumeration of all consistent mappings of a component's
@@ -191,6 +199,7 @@ fn component_mappings(
     texp: &[Atom],
     tv_terms: &HashSet<Term>,
     is_local: &dyn Fn(Symbol) -> bool,
+    meter: &mut obs::Meter,
 ) -> Vec<ComponentMapping> {
     let mut results: Vec<ComponentMapping> = Vec::new();
     let mut seen: HashSet<ComponentMapping> = HashSet::new();
@@ -205,6 +214,7 @@ fn component_mappings(
         is_local,
         &mut assignment,
         &mut used,
+        meter,
         &mut |m| {
             if seen.insert(m.clone()) {
                 results.push(m.clone());
@@ -224,8 +234,12 @@ fn search_component(
     is_local: &dyn Fn(Symbol) -> bool,
     assignment: &mut ComponentMapping,
     used: &mut HashSet<Term>,
+    meter: &mut obs::Meter,
     emit: &mut dyn FnMut(&ComponentMapping),
 ) {
+    if !meter.tick() {
+        return;
+    }
     if depth == comp.len() {
         emit(assignment);
         return;
@@ -246,12 +260,16 @@ fn search_component(
                 is_local,
                 assignment,
                 used,
+                meter,
                 emit,
             );
         }
         for v in newly {
             let img = assignment.remove(&v).expect("was inserted");
             used.remove(&img);
+        }
+        if meter.exhausted() {
+            return;
         }
     }
 }
@@ -327,7 +345,11 @@ fn resolve(
     chosen: &mut Vec<Option<usize>>,
     used: &mut HashSet<Term>,
     best: &mut Option<(usize, TupleCore)>,
+    meter: &mut obs::Meter,
 ) {
+    if !meter.tick() {
+        return;
+    }
     if depth == per_component.len() {
         let mut core = TupleCore::empty();
         for (c, pick) in per_component.iter().zip(chosen.iter()) {
@@ -343,8 +365,11 @@ fn resolve(
                 if size > *bs {
                     *best = Some((size, core));
                 } else if size == *bs && size > 0 {
-                    debug_assert_eq!(
-                        bcore.subgoals, core.subgoals,
+                    // Lemma 4.2 uniqueness holds for complete searches;
+                    // a budget-truncated mapping enumeration can leave
+                    // equal-size incomparable selections behind.
+                    debug_assert!(
+                        bcore.subgoals == core.subgoals || obs::budget::current().is_some(),
                         "tuple-core must be unique (Lemma 4.2)"
                     );
                 }
@@ -361,15 +386,18 @@ fn resolve(
             used.insert(*img);
         }
         chosen[depth] = Some(mi);
-        resolve(per_component, depth + 1, chosen, used, best);
+        resolve(per_component, depth + 1, chosen, used, best, meter);
         chosen[depth] = None;
         for img in m.values() {
             used.remove(img);
         }
+        if meter.exhausted() {
+            return;
+        }
     }
     // Exclusion branch (needed when the component has no mapping, and to
     // witness uniqueness in debug builds).
-    resolve(per_component, depth + 1, chosen, used, best);
+    resolve(per_component, depth + 1, chosen, used, best, meter);
 }
 
 #[cfg(test)]

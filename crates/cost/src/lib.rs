@@ -28,6 +28,7 @@
 //!   they pay for themselves (§5.1–5.2, rewriting `P3`).
 
 pub mod catalog;
+pub mod error;
 pub mod m1;
 pub mod m2;
 pub mod m3;
@@ -36,9 +37,10 @@ pub mod oracle;
 pub mod plan;
 
 pub use catalog::{Catalog, RelationStats};
+pub use error::{CostError, PlanError};
 pub use m1::{m1_cost, optimal_m1_rewritings};
-pub use m2::optimal_m2_order;
-pub use m3::{optimal_m3_plan, plan_with_order, DropPolicy};
-pub use optimizer::{CostModel, Optimizer, OptimizerConfig, PlannedRewriting};
+pub use m2::{optimal_m2_order, try_optimal_m2_order, M2_MAX_SUBGOALS};
+pub use m3::{optimal_m3_plan, plan_with_order, try_optimal_m3_plan, DropPolicy, M3_MAX_SUBGOALS};
+pub use optimizer::{CostModel, Optimizer, OptimizerConfig, PlanOutcome, PlannedRewriting};
 pub use oracle::{EstimateOracle, ExactOracle, SizeOracle};
 pub use plan::PhysicalPlan;

@@ -10,26 +10,57 @@
 //! cost(S) = min over g ∈ S of  cost(S \ {g}) + size(g) + size(IR(S))
 //! ```
 
+use crate::error::CostError;
 use crate::oracle::SizeOracle;
 use std::collections::BTreeSet;
 use viewplan_cq::{Atom, Symbol};
+use viewplan_obs as obs;
+
+/// The widest rewriting [`optimal_m2_order`] accepts: the DP visits
+/// `2^n` subsets, so wider inputs are rejected as
+/// [`CostError::TooManySubgoals`].
+pub const M2_MAX_SUBGOALS: usize = 24;
+
+/// An optimal M2 result: the join order (indices into the body), the
+/// per-prefix `IR` sizes, and the total cost.
+pub type M2Order = (Vec<usize>, Vec<f64>, f64);
 
 /// Finds an optimal M2 join order for `body`, returning the order (as
 /// indices into `body`), the per-prefix `IR` sizes, and the total cost.
 /// Returns `None` for an empty body.
 ///
 /// # Panics
-/// Panics if `body` has more than 24 subgoals (the DP is exponential in
-/// the subgoal count; rewritings in this system are far smaller).
+/// Panics if `body` has more than [`M2_MAX_SUBGOALS`] subgoals; use
+/// [`try_optimal_m2_order`] to handle that case as an error.
 pub fn optimal_m2_order(
     body: &[Atom],
     oracle: &mut dyn SizeOracle,
 ) -> Option<(Vec<usize>, Vec<f64>, f64)> {
+    try_optimal_m2_order(body, oracle).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`optimal_m2_order`] returning an error instead of panicking on
+/// too-wide rewritings. Each DP subset counts as one `Phase::Plan` node
+/// against the ambient [`viewplan_obs::Budget`]; on exhaustion the
+/// search abandons the rewriting and returns `Ok(None)` — a partial DP
+/// table cannot seed a valid full order, so there is no partial result
+/// to salvage here. The optimizer falls back to other rewritings.
+pub fn try_optimal_m2_order(
+    body: &[Atom],
+    oracle: &mut dyn SizeOracle,
+) -> Result<Option<M2Order>, CostError> {
     let n = body.len();
     if n == 0 {
-        return None;
+        return Ok(None);
     }
-    assert!(n <= 24, "M2 DP limited to 24 subgoals");
+    if n > M2_MAX_SUBGOALS {
+        return Err(CostError::TooManySubgoals {
+            subgoals: n,
+            limit: M2_MAX_SUBGOALS,
+            model: "M2",
+        });
+    }
+    let mut meter = obs::Meter::start(obs::Phase::Plan);
     let full: u32 = (1u32 << n) - 1;
 
     // Per-subset variable sets (all attributes retained).
@@ -46,6 +77,9 @@ pub fn optimal_m2_order(
     let mut last: Vec<Option<usize>> = vec![None; (full as usize) + 1];
     best[0] = 0.0;
     for mask in 1..=full {
+        if !meter.tick() {
+            return Ok(None);
+        }
         let retained = vars_of(mask);
         ir[mask as usize] = oracle.intermediate_size(body, mask, &retained);
         for (g, &gsize) in sizes.iter().enumerate() {
@@ -80,7 +114,7 @@ pub fn optimal_m2_order(
             })
             .collect()
     };
-    Some((order, ir_sizes, best[full as usize]))
+    Ok(Some((order, ir_sizes, best[full as usize])))
 }
 
 #[cfg(test)]
@@ -151,6 +185,38 @@ mod tests {
         let db = Database::new();
         let mut oracle = ExactOracle::new(&db);
         assert!(optimal_m2_order(&[], &mut oracle).is_none());
+    }
+
+    #[test]
+    fn too_wide_body_is_an_error_not_a_panic() {
+        let body: Vec<String> = (0..25).map(|i| format!("p{i}(X{i})")).collect();
+        let q = parse_query(&format!("q(X0) :- {}", body.join(", "))).unwrap();
+        let db = Database::new();
+        let mut oracle = ExactOracle::new(&db);
+        let err = try_optimal_m2_order(&q.body, &mut oracle).unwrap_err();
+        assert_eq!(
+            err,
+            CostError::TooManySubgoals {
+                subgoals: 25,
+                limit: M2_MAX_SUBGOALS,
+                model: "M2",
+            }
+        );
+    }
+
+    #[test]
+    fn exhausted_plan_budget_abandons_the_dp() {
+        let db = skewed_db();
+        let q = parse_query("q(X) :- big(X, Y), sel(Y)").unwrap();
+        let mut oracle = ExactOracle::new(&db);
+        let budget = obs::BudgetSpec::new()
+            .phase_nodes(obs::Phase::Plan, 1)
+            .build();
+        let _g = obs::budget::install(budget.clone());
+        assert!(try_optimal_m2_order(&q.body, &mut oracle)
+            .unwrap()
+            .is_none());
+        assert_eq!(budget.abandoned(obs::Phase::Plan), 1);
     }
 
     #[test]

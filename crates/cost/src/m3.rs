@@ -22,6 +22,7 @@
 //! and [`DropPolicy::Supplementary`] reproduces the classic behaviour
 //! (the baseline Example 6.1 beats).
 
+use crate::error::CostError;
 use crate::oracle::SizeOracle;
 use crate::plan::PhysicalPlan;
 use std::collections::{BTreeSet, HashSet};
@@ -44,6 +45,11 @@ pub enum DropPolicy {
 /// Returns the annotated plan, the per-step `GSR` sizes, and the total
 /// cost. `query` and `views` are needed for the renaming heuristic's
 /// equivalence test; `order` holds indices into `rewriting.body`.
+///
+/// Each drop-decision node counts as one `Phase::Plan` node against the
+/// ambient [`viewplan_obs::Budget`]; `None` means the budget exhausted
+/// before even the mandatory no-smart-drop plan completed (unbudgeted
+/// callers always get `Some`).
 pub fn plan_with_order(
     query: &ConjunctiveQuery,
     views: &ViewSet,
@@ -51,7 +57,23 @@ pub fn plan_with_order(
     order: &[usize],
     policy: DropPolicy,
     oracle: &mut dyn SizeOracle,
-) -> (PhysicalPlan, Vec<f64>, f64) {
+) -> Option<(PhysicalPlan, Vec<f64>, f64)> {
+    let mut meter = obs::Meter::start(obs::Phase::Plan);
+    plan_with_order_metered(query, views, rewriting, order, policy, oracle, &mut meter)
+}
+
+/// [`plan_with_order`] against a caller-owned meter, so a surrounding
+/// order search shares one `Phase::Plan` allowance across all orders.
+#[allow(clippy::too_many_arguments)]
+fn plan_with_order_metered(
+    query: &ConjunctiveQuery,
+    views: &ViewSet,
+    rewriting: &ConjunctiveQuery,
+    order: &[usize],
+    policy: DropPolicy,
+    oracle: &mut dyn SizeOracle,
+    meter: &mut obs::Meter,
+) -> Option<(PhysicalPlan, Vec<f64>, f64)> {
     assert_eq!(order.len(), rewriting.body.len(), "order must be complete");
     let qm = minimize(query);
     let body: Vec<Atom> = order.iter().map(|&i| rewriting.body[i].clone()).collect();
@@ -69,8 +91,9 @@ pub fn plan_with_order(
         oracle,
         &mut best,
         f64::INFINITY,
+        meter,
     );
-    best.expect("at least the no-smart-drop plan always completes")
+    best
 }
 
 /// Recursive step: process subgoals left to right; at each step apply the
@@ -90,9 +113,13 @@ fn descend(
     oracle: &mut dyn SizeOracle,
     best: &mut Option<(PhysicalPlan, Vec<f64>, f64)>,
     bound: f64,
+    meter: &mut obs::Meter,
 ) {
     if cost_so_far >= bound {
         return; // branch-and-bound against the caller-provided bound
+    }
+    if !meter.tick() {
+        return; // budget exhausted: keep whatever `best` holds so far
     }
     let n = eff_body.len();
     if step == n {
@@ -190,7 +217,11 @@ fn descend(
             oracle,
             best,
             bound_now,
+            meter,
         );
+        if meter.exhausted() {
+            return;
+        }
     }
 }
 
@@ -225,14 +256,18 @@ fn renaming_is_equivalent(
     }
 }
 
+/// The widest rewriting [`optimal_m3_plan`] accepts: the order search is
+/// factorial (with per-order drop branching on top), so wider inputs are
+/// rejected as [`CostError::TooManySubgoals`].
+pub const M3_MAX_SUBGOALS: usize = 8;
+
 /// Searches all subgoal orders (branch-and-bound over permutations) for
 /// the cheapest M3 plan under the policy. Returns `None` for an empty
 /// body.
 ///
 /// # Panics
-/// Panics if the rewriting has more than 8 subgoals — the permutation
-/// space (with per-order drop branching) is factorial; the paper's
-/// rewritings are far smaller.
+/// Panics if the rewriting has more than [`M3_MAX_SUBGOALS`] subgoals;
+/// use [`try_optimal_m3_plan`] to handle that case as an error.
 pub fn optimal_m3_plan(
     query: &ConjunctiveQuery,
     views: &ViewSet,
@@ -240,18 +275,40 @@ pub fn optimal_m3_plan(
     policy: DropPolicy,
     oracle: &mut dyn SizeOracle,
 ) -> Option<(PhysicalPlan, f64)> {
+    try_optimal_m3_plan(query, views, rewriting, policy, oracle).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`optimal_m3_plan`] returning an error instead of panicking on
+/// too-wide rewritings. The whole order search draws from one
+/// `Phase::Plan` allowance of the ambient [`viewplan_obs::Budget`]; on
+/// exhaustion it returns the best plan found so far (possibly `None`),
+/// and the budget records the abandonment.
+pub fn try_optimal_m3_plan(
+    query: &ConjunctiveQuery,
+    views: &ViewSet,
+    rewriting: &ConjunctiveQuery,
+    policy: DropPolicy,
+    oracle: &mut dyn SizeOracle,
+) -> Result<Option<(PhysicalPlan, f64)>, CostError> {
     let n = rewriting.body.len();
     if n == 0 {
-        return None;
+        return Ok(None);
     }
-    assert!(n <= 8, "M3 permutation search limited to 8 subgoals");
+    if n > M3_MAX_SUBGOALS {
+        return Err(CostError::TooManySubgoals {
+            subgoals: n,
+            limit: M3_MAX_SUBGOALS,
+            model: "M3",
+        });
+    }
+    let mut meter = obs::Meter::start(obs::Phase::Plan);
     let mut best: Option<(PhysicalPlan, f64)> = None;
     let mut order: Vec<usize> = Vec::with_capacity(n);
     let mut used = vec![false; n];
     permute(
-        query, views, rewriting, policy, oracle, &mut order, &mut used, &mut best,
+        query, views, rewriting, policy, oracle, &mut order, &mut used, &mut best, &mut meter,
     );
-    best
+    Ok(best)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -264,10 +321,15 @@ fn permute(
     order: &mut Vec<usize>,
     used: &mut Vec<bool>,
     best: &mut Option<(PhysicalPlan, f64)>,
+    meter: &mut obs::Meter,
 ) {
     let n = rewriting.body.len();
     if order.len() == n {
-        let (plan, _, cost) = plan_with_order(query, views, rewriting, order, policy, oracle);
+        let Some((plan, _, cost)) =
+            plan_with_order_metered(query, views, rewriting, order, policy, oracle, meter)
+        else {
+            return; // budget exhausted mid-order; best-so-far stands
+        };
         if best.as_ref().is_none_or(|(_, c)| cost < *c) {
             *best = Some((plan, cost));
         }
@@ -277,9 +339,14 @@ fn permute(
         if used[i] {
             continue;
         }
+        if meter.exhausted() {
+            return;
+        }
         used[i] = true;
         order.push(i);
-        permute(query, views, rewriting, policy, oracle, order, used, best);
+        permute(
+            query, views, rewriting, policy, oracle, order, used, best, meter,
+        );
         order.pop();
         used[i] = false;
     }
@@ -334,7 +401,8 @@ mod tests {
             &[0, 1],
             DropPolicy::Supplementary,
             &mut oracle,
-        );
+        )
+        .unwrap();
         assert!(plan.steps[0].drop_after.is_empty());
         assert_eq!(gsrs[0], 20.0);
     }
@@ -353,7 +421,8 @@ mod tests {
             &[0, 1],
             DropPolicy::SmartCostBased,
             &mut oracle,
-        );
+        )
+        .unwrap();
         assert_eq!(gsrs[0], 5.0);
         assert!(!plan.steps[0].drop_after.is_empty());
         let (_, _, cost_supp) = plan_with_order(
@@ -363,7 +432,8 @@ mod tests {
             &[0, 1],
             DropPolicy::Supplementary,
             &mut oracle,
-        );
+        )
+        .unwrap();
         assert!(cost_smart < cost_supp);
     }
 
@@ -379,7 +449,8 @@ mod tests {
             &[0, 1],
             DropPolicy::SmartAggressive,
             &mut oracle,
-        );
+        )
+        .unwrap();
         let trace = plan.execute(&p2.head, &vdb);
         assert_eq!(
             trace.answer.as_slice(),
@@ -402,8 +473,48 @@ mod tests {
             &[0, 1],
             DropPolicy::SmartCostBased,
             &mut oracle,
-        );
+        )
+        .unwrap();
         assert!(cost <= fixed);
+    }
+
+    #[test]
+    fn too_wide_rewriting_is_an_error_not_a_panic() {
+        let (q, views, vdb) = example61();
+        let body: Vec<String> = (0..9).map(|i| format!("p{i}(X{i})")).collect();
+        let wide = parse_query(&format!("q(X0) :- {}", body.join(", "))).unwrap();
+        let mut oracle = ExactOracle::new(&vdb);
+        let err = try_optimal_m3_plan(&q, &views, &wide, DropPolicy::Supplementary, &mut oracle)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CostError::TooManySubgoals {
+                subgoals: 9,
+                limit: M3_MAX_SUBGOALS,
+                model: "M3",
+            }
+        );
+    }
+
+    #[test]
+    fn exhausted_plan_budget_keeps_best_so_far_and_never_beats_optimal() {
+        let (q, views, vdb) = example61();
+        let p2 = parse_query("q(A) :- v1(A, B), v2(A, B)").unwrap();
+        let mut oracle = ExactOracle::new(&vdb);
+        let (_, optimal) =
+            optimal_m3_plan(&q, &views, &p2, DropPolicy::SmartCostBased, &mut oracle).unwrap();
+        let budget = obs::BudgetSpec::new()
+            .phase_nodes(obs::Phase::Plan, 3)
+            .build();
+        let _g = obs::budget::install(budget.clone());
+        let truncated =
+            try_optimal_m3_plan(&q, &views, &p2, DropPolicy::SmartCostBased, &mut oracle).unwrap();
+        // A truncated search may return nothing or a worse plan — but a
+        // cost below the true optimum would mean a fabricated plan.
+        if let Some((_, cost)) = truncated {
+            assert!(cost >= optimal - 1e-9);
+        }
+        assert!(budget.abandoned(obs::Phase::Plan) > 0);
     }
 
     #[test]
@@ -416,7 +527,8 @@ mod tests {
             DropPolicy::SmartAggressive,
             DropPolicy::SmartCostBased,
         ] {
-            let (plan, _, _) = plan_with_order(&q, &views, &p2, &[0, 1], policy, &mut oracle);
+            let (plan, _, _) =
+                plan_with_order(&q, &views, &p2, &[0, 1], policy, &mut oracle).unwrap();
             for s in &plan.steps {
                 assert!(!s.drop_after.contains(&Symbol::new("A")));
             }
@@ -435,7 +547,8 @@ mod tests {
             &[0, 1],
             DropPolicy::Supplementary,
             &mut oracle,
-        );
+        )
+        .unwrap();
         // Final GSR keeps only A → one distinct value.
         assert_eq!(*gsrs.last().unwrap(), 1.0);
     }

@@ -11,13 +11,15 @@
 //! plan cost — a selective view relation can shrink the intermediate
 //! relations by more than its own size (§5.1, rewriting `P3`).
 
-use crate::m2::optimal_m2_order;
-use crate::m3::{optimal_m3_plan, DropPolicy};
+use crate::error::{CostError, PlanError};
+use crate::m2::try_optimal_m2_order;
+use crate::m3::{try_optimal_m3_plan, DropPolicy};
 use crate::oracle::SizeOracle;
 use crate::plan::PhysicalPlan;
-use viewplan_core::{CoreCover, CoreCoverConfig, CoreCoverResult, CoreError, Rewriting};
+use viewplan_core::{CoreCover, CoreCoverConfig, CoreCoverResult, Rewriting};
 use viewplan_cq::{Atom, ConjunctiveQuery, ViewSet};
 use viewplan_obs as obs;
+use viewplan_obs::Completeness;
 
 /// Which of Table 1's cost models to optimize under.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -57,6 +59,19 @@ pub struct PlannedRewriting {
     pub plan: PhysicalPlan,
     /// Its cost under the requested model.
     pub cost: f64,
+}
+
+/// A full optimization run's result: the cheapest plan found (if any)
+/// plus an honest completeness marker. `Truncated` means a node budget
+/// cut a search short or a too-wide rewriting had to be skipped — `best`
+/// is the cheapest of what *was* searched, not necessarily the optimum.
+/// `DeadlineExceeded` means the wall clock fired.
+#[derive(Clone, Debug)]
+pub struct PlanOutcome {
+    /// The cheapest plan over the rewritings that were searched.
+    pub best: Option<PlannedRewriting>,
+    /// Whether the search covered the whole plan space.
+    pub completeness: Completeness,
 }
 
 /// The optimizer: generates rewritings and picks the best physical plan.
@@ -100,21 +115,53 @@ impl<'a> Optimizer<'a> {
 
     /// [`Optimizer::best_plan`] returning an error instead of panicking
     /// when the rewriting generator rejects the query (more than 64
-    /// subgoals after minimization).
+    /// subgoals after minimization) or every generated rewriting is too
+    /// wide for the plan search.
     pub fn try_best_plan(
         &self,
         model: CostModel,
         oracle: &mut dyn SizeOracle,
-    ) -> Result<Option<PlannedRewriting>, CoreError> {
+    ) -> Result<Option<PlannedRewriting>, PlanError> {
+        self.try_plan(model, oracle).map(|o| o.best)
+    }
+
+    /// [`Optimizer::try_best_plan`] with an honest [`Completeness`]
+    /// marker. Rewritings too wide for the plan search are skipped when
+    /// any alternative plans successfully (the outcome is then marked
+    /// [`Completeness::Truncated`]); only when *nothing* could be
+    /// planned do they surface as [`PlanError::Cost`].
+    pub fn try_plan(
+        &self,
+        model: CostModel,
+        oracle: &mut dyn SizeOracle,
+    ) -> Result<PlanOutcome, PlanError> {
         let _span = obs::span("optimizer.best_plan");
+        let budget_before = obs::budget::snapshot();
         let generator =
             CoreCover::new(self.query, self.views).with_config(self.config.corecover.clone());
-        let best = match model {
-            CostModel::M1 => self.plan_m1(generator.try_run()?),
-            CostModel::M2 => self.plan_m2(generator.try_run_all_minimal()?, oracle),
-            CostModel::M3(policy) => self.plan_m3(generator.try_run_all_minimal()?, policy, oracle),
+        let (generated, planned) = match model {
+            CostModel::M1 => {
+                let result = generator.try_run()?;
+                let c = result.stats.completeness;
+                (c, Ok((self.plan_m1(result), false)))
+            }
+            CostModel::M2 => {
+                let result = generator.try_run_all_minimal()?;
+                let c = result.stats.completeness;
+                (c, self.plan_m2(result, oracle))
+            }
+            CostModel::M3(policy) => {
+                let result = generator.try_run_all_minimal()?;
+                let c = result.stats.completeness;
+                (c, self.plan_m3(result, policy, oracle))
+            }
         };
-        Ok(best)
+        let (best, skipped_wide) = planned?;
+        let mut completeness = generated.worst(obs::budget::completeness_since(budget_before));
+        if skipped_wide {
+            completeness = completeness.worst(Completeness::Truncated);
+        }
+        Ok(PlanOutcome { best, completeness })
     }
 
     fn plan_m1(&self, result: CoreCoverResult) -> Option<PlannedRewriting> {
@@ -133,7 +180,7 @@ impl<'a> Optimizer<'a> {
         &self,
         result: CoreCoverResult,
         oracle: &mut dyn SizeOracle,
-    ) -> Option<PlannedRewriting> {
+    ) -> Result<(Option<PlannedRewriting>, bool), PlanError> {
         let _enum_span = obs::span("optimizer.enumerate");
         let filters: Vec<Atom> = result
             .filter_tuples()
@@ -141,11 +188,22 @@ impl<'a> Optimizer<'a> {
             .map(|t| t.atom.clone())
             .collect();
         let mut best: Option<PlannedRewriting> = None;
+        let mut skipped: Option<CostError> = None;
         for r in result.rewritings() {
+            if obs::budget::cancelled() {
+                break; // deadline: keep the cheapest plan found so far
+            }
             // Base plan, then greedy filter grafting.
             let mut current = r.clone();
-            let Some(mut current_best) = self.m2_plan(&current, oracle) else {
-                continue; // degenerate (empty-body) rewriting
+            let mut current_best = match self.m2_plan(&current, oracle) {
+                Ok(Some(p)) => p,
+                // Degenerate (empty-body) or budget-abandoned rewriting.
+                Ok(None) => continue,
+                Err(e) => {
+                    skipped = Some(e);
+                    obs::counter!("cost.too_wide_skipped").incr();
+                    continue;
+                }
             };
             for _ in 0..self.config.max_filters {
                 let mut improved = false;
@@ -155,7 +213,9 @@ impl<'a> Optimizer<'a> {
                     }
                     let mut with_f = current.clone();
                     with_f.body.push(f.clone());
-                    if let Some(p) = self.m2_plan(&with_f, oracle) {
+                    // Grafting is a heuristic improvement; a filter that
+                    // pushes the body past the DP width is just not taken.
+                    if let Ok(Some(p)) = self.m2_plan(&with_f, oracle) {
                         if p.cost < current_best.cost {
                             current = with_f;
                             current_best = p;
@@ -171,7 +231,10 @@ impl<'a> Optimizer<'a> {
                 best = Some(current_best);
             }
         }
-        best
+        match (best, skipped) {
+            (None, Some(e)) => Err(e.into()),
+            (b, s) => Ok((b, s.is_some())),
+        }
     }
 
     fn plan_m3(
@@ -179,14 +242,24 @@ impl<'a> Optimizer<'a> {
         result: CoreCoverResult,
         policy: DropPolicy,
         oracle: &mut dyn SizeOracle,
-    ) -> Option<PlannedRewriting> {
+    ) -> Result<(Option<PlannedRewriting>, bool), PlanError> {
         let _enum_span = obs::span("optimizer.enumerate");
         let mut best: Option<PlannedRewriting> = None;
+        let mut skipped: Option<CostError> = None;
         for r in result.rewritings() {
+            if obs::budget::cancelled() {
+                break; // deadline: keep the cheapest plan found so far
+            }
             obs::counter!("cost.plans_enumerated").incr();
-            let Some((plan, cost)) = optimal_m3_plan(self.query, self.views, r, policy, oracle)
-            else {
-                continue;
+            let (plan, cost) = match try_optimal_m3_plan(self.query, self.views, r, policy, oracle)
+            {
+                Ok(Some(pc)) => pc,
+                Ok(None) => continue,
+                Err(e) => {
+                    skipped = Some(e);
+                    obs::counter!("cost.too_wide_skipped").incr();
+                    continue;
+                }
             };
             if best.as_ref().is_none_or(|b| cost < b.cost) {
                 best = Some(PlannedRewriting {
@@ -196,22 +269,27 @@ impl<'a> Optimizer<'a> {
                 });
             }
         }
-        best
+        match (best, skipped) {
+            (None, Some(e)) => Err(e.into()),
+            (b, s) => Ok((b, s.is_some())),
+        }
     }
 
     fn m2_plan(
         &self,
         rewriting: &Rewriting,
         oracle: &mut dyn SizeOracle,
-    ) -> Option<PlannedRewriting> {
+    ) -> Result<Option<PlannedRewriting>, CostError> {
         obs::counter!("cost.plans_enumerated").incr();
-        let (order, _, cost) = optimal_m2_order(&rewriting.body, oracle)?;
+        let Some((order, _, cost)) = try_optimal_m2_order(&rewriting.body, oracle)? else {
+            return Ok(None);
+        };
         let atoms: Vec<Atom> = order.iter().map(|&i| rewriting.body[i].clone()).collect();
-        Some(PlannedRewriting {
+        Ok(Some(PlannedRewriting {
             rewriting: rewriting.clone(),
             plan: PhysicalPlan::ordered(atoms),
             cost,
-        })
+        }))
     }
 }
 
@@ -341,7 +419,54 @@ mod tests {
         let err = Optimizer::new(&q, &views)
             .try_best_plan(CostModel::M2, &mut oracle)
             .unwrap_err();
-        assert_eq!(err, CoreError::TooManySubgoals { subgoals: 65 });
+        assert_eq!(
+            err,
+            PlanError::Core(viewplan_core::CoreError::TooManySubgoals { subgoals: 65 })
+        );
+    }
+
+    #[test]
+    fn too_wide_rewriting_is_skipped_when_an_alternative_plans() {
+        // Two minimal rewritings exist: one view per subgoal (9 subgoals —
+        // beyond the M3 order search) and the single all-covering view.
+        // The optimizer must plan the latter and mark the run truncated,
+        // not panic on the former.
+        let body: Vec<String> = (0..9).map(|i| format!("p{i}(X{i})")).collect();
+        let q = parse_query(&format!("q(X0) :- {}", body.join(", "))).unwrap();
+        let mut views_src: Vec<String> = (0..9).map(|i| format!("v{i}(X) :- p{i}(X).")).collect();
+        views_src.push(format!("vall(X0) :- {}.", body.join(", ")));
+        let views = parse_views(&views_src.join("\n")).unwrap();
+        let db = Database::new();
+        let mut oracle = ExactOracle::new(&db);
+        let outcome = Optimizer::new(&q, &views)
+            .try_plan(CostModel::M3(DropPolicy::Supplementary), &mut oracle)
+            .unwrap();
+        let best = outcome.best.unwrap();
+        assert_eq!(best.rewriting.body.len(), 1);
+        assert_eq!(outcome.completeness, viewplan_obs::Completeness::Truncated);
+    }
+
+    #[test]
+    fn all_rewritings_too_wide_is_a_cost_error() {
+        // 25 subgoals fit CoreCover's 64-bit masks but exceed the M2 DP
+        // width, and the only rewriting uses all 25 singleton views.
+        let body: Vec<String> = (0..25).map(|i| format!("p{i}(X{i})")).collect();
+        let q = parse_query(&format!("q(X0) :- {}", body.join(", "))).unwrap();
+        let views_src: Vec<String> = (0..25).map(|i| format!("v{i}(X) :- p{i}(X).")).collect();
+        let views = parse_views(&views_src.join("\n")).unwrap();
+        let db = Database::new();
+        let mut oracle = ExactOracle::new(&db);
+        let err = Optimizer::new(&q, &views)
+            .try_best_plan(CostModel::M2, &mut oracle)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            PlanError::Cost(CostError::TooManySubgoals {
+                subgoals: 25,
+                limit: crate::m2::M2_MAX_SUBGOALS,
+                model: "M2",
+            })
+        );
     }
 
     #[test]

@@ -36,11 +36,13 @@
 //! obs::set_enabled(false);
 //! ```
 
+pub mod budget;
 mod json;
 mod metrics;
 mod report;
 mod span;
 
+pub use budget::{Budget, BudgetSpec, Completeness, Fault, FaultPoint, Meter, Phase};
 pub use json::{parse as parse_json, Json};
 pub use metrics::{
     counter_value, counters, histogram_snapshot, histograms, Counter, Histogram, HistogramSnapshot,

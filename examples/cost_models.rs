@@ -46,7 +46,8 @@ fn example_61() {
         &[0, 1],
         DropPolicy::Supplementary,
         &mut oracle,
-    );
+    )
+    .expect("unbudgeted planning always completes");
     println!("\nSupplementary relations (the classic approach):");
     println!("  plan: {plan_supp}");
     println!("  GSR sizes: {gsr_supp:?}, cost: {cost_supp}");
@@ -60,7 +61,8 @@ fn example_61() {
         &[0, 1],
         DropPolicy::SmartCostBased,
         &mut oracle,
-    );
+    )
+    .expect("unbudgeted planning always completes");
     println!("\nRenaming heuristic (§6.2):");
     println!("  plan: {plan_smart}");
     println!("  GSR sizes: {gsr_smart:?}, cost: {cost_smart}");

@@ -5,6 +5,7 @@
 //! viewplan rewrite FILE [--all-minimal] [--no-grouping] [--baseline {naive,minicon,bucket}]
 //! viewplan plan    FILE [--model {m1,m2,m3}]
 //! viewplan eval    FILE
+//! viewplan soak    [--queries N] [--views N] [--seed S]
 //! viewplan help
 //! ```
 //!
@@ -13,8 +14,18 @@
 //! and `--threads N` (parallelize the CoreCover pipeline; results are
 //! identical for any N — default `VIEWPLAN_THREADS` or 1).
 //!
-//! Exit codes: 0 success, 2 malformed input (bad file, bad flag value,
-//! unsupported query), 1 internal error.
+//! Anytime budgets: `--timeout-ms MS` bounds the wall clock and
+//! `--node-budget N` caps each search's node count (deterministic at any
+//! thread count). When a budget fires the command still exits 0, printing
+//! best-so-far results plus an explicit incomplete note — never a hang or
+//! a panic. `VIEWPLAN_FAULT=phase:nth` (phase ∈ hom|cover|plan|deadline)
+//! injects an exhaustion fault at the nth search of that phase, for
+//! testing the degradation paths. `soak` stress-runs generated workloads
+//! under a tight budget and post-verifies every returned rewriting.
+//!
+//! Exit codes: 0 success (even when a budget truncated the result), 2
+//! malformed input (bad file, bad flag value, unsupported query), 1
+//! internal error.
 //!
 //! FILE is a plain-text problem description:
 //!
@@ -32,6 +43,9 @@
 
 use std::process::ExitCode;
 use viewplan::core::{default_threads, CoreError};
+use viewplan::cost::PlanError;
+use viewplan::obs::budget::BudgetGuard;
+use viewplan::obs::{BudgetSpec, Completeness, Fault};
 use viewplan::prelude::*;
 
 /// A CLI failure, split by whose fault it is: malformed input exits with
@@ -51,6 +65,12 @@ impl CliError {
 
 impl From<CoreError> for CliError {
     fn from(e: CoreError) -> CliError {
+        CliError::Input(e.to_string())
+    }
+}
+
+impl From<PlanError> for CliError {
+    fn from(e: PlanError) -> CliError {
         CliError::Input(e.to_string())
     }
 }
@@ -83,6 +103,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "rewrite" => with_stats(&args[1..], rewrite),
         "plan" => with_stats(&args[1..], plan),
         "eval" => with_stats(&args[1..], eval),
+        "soak" => with_stats(&args[1..], soak),
         other => Err(CliError::Input(format!("unknown command {other:?}"))),
     }
 }
@@ -106,13 +127,23 @@ fn print_help() {
          viewplan rewrite FILE [--all-minimal] [--no-grouping] [--baseline NAME]\n\
          viewplan plan    FILE [--model m1|m2|m3]\n\
          viewplan eval    FILE\n\
+         viewplan soak    [--queries N] [--views N] [--seed S]\n\
          \n\
          Common flags: --stats (phase/counter report on stderr),\n\
          --stats-json FILE (dump the metrics registry as JSON),\n\
          --threads N (parallel CoreCover pipeline; identical results for\n\
          any N; default: VIEWPLAN_THREADS or 1).\n\
          \n\
-         Exit codes: 0 success, 2 malformed input, 1 internal error.\n\
+         Anytime budgets: --timeout-ms MS (wall-clock deadline),\n\
+         --node-budget N (per-search node cap; deterministic at any\n\
+         thread count). Exhaustion degrades to best-so-far results with\n\
+         an incomplete note, still exit 0. VIEWPLAN_FAULT=phase:nth\n\
+         (hom|cover|plan|deadline) injects exhaustion for testing.\n\
+         `soak` stress-runs generated workloads under a tight budget\n\
+         (default: 50 ms + 2000 nodes) and verifies every rewriting.\n\
+         \n\
+         Exit codes: 0 success (including truncated-with-note), 2\n\
+         malformed input, 1 internal error.\n\
          \n\
          FILE holds a query (first rule), views (other rules), and optional\n\
          ground facts (base data). `rewrite` prints the view tuples, their\n\
@@ -176,7 +207,17 @@ fn load(path: &str) -> Result<Problem, CliError> {
 }
 
 /// Options that consume the following argument as their value.
-const VALUE_OPTIONS: &[&str] = &["--model", "--baseline", "--stats-json", "--threads"];
+const VALUE_OPTIONS: &[&str] = &[
+    "--model",
+    "--baseline",
+    "--stats-json",
+    "--threads",
+    "--timeout-ms",
+    "--node-budget",
+    "--queries",
+    "--views",
+    "--seed",
+];
 
 fn flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
@@ -233,6 +274,65 @@ fn threads_arg(args: &[String]) -> Result<usize, CliError> {
     }
 }
 
+/// A `--name N` option holding a positive integer, with a default when
+/// absent.
+fn u64_arg(args: &[String], name: &str, default: u64) -> Result<u64, CliError> {
+    match option(args, name) {
+        None => Ok(default),
+        Some(v) => v.parse::<u64>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+            CliError::Input(format!("{name} expects a positive integer, got {v:?}"))
+        }),
+    }
+}
+
+/// The anytime-budget flags plus the `VIEWPLAN_FAULT` injection hook,
+/// combined into a [`BudgetSpec`] (unlimited when none are given).
+fn budget_arg(args: &[String]) -> Result<BudgetSpec, CliError> {
+    let mut spec = BudgetSpec::new();
+    if let Some(v) = option(args, "--timeout-ms") {
+        let ms = v.parse::<u64>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+            CliError::Input(format!(
+                "--timeout-ms expects a positive integer, got {v:?}"
+            ))
+        })?;
+        spec = spec.timeout_ms(ms);
+    }
+    if let Some(v) = option(args, "--node-budget") {
+        let n = v.parse::<u64>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+            CliError::Input(format!(
+                "--node-budget expects a positive integer, got {v:?}"
+            ))
+        })?;
+        spec = spec.node_budget(n);
+    }
+    if let Some(fault) = Fault::from_env().map_err(CliError::Input)? {
+        spec = spec.fault(fault);
+    }
+    Ok(spec)
+}
+
+/// Installs the requested budget for the rest of the command (a no-op
+/// `None` when the spec constrains nothing). The deadline starts now.
+fn install_budget(spec: BudgetSpec) -> Option<BudgetGuard> {
+    (!spec.is_unlimited()).then(|| viewplan::obs::budget::install(spec.build()))
+}
+
+/// How completely the installed budget let the command run. Budgets are
+/// installed freshly per command, so counting hits from zero is exact.
+fn budget_outcome() -> Completeness {
+    viewplan::obs::budget::completeness_since(Default::default())
+}
+
+/// Prints the incomplete-result note when the budget fired. Exit stays 0:
+/// a truncated answer with an honest marker is a success, not an error.
+fn budget_note(completeness: Completeness) {
+    if completeness.is_incomplete() {
+        println!(
+            "note: budget exhausted ({completeness}) — results are best-so-far, not exhaustive"
+        );
+    }
+}
+
 /// Which stats outputs the user asked for; constructing it (via
 /// [`stats_request`]) enables collection when any output is requested.
 struct StatsRequest {
@@ -268,6 +368,7 @@ impl StatsRequest {
 fn rewrite(args: &[String]) -> Result<(), CliError> {
     let problem = load(file_arg(args)?)?;
     let threads = threads_arg(args)?;
+    let _budget = install_budget(budget_arg(args)?);
     if let Some(baseline) = option(args, "--baseline") {
         let rs = match baseline {
             "naive" => naive_gmrs(&problem.query, &problem.views),
@@ -281,6 +382,7 @@ fn rewrite(args: &[String]) -> Result<(), CliError> {
         for r in rs {
             println!("  {r}");
         }
+        budget_note(budget_outcome());
         return Ok(());
     }
     let mut config = CoreCoverConfig {
@@ -335,12 +437,14 @@ fn rewrite(args: &[String]) -> Result<(), CliError> {
     for r in result.rewritings() {
         println!("  {r}");
     }
+    budget_note(s.completeness);
     Ok(())
 }
 
 fn plan(args: &[String]) -> Result<(), CliError> {
     let problem = load(file_arg(args)?)?;
     let threads = threads_arg(args)?;
+    let _budget = install_budget(budget_arg(args)?);
     if problem.base.is_empty() {
         return Err(CliError::input(
             "`plan` needs ground facts in the file (base data)",
@@ -365,10 +469,20 @@ fn plan(args: &[String]) -> Result<(), CliError> {
         },
         ..OptimizerConfig::default()
     };
-    let best = Optimizer::new(&problem.query, &problem.views)
+    let outcome = Optimizer::new(&problem.query, &problem.views)
         .with_config(config)
-        .try_best_plan(model, &mut oracle)?
-        .ok_or_else(|| CliError::input("the query has no equivalent rewriting over these views"))?;
+        .try_plan(model, &mut oracle)?;
+    let Some(best) = outcome.best else {
+        if outcome.completeness.is_incomplete() {
+            // The budget fired before any plan was found: an honest
+            // empty answer, not a malformed input.
+            println!("no plan found within the budget ({})", outcome.completeness);
+            return Ok(());
+        }
+        return Err(CliError::input(
+            "the query has no equivalent rewriting over these views",
+        ));
+    };
     println!("\nbest rewriting: {}", best.rewriting);
     println!("physical plan:  {}", best.plan);
     println!("cost:           {}", best.cost);
@@ -376,12 +490,14 @@ fn plan(args: &[String]) -> Result<(), CliError> {
     println!("intermediates:  {:?}", trace.intermediate_sizes);
     println!("\nanswer ({} tuple(s)):", trace.answer.len());
     print!("{}", trace.answer);
+    budget_note(outcome.completeness);
     Ok(())
 }
 
 fn eval(args: &[String]) -> Result<(), CliError> {
     let problem = load(file_arg(args)?)?;
     let threads = threads_arg(args)?;
+    let _budget = install_budget(budget_arg(args)?);
     let direct = evaluate(&problem.query, &problem.base);
     println!("direct answer ({} tuple(s)):", direct.len());
     print!("{direct}");
@@ -401,6 +517,11 @@ fn eval(args: &[String]) -> Result<(), CliError> {
             print!("{via}");
             if via == direct {
                 println!("\n✓ answers agree (closed-world equivalence)");
+            } else if budget_outcome().is_incomplete() {
+                // Under an exhausted budget the rewriting may not have
+                // been fully verified — a disagreement is truncation,
+                // not a bug.
+                println!("\n✗ answers disagree under an exhausted budget (rewriting unverified)");
             } else {
                 return Err(CliError::Internal(
                     "answers disagree — this is a bug".into(),
@@ -408,7 +529,83 @@ fn eval(args: &[String]) -> Result<(), CliError> {
             }
         }
     }
+    budget_note(budget_outcome());
     Ok(())
+}
+
+/// Stress-runs the whole pipeline over generated workloads under a tight
+/// per-query budget, post-verifying every returned rewriting outside the
+/// budget. Exits 0 when every query returned cleanly with an honest
+/// completeness marker; a rewriting failing post-hoc verification is an
+/// internal error (exit 1).
+fn soak(args: &[String]) -> Result<(), CliError> {
+    if let Some(extra) = positional_args(args).first() {
+        return Err(CliError::Input(format!(
+            "unexpected argument {extra:?} — `soak` generates its own workloads"
+        )));
+    }
+    let queries = u64_arg(args, "--queries", 24)? as usize;
+    let views = u64_arg(args, "--views", 12)? as usize;
+    let seed0 = u64_arg(args, "--seed", 1)?;
+    let threads = threads_arg(args)?;
+    let mut spec = budget_arg(args)?;
+    if spec.is_unlimited() {
+        // A soak without an explicit budget still stresses degradation.
+        spec = spec.timeout_ms(50).node_budget(2_000);
+    }
+    let config = CoreCoverConfig {
+        threads,
+        ..CoreCoverConfig::default()
+    };
+    let mut tally = [0usize; 3]; // complete / truncated / deadline
+    let mut rewritings_total = 0usize;
+    let mut bad: Vec<String> = Vec::new();
+    for i in 0..queries {
+        let seed = seed0 + i as u64;
+        let wcfg = match i % 3 {
+            0 => WorkloadConfig::star(views, 1, seed),
+            1 => WorkloadConfig::chain(views, 1, seed),
+            _ => WorkloadConfig::random(views, 1, seed),
+        };
+        let w = generate(&wcfg);
+        // Fresh budget per query: the deadline restarts, node caps are
+        // per-search anyway. The guard drops before verification so the
+        // post-hoc equivalence checks run unbudgeted.
+        let result = {
+            let _g = viewplan::obs::budget::install(spec.build());
+            CoreCover::new(&w.query, &w.views)
+                .with_config(config.clone())
+                .try_run_all_minimal()
+        }
+        .map_err(|e| CliError::Internal(format!("generated workload rejected: {e}")))?;
+        tally[match result.stats.completeness {
+            Completeness::Complete => 0,
+            Completeness::Truncated => 1,
+            Completeness::DeadlineExceeded => 2,
+        }] += 1;
+        rewritings_total += result.rewritings().len();
+        for r in result.rewritings() {
+            let equivalent = expand(r, &w.views).is_ok_and(|exp| are_equivalent(&exp, &w.query));
+            if !equivalent {
+                bad.push(format!("seed {seed}: {r}"));
+            }
+        }
+    }
+    println!(
+        "soak: {queries} queries, {rewritings_total} rewriting(s); \
+         {} complete, {} truncated, {} deadline-exceeded",
+        tally[0], tally[1], tally[2]
+    );
+    if bad.is_empty() {
+        println!("all returned rewritings verified equivalent");
+        Ok(())
+    } else {
+        Err(CliError::Internal(format!(
+            "{} rewriting(s) failed post-hoc verification:\n  {}",
+            bad.len(),
+            bad.join("\n  ")
+        )))
+    }
 }
 
 #[cfg(test)]

@@ -62,7 +62,8 @@ fn renaming_beats_supplementary() {
         &[0, 1],
         DropPolicy::Supplementary,
         &mut oracle,
-    );
+    )
+    .expect("unbudgeted planning always completes");
     let (plan_smart, gsr_smart, cost_smart) = plan_with_order(
         &q,
         &views,
@@ -70,7 +71,8 @@ fn renaming_beats_supplementary() {
         &[0, 1],
         DropPolicy::SmartCostBased,
         &mut oracle,
-    );
+    )
+    .expect("unbudgeted planning always completes");
     assert_eq!(gsr_supp[0], 20.0);
     assert_eq!(gsr_smart[0], 5.0);
     assert!(cost_smart < cost_supp);
@@ -93,7 +95,8 @@ fn reversed_order_preserves_the_gap() {
         &[1, 0],
         DropPolicy::Supplementary,
         &mut oracle,
-    );
+    )
+    .expect("unbudgeted planning always completes");
     let (_, _, cost_smart) = plan_with_order(
         &q,
         &views,
@@ -101,7 +104,8 @@ fn reversed_order_preserves_the_gap() {
         &[1, 0],
         DropPolicy::SmartCostBased,
         &mut oracle,
-    );
+    )
+    .expect("unbudgeted planning always completes");
     assert!(cost_smart <= cost_supp);
 }
 
@@ -118,7 +122,8 @@ fn all_plans_compute_the_answer() {
         DropPolicy::SmartCostBased,
     ] {
         for order in [[0usize, 1], [1, 0]] {
-            let (plan, _, _) = plan_with_order(&q, &views, &p2, &order, policy, &mut oracle);
+            let (plan, _, _) = plan_with_order(&q, &views, &p2, &order, policy, &mut oracle)
+                .expect("unbudgeted planning always completes");
             let trace = plan.execute(&p2.head, &vdb);
             assert_eq!(
                 trace.answer.as_slice(),
@@ -141,7 +146,8 @@ fn optimizer_m3_is_at_least_as_good() {
         .unwrap();
     for order in [[0usize, 1], [1, 0]] {
         for policy in [DropPolicy::Supplementary, DropPolicy::SmartCostBased] {
-            let (_, _, cost) = plan_with_order(&q, &views, &p2, &order, policy, &mut oracle);
+            let (_, _, cost) = plan_with_order(&q, &views, &p2, &order, policy, &mut oracle)
+                .expect("unbudgeted planning always completes");
             assert!(best.cost <= cost);
         }
     }
