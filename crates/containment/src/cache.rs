@@ -34,7 +34,7 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
-use viewplan_cq::{Atom, ConjunctiveQuery, Constant, Symbol, Term};
+use viewplan_cq::{Atom, ConjunctiveQuery, Constant, Substitution, Symbol, Term};
 use viewplan_obs as obs;
 
 /// Number of independent lock shards (power of two).
@@ -101,6 +101,81 @@ pub fn canonical_key(q: &ConjunctiveQuery) -> CanonicalQuery {
         encode_atom(atom, &mut toks);
     }
     CanonicalQuery(toks)
+}
+
+/// The canonical name of the `i`-th variable (by first occurrence) of a
+/// canonicalized query. The `__c` prefix keeps canonical names out of the
+/// way of ordinary user variables, but nothing breaks if a user query
+/// already contains one: canonicalization is a *simultaneous* bijective
+/// renaming, so collisions cannot alias two variables.
+pub fn canonical_variable(i: usize) -> Symbol {
+    Symbol::new(&format!("__c{i}"))
+}
+
+/// A query renamed into canonical variable space, together with the map
+/// back to the original names.
+///
+/// Canonicalization assigns every variable the dense name
+/// [`canonical_variable`]`(i)` where `i` is its first-occurrence index
+/// (head first, then body, left to right) — the same order
+/// [`canonical_key`] uses. Two queries that are variants of each other
+/// therefore canonicalize to **byte-identical** queries, which is the
+/// foundation of the serving layer's rewriting cache: run the pipeline on
+/// `canonical`, and any variant of the original query can reuse the
+/// result by renaming it through its own `from_canonical` map. Because
+/// every variant performs the *same* canonical computation, a cache hit
+/// is provably identical to a cold run — no equivariance assumption about
+/// the pipeline is needed.
+#[derive(Clone, Debug)]
+pub struct Canonicalization {
+    /// The query with every variable renamed to its canonical name.
+    pub canonical: ConjunctiveQuery,
+    /// The cache key (equals `canonical_key` of the original query).
+    pub key: CanonicalQuery,
+    /// Substitution mapping canonical names back to the original
+    /// variables. Pipeline outputs over `canonical` mention only its
+    /// variables, so applying this recovers the original vocabulary.
+    pub from_canonical: Substitution,
+}
+
+/// Canonicalizes a query: renames variables to dense first-occurrence
+/// names and returns the renamed query, its cache key, and the inverse
+/// renaming. See [`Canonicalization`].
+pub fn canonicalize(q: &ConjunctiveQuery) -> Canonicalization {
+    let mut order: Vec<Symbol> = Vec::new();
+    let mut seen: HashMap<Symbol, ()> = HashMap::new();
+    let mut visit = |atom: &Atom| {
+        for t in &atom.terms {
+            if let Term::Var(v) = *t {
+                if seen.insert(v, ()).is_none() {
+                    order.push(v);
+                }
+            }
+        }
+    };
+    visit(&q.head);
+    for atom in &q.body {
+        visit(atom);
+    }
+    let to_canonical = Substitution::from_pairs(
+        order
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, Term::Var(canonical_variable(i)))),
+    );
+    let from_canonical = Substitution::from_pairs(
+        order
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (canonical_variable(i), Term::Var(v))),
+    );
+    let canonical = q.apply(&to_canonical);
+    let key = canonical_key(&canonical);
+    Canonicalization {
+        canonical,
+        key,
+        from_canonical,
+    }
 }
 
 type Shard = RwLock<HashMap<(CanonicalQuery, CanonicalQuery), bool>>;
@@ -205,6 +280,32 @@ mod tests {
         assert_ne!(canonical_key(&q1), canonical_key(&q2));
         assert_ne!(canonical_key(&q1), canonical_key(&q3));
         assert_ne!(canonical_key(&q1), canonical_key(&q4));
+    }
+
+    #[test]
+    fn variants_canonicalize_to_byte_identical_queries() {
+        let q1 = parse_query("q(X, Y) :- e(X, Z), f(Z, Y), g(Y, a)").unwrap();
+        let q2 = parse_query("q(A, B) :- e(A, C), f(C, B), g(B, a)").unwrap();
+        let c1 = canonicalize(&q1);
+        let c2 = canonicalize(&q2);
+        assert_eq!(c1.canonical, c2.canonical);
+        assert_eq!(c1.key, c2.key);
+        assert_eq!(c1.key, canonical_key(&q1));
+        // Round trip: renaming back recovers each original query.
+        assert_eq!(c1.canonical.apply(&c1.from_canonical), q1);
+        assert_eq!(c2.canonical.apply(&c2.from_canonical), q2);
+    }
+
+    #[test]
+    fn canonicalize_handles_adversarial_names() {
+        // A query that already uses canonical-style names in "wrong"
+        // positions: the simultaneous renaming must stay bijective.
+        let q = parse_query("q(__c1, __c0) :- e(__c1, __c0), e(__c0, W)").unwrap();
+        let c = canonicalize(&q);
+        assert_eq!(c.canonical.apply(&c.from_canonical), q);
+        // Distinct originals stay distinct in canonical space.
+        let vars = c.canonical.variables();
+        assert_eq!(vars.len(), q.variables().len());
     }
 
     #[test]

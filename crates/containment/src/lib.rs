@@ -46,8 +46,8 @@ pub mod minimize;
 pub mod variant;
 
 pub use cache::{
-    cache_enabled, canonical_key, clear_containment_cache, containment_cache_len,
-    set_cache_enabled, CanonicalQuery,
+    cache_enabled, canonical_key, canonical_variable, canonicalize, clear_containment_cache,
+    containment_cache_len, set_cache_enabled, CanonicalQuery, Canonicalization,
 };
 pub use containment::{are_equivalent, containment_mapping, head_bindings, is_contained_in};
 pub use expansion::{expand, expand_atom, ExpandError};

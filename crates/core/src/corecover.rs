@@ -26,6 +26,7 @@ use crate::classes::{view_equivalence_classes, view_tuple_classes};
 use crate::cover::{all_irredundant_covers_counted, all_minimum_covers_counted};
 use crate::error::{CoreError, MAX_SUBGOALS};
 use crate::parallel::{default_threads, parallel_map};
+use crate::prepared::PreparedViews;
 use crate::rewriting::{dedup_variants, Rewriting};
 use crate::tuple_core::{tuple_core, TupleCore};
 use crate::view_tuple::{view_tuples_with_threads, ViewTuple};
@@ -181,6 +182,7 @@ pub struct CoreCover<'a> {
     query: &'a ConjunctiveQuery,
     views: &'a ViewSet,
     config: CoreCoverConfig,
+    prepared: Option<&'a PreparedViews>,
 }
 
 impl<'a> CoreCover<'a> {
@@ -190,6 +192,24 @@ impl<'a> CoreCover<'a> {
             query,
             views,
             config: CoreCoverConfig::default(),
+            prepared: None,
+        }
+    }
+
+    /// Prepares a run over a [`PreparedViews`] set: the §5.2 view
+    /// grouping is taken from the precomputed classes instead of being
+    /// redone, which is what lets a serving layer amortize the
+    /// per-view-set work across a whole query stream. Output is
+    /// byte-identical to [`CoreCover::new`] over the same view set.
+    pub fn with_prepared_views(
+        query: &'a ConjunctiveQuery,
+        prepared: &'a PreparedViews,
+    ) -> CoreCover<'a> {
+        CoreCover {
+            query,
+            views: prepared.views(),
+            config: CoreCoverConfig::default(),
+            prepared: Some(prepared),
         }
     }
 
@@ -250,17 +270,21 @@ impl<'a> CoreCover<'a> {
             });
         }
 
-        // Step 1b (§5.2): group views into equivalence classes.
+        // Step 1b (§5.2): group views into equivalence classes — or reuse
+        // the classes a PreparedViews set computed once for the whole
+        // query stream (identical by determinism of the grouping).
         let (active_views, view_classes) = {
             let _span = obs::span("corecover.group_views");
-            if self.config.group_equivalent_views {
+            if !self.config.group_equivalent_views {
+                (self.views.clone(), self.views.len())
+            } else if let Some(p) = self.prepared {
+                (p.representatives().clone(), p.class_count())
+            } else {
                 let classes = view_equivalence_classes(self.views);
                 let reps = ViewSet::from_views(
                     classes.iter().map(|c| self.views.as_slice()[c[0]].clone()),
                 );
                 (reps, classes.len())
-            } else {
-                (self.views.clone(), self.views.len())
             }
         };
 

@@ -50,6 +50,7 @@ pub mod lattice;
 pub mod minicon;
 pub mod naive;
 pub mod parallel;
+pub mod prepared;
 pub mod rewriting;
 pub mod tuple_core;
 pub mod view_tuple;
@@ -67,6 +68,7 @@ pub use lattice::{
 pub use minicon::{minicon_rewritings, Mcd, MiniCon};
 pub use naive::naive_gmrs;
 pub use parallel::{default_threads, parallel_map};
+pub use prepared::PreparedViews;
 pub use rewriting::{dedup_variants, Rewriting};
 pub use tuple_core::{tuple_core, TupleCore};
 pub use view_tuple::{view_tuples, view_tuples_with_threads, ViewTuple};

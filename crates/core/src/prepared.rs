@@ -1,0 +1,141 @@
+//! Per-view-set preprocessing shared across many queries.
+//!
+//! A serving deployment answers a *stream* of queries against one mostly
+//! stable view set, but [`CoreCover`](crate::CoreCover) as originally
+//! written redoes the query-independent part of its work on every call:
+//! grouping the views into equivalence classes (§5.2 step 1) is a
+//! quadratic-in-views pass of containment checks that depends only on the
+//! view set. [`PreparedViews`] hoists that work out of the per-query path:
+//! prepare once, then hand the same prepared set (read-only, so freely
+//! shared across worker threads) to every
+//! [`CoreCover::with_prepared_views`](crate::CoreCover::with_prepared_views)
+//! run.
+//!
+//! The precomputed classes are exactly what a fresh run would compute
+//! ([`view_equivalence_classes`] is deterministic in the view order), so a
+//! prepared run's output is byte-identical to an unprepared one — the
+//! serving layer's correctness story depends on this, and
+//! `prepared_runs_match_fresh_runs` below pins it.
+
+use crate::classes::view_equivalence_classes;
+use viewplan_cq::ViewSet;
+use viewplan_obs as obs;
+
+/// A view set with its query-independent preprocessing done: view
+/// equivalence classes and the representative view per class. Immutable
+/// after construction; share by reference across threads.
+#[derive(Clone, Debug)]
+pub struct PreparedViews {
+    views: ViewSet,
+    classes: Vec<Vec<usize>>,
+    representatives: ViewSet,
+}
+
+impl PreparedViews {
+    /// Runs the per-view-set preprocessing (the §5.2 view-equivalence
+    /// grouping — the quadratic pass worth amortizing across queries).
+    pub fn prepare(views: &ViewSet) -> PreparedViews {
+        let _span = obs::span("serve.prepare_views");
+        let classes = view_equivalence_classes(views);
+        let representatives =
+            ViewSet::from_views(classes.iter().map(|c| views.as_slice()[c[0]].clone()));
+        obs::counter!("serve.prepared_view_sets").incr();
+        PreparedViews {
+            views: views.clone(),
+            classes,
+            representatives,
+        }
+    }
+
+    /// The full original view set.
+    pub fn views(&self) -> &ViewSet {
+        &self.views
+    }
+
+    /// Equivalence classes as index lists into [`PreparedViews::views`],
+    /// in first-seen order; each class's first element is its
+    /// representative.
+    pub fn classes(&self) -> &[Vec<usize>] {
+        &self.classes
+    }
+
+    /// One representative view per class, in class order.
+    pub fn representatives(&self) -> &ViewSet {
+        &self.representatives
+    }
+
+    /// Number of equivalence classes.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CoreCover, CoreCoverConfig};
+    use viewplan_cq::{parse_query, parse_views};
+
+    fn carlocpart_views() -> ViewSet {
+        parse_views(
+            "v1(M, D, C) :- car(M, D), loc(D, C).\n\
+             v2(S, M, C) :- part(S, M, C).\n\
+             v3(S) :- car(M, a), loc(a, C), part(S, M, C).\n\
+             v4(M, D, C, S) :- car(M, D), loc(D, C), part(S, M, C).\n\
+             v5(M, D, C) :- car(M, D), loc(D, C).",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn prepare_groups_equivalent_views() {
+        let views = carlocpart_views();
+        let prepared = PreparedViews::prepare(&views);
+        assert_eq!(prepared.class_count(), 4); // v1 ≡ v5
+        assert_eq!(prepared.classes()[0], vec![0, 4]);
+        assert_eq!(prepared.representatives().len(), 4);
+        assert_eq!(prepared.views().len(), 5);
+    }
+
+    #[test]
+    fn prepared_runs_match_fresh_runs() {
+        // The serving-layer contract: running CoreCover with prepared
+        // views is byte-identical to an ordinary run.
+        let views = carlocpart_views();
+        let prepared = PreparedViews::prepare(&views);
+        for src in [
+            "q1(S, C) :- car(M, a), loc(a, C), part(S, M, C)",
+            "q(M, C) :- car(M, D), loc(D, C)",
+            "q(S) :- part(S, M, C), car(M, a)",
+        ] {
+            let q = parse_query(src).unwrap();
+            let fresh = CoreCover::new(&q, &views).run_all_minimal();
+            let pre = CoreCover::with_prepared_views(&q, &prepared).run_all_minimal();
+            assert_eq!(fresh.rewritings(), pre.rewritings(), "{src}");
+            assert_eq!(fresh.stats, pre.stats, "{src}");
+            assert_eq!(fresh.minimized_query, pre.minimized_query, "{src}");
+            assert_eq!(fresh.view_tuples, pre.view_tuples, "{src}");
+        }
+    }
+
+    #[test]
+    fn prepared_views_respect_grouping_off() {
+        // With grouping disabled the prepared classes are ignored and the
+        // full view set is used, exactly as in an unprepared run.
+        let views = carlocpart_views();
+        let prepared = PreparedViews::prepare(&views);
+        let q = parse_query("q1(S, C) :- car(M, a), loc(a, C), part(S, M, C)").unwrap();
+        let config = CoreCoverConfig {
+            group_equivalent_views: false,
+            group_view_tuples: false,
+            ..CoreCoverConfig::default()
+        };
+        let fresh = CoreCover::new(&q, &views).with_config(config.clone()).run();
+        let pre = CoreCover::with_prepared_views(&q, &prepared)
+            .with_config(config)
+            .run();
+        assert_eq!(fresh.stats, pre.stats);
+        assert_eq!(fresh.rewritings(), pre.rewritings());
+        assert_eq!(pre.stats.view_classes, 5);
+    }
+}

@@ -139,22 +139,42 @@ impl<'a> Optimizer<'a> {
         let budget_before = obs::budget::snapshot();
         let generator =
             CoreCover::new(self.query, self.views).with_config(self.config.corecover.clone());
-        let (generated, planned) = match model {
-            CostModel::M1 => {
-                let result = generator.try_run()?;
-                let c = result.stats.completeness;
-                (c, Ok((self.plan_m1(result), false)))
-            }
-            CostModel::M2 => {
-                let result = generator.try_run_all_minimal()?;
-                let c = result.stats.completeness;
-                (c, self.plan_m2(result, oracle))
-            }
-            CostModel::M3(policy) => {
-                let result = generator.try_run_all_minimal()?;
-                let c = result.stats.completeness;
-                (c, self.plan_m3(result, policy, oracle))
-            }
+        let result = match model {
+            CostModel::M1 => generator.try_run()?,
+            CostModel::M2 | CostModel::M3(_) => generator.try_run_all_minimal()?,
+        };
+        self.plan_generated(model, result, oracle, budget_before)
+    }
+
+    /// Phase 2 alone: picks the best physical plan from an
+    /// already-generated [`CoreCoverResult`]. This is the entry point for
+    /// callers that run the rewriting generator themselves — e.g. a
+    /// serving layer reusing prepared views across a query stream. The
+    /// caller must have generated with the space `model` requires:
+    /// `run`/`try_run` (GMRs) for M1, `run_all_minimal` (CoreCover*) for
+    /// M2/M3 — Theorems 3.1 and 5.1 respectively.
+    pub fn try_plan_generated(
+        &self,
+        model: CostModel,
+        result: CoreCoverResult,
+        oracle: &mut dyn SizeOracle,
+    ) -> Result<PlanOutcome, PlanError> {
+        let _span = obs::span("optimizer.best_plan");
+        self.plan_generated(model, result, oracle, obs::budget::snapshot())
+    }
+
+    fn plan_generated(
+        &self,
+        model: CostModel,
+        result: CoreCoverResult,
+        oracle: &mut dyn SizeOracle,
+        budget_before: obs::budget::HitSnapshot,
+    ) -> Result<PlanOutcome, PlanError> {
+        let generated = result.stats.completeness;
+        let planned = match model {
+            CostModel::M1 => Ok((self.plan_m1(result), false)),
+            CostModel::M2 => self.plan_m2(result, oracle),
+            CostModel::M3(policy) => self.plan_m3(result, policy, oracle),
         };
         let (best, skipped_wide) = planned?;
         let mut completeness = generated.worst(obs::budget::completeness_since(budget_before));

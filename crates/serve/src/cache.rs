@@ -1,0 +1,241 @@
+//! The rewriting cache: bounded, sharded, LRU, keyed on canonical
+//! queries.
+//!
+//! A serving workload repeats itself — the same query template arrives
+//! again and again with freshly generated variable names. The cache key
+//! is therefore the query canonicalized up to variable renaming
+//! ([`viewplan_containment::canonicalize`], the same canonical form the
+//! containment memo cache uses), so every variant of a query hits one
+//! entry. The stored value is the full canonical-space answer
+//! (rewritings, chosen plan, completeness); the serving layer
+//! denormalizes it back into the caller's variable names on the way out.
+//!
+//! **Poisoning rule.** An answer whose completeness marker is anything
+//! but [`Completeness::Complete`] is *never* stored — a budget-truncated
+//! answer is an artifact of one request's deadline, and caching it would
+//! replay the degradation to every later (possibly unbudgeted) request.
+//! This mirrors the containment cache's rule of never memoizing
+//! truncated verdicts. Rejections are counted, not silent.
+//!
+//! **Eviction.** The cache is sharded (key-hash → shard, each an
+//! independent mutex) to keep worker threads from contending on one
+//! lock. Each shard holds at most `capacity / SHARDS` entries and evicts
+//! its least-recently-used entry on overflow, tracked by a per-shard
+//! monotone stamp bumped on every touch. The LRU victim scan is linear
+//! in the shard — shards are small (hundreds of entries) and eviction is
+//! off the hit path, so simplicity wins over an intrusive list.
+//!
+//! Counters (when stats collection is on): `serve.cache_hits`,
+//! `serve.cache_misses`, `serve.cache_evictions`,
+//! `serve.cache_rejected_incomplete`. The same numbers are always
+//! available programmatically through [`RewritingCache::stats`],
+//! independent of whether obs collection is enabled.
+
+use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use viewplan_containment::CanonicalQuery;
+use viewplan_obs as obs;
+
+use crate::batch::CachedAnswer;
+
+/// Number of independent lock shards (power of two).
+const SHARDS: usize = 8;
+
+/// One cached entry: the canonical-space answer plus its LRU stamp.
+struct Entry {
+    stamp: u64,
+    value: Arc<CachedAnswer>,
+}
+
+/// One shard: an independent map with its own LRU clock.
+struct Shard {
+    map: HashMap<CanonicalQuery, Entry>,
+    tick: u64,
+}
+
+/// Point-in-time cache statistics (see [`RewritingCache::stats`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CacheStats {
+    /// Probes that found an entry.
+    pub hits: u64,
+    /// Probes that found nothing.
+    pub misses: u64,
+    /// Entries displaced by the LRU policy.
+    pub evictions: u64,
+    /// Insert attempts refused because the answer was not `Complete`.
+    pub rejected_incomplete: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+/// A bounded, sharded, LRU map from canonical queries to served answers.
+pub struct RewritingCache {
+    shards: Vec<Mutex<Shard>>,
+    shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    rejected_incomplete: AtomicU64,
+}
+
+impl RewritingCache {
+    /// A cache holding at most (roughly) `capacity` entries across all
+    /// shards. `capacity` is clamped to at least one entry per shard.
+    pub fn new(capacity: usize) -> RewritingCache {
+        RewritingCache {
+            shards: (0..SHARDS)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: HashMap::new(),
+                        tick: 0,
+                    })
+                })
+                .collect(),
+            shard_capacity: capacity.div_ceil(SHARDS).max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            rejected_incomplete: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &CanonicalQuery) -> &Mutex<Shard> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// Probes the cache, refreshing the entry's recency on a hit.
+    pub fn get(&self, key: &CanonicalQuery) -> Option<Arc<CachedAnswer>> {
+        let mut shard = self.shard(key).lock();
+        shard.tick += 1;
+        let now = shard.tick;
+        match shard.map.get_mut(key) {
+            Some(entry) => {
+                entry.stamp = now;
+                let value = entry.value.clone();
+                drop(shard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                obs::counter!("serve.cache_hits").incr();
+                Some(value)
+            }
+            None => {
+                drop(shard);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                obs::counter!("serve.cache_misses").incr();
+                None
+            }
+        }
+    }
+
+    /// Stores an answer — unless it is incomplete (the poisoning rule;
+    /// see the module docs), in which case the attempt is counted and
+    /// dropped. Evicts the shard's LRU entry on overflow.
+    pub fn insert(&self, key: CanonicalQuery, value: Arc<CachedAnswer>) {
+        if value.completeness.is_incomplete() {
+            self.rejected_incomplete.fetch_add(1, Ordering::Relaxed);
+            obs::counter!("serve.cache_rejected_incomplete").incr();
+            return;
+        }
+        let mut shard = self.shard(&key).lock();
+        shard.tick += 1;
+        let now = shard.tick;
+        if !shard.map.contains_key(&key) && shard.map.len() >= self.shard_capacity {
+            if let Some(victim) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k.clone())
+            {
+                shard.map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                obs::counter!("serve.cache_evictions").incr();
+            }
+        }
+        shard.map.insert(key, Entry { stamp: now, value });
+    }
+
+    /// Number of resident entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    /// True when no entry is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the cache's counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            rejected_incomplete: self.rejected_incomplete.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viewplan_containment::canonicalize;
+    use viewplan_cq::parse_query;
+    use viewplan_obs::Completeness;
+
+    fn answer(completeness: Completeness) -> Arc<CachedAnswer> {
+        Arc::new(CachedAnswer {
+            rewritings: Vec::new(),
+            best: None,
+            completeness,
+        })
+    }
+
+    fn key(src: &str) -> CanonicalQuery {
+        canonicalize(&parse_query(src).unwrap()).key
+    }
+
+    #[test]
+    fn hit_after_insert_and_variant_keys_collide() {
+        let cache = RewritingCache::new(16);
+        cache.insert(key("q(X) :- e(X, Y)"), answer(Completeness::Complete));
+        assert!(cache.get(&key("q(A) :- e(A, B)")).is_some());
+        assert!(cache.get(&key("q(X) :- e(Y, X)")).is_none());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn incomplete_answers_are_never_cached() {
+        let cache = RewritingCache::new(16);
+        cache.insert(key("q(X) :- e(X, Y)"), answer(Completeness::Truncated));
+        cache.insert(
+            key("q(X) :- f(X, Y)"),
+            answer(Completeness::DeadlineExceeded),
+        );
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().rejected_incomplete, 2);
+    }
+
+    #[test]
+    fn lru_eviction_keeps_recently_used_entries() {
+        // Capacity 8 over 8 shards = 1 entry per shard: inserting two
+        // keys that land in the same shard must evict the stale one.
+        let cache = RewritingCache::new(8);
+        let keys: Vec<CanonicalQuery> = (0..64)
+            .map(|i| key(&format!("q(X) :- p{i}(X, Y)")))
+            .collect();
+        for k in &keys {
+            cache.insert(k.clone(), answer(Completeness::Complete));
+        }
+        assert!(cache.len() <= 8);
+        assert!(cache.stats().evictions >= 56);
+        // The most recent insert in some shard is still resident.
+        assert!(cache.get(keys.last().unwrap()).is_some());
+    }
+}

@@ -1,0 +1,26 @@
+//! Batched multi-query serving (the deployment shape of the paper's
+//! pipeline).
+//!
+//! The CoreCover/CoreCover* pipeline does its expensive work per query,
+//! but a deployment sees *streams* of queries over a mostly-stable view
+//! set. This crate amortizes across the stream:
+//!
+//! * [`BatchServer`] — owns the per-view-set preprocessing
+//!   ([`viewplan_core::PreparedViews`], computed once) and answers
+//!   queries one at a time or in parallel batches over the PR 2 worker
+//!   pool;
+//! * [`RewritingCache`] — a bounded, sharded LRU cache of answers keyed
+//!   on queries canonicalized up to variable renaming, with the
+//!   poisoning rule that budget-truncated answers are never stored.
+//!
+//! The correctness contract — a cached/batched answer is byte-identical
+//! to a cold single-query run — is established by construction
+//! (canonicalize → compute/hit in canonical space → denormalize; see
+//! [`batch`]) and enforced end to end by the workspace's differential
+//! tests.
+
+pub mod batch;
+pub mod cache;
+
+pub use batch::{BatchServer, CachedAnswer, ServeConfig, ServedAnswer};
+pub use cache::{CacheStats, RewritingCache};

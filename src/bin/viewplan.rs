@@ -5,9 +5,23 @@
 //! viewplan rewrite FILE [--all-minimal] [--no-grouping] [--baseline {naive,minicon,bucket}]
 //! viewplan plan    FILE [--model {m1,m2,m3}]
 //! viewplan eval    FILE
+//! viewplan batch   FILE [--no-cache] [--cache-capacity N] [--csv FILE] [--all-minimal]
+//! viewplan batch   --workload {star,chain,random} [--queries N] [--views N] [--seed S] [--repeat K]
+//! viewplan serve   VIEWSFILE   (queries on stdin, one per line)
 //! viewplan soak    [--queries N] [--views N] [--seed S]
 //! viewplan help
 //! ```
+//!
+//! `batch` answers a whole stream of queries against one view set in a
+//! single process: the per-view-set preprocessing runs once, requests
+//! fan out over the worker pool, and answers are cached by the query's
+//! canonical form (identical up to variable renaming). `FILE` holds the
+//! view rules, then a `---` line, then one query rule per line; with
+//! `--workload` the stream is generated instead. Per-query stdout is
+//! byte-identical at any thread count and cache setting; cache/latency
+//! observability goes to stderr and the optional `--csv` file.
+//! `serve` is the interactive form: views from a file, queries on stdin,
+//! one answer block per line.
 //!
 //! Every command also accepts `--stats` (print a phase/counter report to
 //! stderr), `--stats-json FILE` (dump the full metrics registry as JSON),
@@ -42,7 +56,7 @@
 //! ```
 
 use std::process::ExitCode;
-use viewplan::core::{default_threads, CoreError};
+use viewplan::core::{default_threads, parallel_map, CoreError};
 use viewplan::cost::PlanError;
 use viewplan::obs::budget::BudgetGuard;
 use viewplan::obs::{BudgetSpec, Completeness, Fault};
@@ -103,6 +117,8 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "rewrite" => with_stats(&args[1..], rewrite),
         "plan" => with_stats(&args[1..], plan),
         "eval" => with_stats(&args[1..], eval),
+        "batch" => with_stats(&args[1..], batch),
+        "serve" => with_stats(&args[1..], serve),
         "soak" => with_stats(&args[1..], soak),
         other => Err(CliError::Input(format!("unknown command {other:?}"))),
     }
@@ -127,7 +143,18 @@ fn print_help() {
          viewplan rewrite FILE [--all-minimal] [--no-grouping] [--baseline NAME]\n\
          viewplan plan    FILE [--model m1|m2|m3]\n\
          viewplan eval    FILE\n\
+         viewplan batch   FILE [--no-cache] [--cache-capacity N] [--csv FILE] [--all-minimal]\n\
+         viewplan batch   --workload star|chain|random [--queries N] [--views N] [--seed S] [--repeat K]\n\
+         viewplan serve   VIEWSFILE   (queries on stdin, one per line)\n\
          viewplan soak    [--queries N] [--views N] [--seed S]\n\
+         \n\
+         `batch` serves many queries against one view set in one process:\n\
+         the per-view-set preprocessing runs once, requests fan out over\n\
+         --threads workers, and answers are cached by the query's form up\n\
+         to variable renaming (budget-truncated answers are never cached).\n\
+         batch FILE = view rules, a `---` line, then one query per line.\n\
+         Per-query stdout is byte-identical at any thread count and cache\n\
+         setting; cache hit/miss and latency columns go to stderr / --csv.\n\
          \n\
          Common flags: --stats (phase/counter report on stderr),\n\
          --stats-json FILE (dump the metrics registry as JSON),\n\
@@ -217,6 +244,10 @@ const VALUE_OPTIONS: &[&str] = &[
     "--queries",
     "--views",
     "--seed",
+    "--cache-capacity",
+    "--csv",
+    "--workload",
+    "--repeat",
 ];
 
 fn flag(args: &[String], name: &str) -> bool {
@@ -458,8 +489,10 @@ fn plan(args: &[String]) -> Result<(), CliError> {
     };
     let vdb = materialize_views(&problem.views, &problem.base);
     println!("materialized views:");
-    for (name, rel) in vdb.iter() {
-        println!("  {name}: {} tuple(s)", rel.len());
+    let mut listing: Vec<(Symbol, usize)> = vdb.iter().map(|(n, r)| (n, r.len())).collect();
+    listing.sort();
+    for (name, len) in listing {
+        println!("  {name}: {len} tuple(s)");
     }
     let mut oracle = ExactOracle::new(&vdb);
     let config = OptimizerConfig {
@@ -530,6 +563,265 @@ fn eval(args: &[String]) -> Result<(), CliError> {
         }
     }
     budget_note(budget_outcome());
+    Ok(())
+}
+
+/// The serving configuration shared by `batch` and `serve`. Budgets are
+/// per-request (each request gets its own deadline/node caps), caching
+/// defaults on, and the per-request pipeline stays serial — `--threads`
+/// parallelizes *across* requests instead, so the pool is never nested.
+fn serve_config(args: &[String]) -> Result<ServeConfig, CliError> {
+    let mut config = ServeConfig {
+        all_minimal: flag(args, "--all-minimal"),
+        budget: budget_arg(args)?,
+        ..ServeConfig::default()
+    };
+    if flag(args, "--no-grouping") {
+        config.corecover.group_equivalent_views = false;
+        config.corecover.group_view_tuples = false;
+    }
+    if flag(args, "--no-cache") {
+        config.cache_capacity = 0;
+    } else if option(args, "--cache-capacity").is_some() {
+        config.cache_capacity = u64_arg(args, "--cache-capacity", 4096)? as usize;
+    }
+    Ok(config)
+}
+
+/// Parses a block of text as rules only (no facts), with the same
+/// comment handling as [`load`].
+fn parse_rules(src: &str, what: &str) -> Result<Vec<ConjunctiveQuery>, CliError> {
+    let mut rules_src = String::new();
+    for raw in src.lines() {
+        let line = raw.split(['%', '#']).next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if !line.contains(":-") {
+            return Err(CliError::Input(format!(
+                "expected a {what} rule, got {line:?}"
+            )));
+        }
+        rules_src.push_str(line);
+        rules_src.push('\n');
+    }
+    let program = viewplan::cq::parse_program(&rules_src)
+        .map_err(|e| CliError::Input(format!("bad {what} rule: {e}")))?;
+    Ok(program.rules)
+}
+
+/// Loads a batch problem file: view rules, a `---` line, query rules.
+fn load_batch(path: &str) -> Result<(ViewSet, Vec<ConjunctiveQuery>), CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Input(format!("cannot read {path}: {e}")))?;
+    let mut views_src = String::new();
+    let mut queries_src = String::new();
+    let mut past_separator = false;
+    for line in text.lines() {
+        if !past_separator && line.trim() == "---" {
+            past_separator = true;
+            continue;
+        }
+        let section = if past_separator {
+            &mut queries_src
+        } else {
+            &mut views_src
+        };
+        section.push_str(line);
+        section.push('\n');
+    }
+    if !past_separator {
+        return Err(CliError::input(
+            "batch FILE needs a `---` line separating views from queries",
+        ));
+    }
+    let views = ViewSet::from_views(parse_rules(&views_src, "view")?.into_iter().map(View::new));
+    let queries = parse_rules(&queries_src, "query")?;
+    if queries.is_empty() {
+        return Err(CliError::input("batch FILE has no queries after `---`"));
+    }
+    Ok((views, queries))
+}
+
+/// Builds a generated query stream for `batch --workload`: one view set
+/// (from `--seed`) and `--queries` distinct queries over the same base
+/// relations, the whole stream repeated `--repeat` times so the cache
+/// sees recurring traffic.
+fn generated_stream(
+    shape: &str,
+    args: &[String],
+) -> Result<(ViewSet, Vec<ConjunctiveQuery>), CliError> {
+    let make: fn(usize, usize, u64) -> WorkloadConfig = match shape {
+        "star" => WorkloadConfig::star,
+        "chain" => WorkloadConfig::chain,
+        "random" => WorkloadConfig::random,
+        other => {
+            return Err(CliError::Input(format!(
+                "unknown workload shape {other:?} (expected star, chain, or random)"
+            )))
+        }
+    };
+    let queries = u64_arg(args, "--queries", 16)? as usize;
+    let views_n = u64_arg(args, "--views", 12)? as usize;
+    let seed = u64_arg(args, "--seed", 1)?;
+    let repeat = u64_arg(args, "--repeat", 2)? as usize;
+    let views = generate(&make(views_n, 1, seed)).views;
+    let mut stream = Vec::with_capacity(queries * repeat);
+    for _ in 0..repeat {
+        for i in 0..queries {
+            stream.push(generate(&make(views_n, 1, seed + i as u64)).query);
+        }
+    }
+    Ok((views, stream))
+}
+
+/// One batch request's timed result.
+type TimedResult = (Result<ServedAnswer, PlanError>, std::time::Duration);
+
+/// Serves a query stream against one view set. Per-query stdout is
+/// deterministic (byte-identical at any thread count and cache setting);
+/// the cache/latency observability goes to stderr and `--csv`.
+fn batch(args: &[String]) -> Result<(), CliError> {
+    let threads = threads_arg(args)?;
+    let config = serve_config(args)?;
+    let (views, queries) = match option(args, "--workload") {
+        Some(shape) => {
+            if let Some(extra) = positional_args(args).first() {
+                return Err(CliError::Input(format!(
+                    "unexpected argument {extra:?} — `--workload` generates its own stream"
+                )));
+            }
+            generated_stream(shape, args)?
+        }
+        None => load_batch(file_arg(args)?)?,
+    };
+    let server = BatchServer::with_config(&views, config);
+    let started = std::time::Instant::now();
+    let results: Vec<TimedResult> = parallel_map(threads, &queries, |q| {
+        let t0 = std::time::Instant::now();
+        let r = server.serve(q);
+        (r, t0.elapsed())
+    });
+    let total = started.elapsed();
+    let mut tally = [0usize; 3]; // complete / truncated / deadline
+    let mut errors = 0usize;
+    for (i, ((result, _), q)) in results.iter().zip(&queries).enumerate() {
+        println!("[{i}] {q}");
+        match result {
+            Ok(a) => {
+                tally[match a.completeness {
+                    Completeness::Complete => 0,
+                    Completeness::Truncated => 1,
+                    Completeness::DeadlineExceeded => 2,
+                }] += 1;
+                print!("{}", a.render());
+            }
+            Err(e) => {
+                errors += 1;
+                println!("error: {e}");
+            }
+        }
+        println!();
+    }
+    eprintln!(
+        "batch: {} quer(ies) on {} thread(s) in {:.1} ms \
+         ({} complete, {} truncated, {} deadline-exceeded, {errors} error(s))",
+        queries.len(),
+        threads,
+        total.as_secs_f64() * 1e3,
+        tally[0],
+        tally[1],
+        tally[2]
+    );
+    match server.cache() {
+        None => eprintln!("cache: disabled"),
+        Some(c) => {
+            let s = c.stats();
+            eprintln!(
+                "cache: {} hit(s), {} miss(es), {} eviction(s), \
+                 {} rejected-incomplete, {} resident",
+                s.hits, s.misses, s.evictions, s.rejected_incomplete, s.entries
+            );
+        }
+    }
+    if let Some(path) = option(args, "--csv") {
+        write_batch_csv(path, &queries, &results)?;
+    }
+    Ok(())
+}
+
+/// Writes the per-request observability CSV (latency and cache columns;
+/// these are *not* part of the deterministic per-query output).
+fn write_batch_csv(
+    path: &str,
+    queries: &[ConjunctiveQuery],
+    results: &[TimedResult],
+) -> Result<(), CliError> {
+    use std::fmt::Write as _;
+    let mut out =
+        String::from("index,query,latency_us,from_cache,completeness,rewritings,m1_cost\n");
+    for (i, ((result, latency), q)) in results.iter().zip(queries).enumerate() {
+        match result {
+            Ok(a) => {
+                let _ = writeln!(
+                    out,
+                    "{i},\"{q}\",{},{},{},{},{}",
+                    latency.as_micros(),
+                    a.from_cache,
+                    a.completeness.label(),
+                    a.rewritings.len(),
+                    a.best
+                        .as_ref()
+                        .map_or(String::new(), |b| b.cost.to_string())
+                );
+            }
+            Err(_) => {
+                let _ = writeln!(out, "{i},\"{q}\",{},,error,,", latency.as_micros());
+            }
+        }
+    }
+    std::fs::write(path, out).map_err(|e| CliError::Input(format!("cannot write {path}: {e}")))
+}
+
+/// Interactive serving: views from a file, one query per stdin line, one
+/// answer block per query on stdout.
+fn serve(args: &[String]) -> Result<(), CliError> {
+    let path = file_arg(args)?;
+    let config = serve_config(args)?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Input(format!("cannot read {path}: {e}")))?;
+    let views = ViewSet::from_views(parse_rules(&text, "view")?.into_iter().map(View::new));
+    let server = BatchServer::with_config(&views, config);
+    eprintln!(
+        "serving over {} view(s); one query per line, Ctrl-D to finish",
+        views.len()
+    );
+    let stdin = std::io::stdin();
+    let mut answered = 0usize;
+    for line in std::io::BufRead::lines(stdin.lock()) {
+        let line = line.map_err(|e| CliError::Internal(format!("stdin: {e}")))?;
+        let src = line.split(['%', '#']).next().unwrap_or("").trim();
+        let src = src.trim_end_matches('.');
+        if src.is_empty() {
+            continue;
+        }
+        match parse_query(src) {
+            Err(e) => eprintln!("error: bad query {src:?}: {e}"),
+            Ok(q) => match server.serve(&q) {
+                Err(e) => eprintln!("error: {e}"),
+                Ok(a) => {
+                    answered += 1;
+                    print!("{}", a.render());
+                    println!();
+                }
+            },
+        }
+    }
+    let stats = server.cache().map(|c| c.stats()).unwrap_or_default();
+    eprintln!(
+        "served {answered} quer(ies); cache: {} hit(s), {} miss(es)",
+        stats.hits, stats.misses
+    );
     Ok(())
 }
 

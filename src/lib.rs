@@ -17,6 +17,8 @@
 //! * [`core`] — `CoreCover`, tuple-cores, the rewriting lattice, and the
 //!   naive / MiniCon baselines;
 //! * [`cost`] — cost models, size oracles, plan search, the optimizer;
+//! * [`serve`] — the batched multi-query serving layer: prepared view
+//!   sets shared across workers and the canonical-key rewriting cache;
 //! * [`workload`] — the §7 star/chain/random generators;
 //! * [`obs`] — the metrics registry, span timers, and stats reporters
 //!   behind the CLI's `--stats` / `--stats-json` flags.
@@ -54,6 +56,7 @@ pub use viewplan_cq as cq;
 pub use viewplan_engine as engine;
 pub use viewplan_extended as extended;
 pub use viewplan_obs as obs;
+pub use viewplan_serve as serve;
 pub use viewplan_workload as workload;
 
 /// The most common imports in one place.
@@ -75,5 +78,6 @@ pub mod prelude {
         canonical_database, evaluate, execute_annotated, execute_ordered, materialize_views,
         Database, Relation, Value,
     };
+    pub use viewplan_serve::{BatchServer, ServeConfig, ServedAnswer};
     pub use viewplan_workload::{generate, random_database, Shape, Workload, WorkloadConfig};
 }

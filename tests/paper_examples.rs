@@ -50,7 +50,10 @@ fn example_11_rewritings() {
 fn section_33_view_tuples() {
     let (q, views) = carlocpart();
     let tuples = view_tuples(&minimize(&q), &views);
-    let printed: Vec<String> = tuples.iter().map(|t| t.to_string()).collect();
+    // Sort before comparing: the tuple *set* is the specified result;
+    // their enumeration order is an implementation detail.
+    let mut printed: Vec<String> = tuples.iter().map(|t| t.to_string()).collect();
+    printed.sort();
     assert_eq!(
         printed,
         [
@@ -112,7 +115,9 @@ fn example_41_table_2() {
     .unwrap();
     let qm = minimize(&q);
     let tuples = view_tuples(&qm, &views);
-    let cores: Vec<(String, Vec<usize>)> = tuples
+    // Sort by tuple: Table 2 specifies the core *per tuple*, not an
+    // enumeration order.
+    let mut cores: Vec<(String, Vec<usize>)> = tuples
         .iter()
         .map(|t| {
             (
@@ -121,6 +126,7 @@ fn example_41_table_2() {
             )
         })
         .collect();
+    cores.sort();
     assert_eq!(
         cores,
         vec![
@@ -130,13 +136,9 @@ fn example_41_table_2() {
         ]
     );
     let gmrs = CoreCover::new(&q, &views).run();
-    assert_eq!(
-        gmrs.rewritings()
-            .iter()
-            .map(|r| r.to_string())
-            .collect::<Vec<_>>(),
-        ["q(X, Y) :- v1(X, Z), v2(Z, Y)"]
-    );
+    let mut printed: Vec<String> = gmrs.rewritings().iter().map(|r| r.to_string()).collect();
+    printed.sort();
+    assert_eq!(printed, ["q(X, Y) :- v1(X, Z), v2(Z, Y)"]);
 }
 
 /// Example 4.2: MiniCon leaves redundant subgoals; CoreCover does not.
@@ -172,14 +174,9 @@ fn example_42_corecover_vs_minicon() {
 fn section_42_carlocpart_gmr() {
     let (q, views) = carlocpart();
     let result = CoreCover::new(&q, &views).run();
-    assert_eq!(
-        result
-            .rewritings()
-            .iter()
-            .map(|r| r.to_string())
-            .collect::<Vec<_>>(),
-        ["q1(S, C) :- v4(M, a, C, S)"]
-    );
+    let mut printed: Vec<String> = result.rewritings().iter().map(|r| r.to_string()).collect();
+    printed.sort();
+    assert_eq!(printed, ["q1(S, C) :- v4(M, a, C, S)"]);
     // The naive Theorem 3.1 baseline agrees.
     let naive = naive_gmrs(&q, &views);
     assert_eq!(naive.len(), 1);

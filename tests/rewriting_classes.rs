@@ -159,7 +159,14 @@ fn example31_generalizes_to_longer_chains() {
 fn gmrs_have_globally_minimum_size() {
     let (q, views) = carlocpart();
     let result = CoreCover::new(&q, &views).run();
-    let gmr_size = result.rewritings()[0].body.len();
+    // Every GMR has the globally minimum size, so take the minimum rather
+    // than relying on the enumeration order of the first one.
+    let gmr_size = result
+        .rewritings()
+        .iter()
+        .map(|r| r.body.len())
+        .min()
+        .expect("carlocpart has a rewriting");
     for src in [
         "q1(S, C) :- v1(M, a, C), v2(S, M, C)",
         "q1(S, C) :- v1(M, a, C1), v1(M1, a, C), v2(S, M, C)",
