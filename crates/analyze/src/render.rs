@@ -1,0 +1,211 @@
+//! Rendering diagnostics for humans (rustc-style, optionally colored)
+//! and machines (JSON).
+
+use crate::diagnostics::{Analysis, Diagnostic, Severity};
+use std::fmt::Write as _;
+
+/// ANSI styling, enabled only when the caller says the output is a
+/// terminal (the CLI checks; tests pass `false` for byte-stable output).
+struct Style {
+    color: bool,
+}
+
+impl Style {
+    fn paint(&self, code: &str, text: &str) -> String {
+        if self.color {
+            format!("\x1b[{code}m{text}\x1b[0m")
+        } else {
+            text.to_string()
+        }
+    }
+
+    fn severity(&self, s: Severity, text: &str) -> String {
+        match s {
+            Severity::Error => self.paint("1;31", text),
+            Severity::Warning => self.paint("1;33", text),
+        }
+    }
+
+    fn bold(&self, text: &str) -> String {
+        self.paint("1", text)
+    }
+
+    fn gutter(&self, text: &str) -> String {
+        self.paint("1;34", text)
+    }
+}
+
+/// Renders one program's findings rustc-style against its source text:
+///
+/// ```text
+/// error[VP001]: arity mismatch: 'e' is used here with 3 arguments, …
+///   --> file.vp:2:9
+///    |
+///  2 | v(A) :- e(A, A, A).
+///    |         ^^^^^^^^^^
+/// ```
+///
+/// `source` must be the text the diagnostics' spans index into (for the
+/// CLI that is the comment-stripped, line-preserving rule source, whose
+/// line/column coordinates match the original file).
+pub fn render_human(analysis: &Analysis, file: &str, source: &str, color: bool) -> String {
+    let style = Style { color };
+    let lines: Vec<&str> = source.lines().collect();
+    let mut out = String::new();
+    for d in &analysis.diagnostics {
+        let head = format!("{}[{}]", d.severity.label(), d.code);
+        let _ = writeln!(
+            out,
+            "{}: {}",
+            style.severity(d.severity, &head),
+            style.bold(&d.message)
+        );
+        let _ = writeln!(
+            out,
+            "  {} {file}:{}:{}",
+            style.gutter("-->"),
+            d.span.line,
+            d.span.column
+        );
+        if let Some(line_text) = d.span.line.checked_sub(1).and_then(|i| lines.get(i)) {
+            let num = d.span.line.to_string();
+            let pad = " ".repeat(num.len());
+            let _ = writeln!(out, " {pad} {}", style.gutter("|"));
+            let _ = writeln!(
+                out,
+                " {} {} {line_text}",
+                style.gutter(&num),
+                style.gutter("|")
+            );
+            let col = d.span.column.saturating_sub(1);
+            let width = d
+                .span
+                .len()
+                .max(1)
+                .min(line_text.chars().count().saturating_sub(col).max(1));
+            let _ = writeln!(
+                out,
+                " {pad} {} {}{}",
+                style.gutter("|"),
+                " ".repeat(col),
+                style.severity(d.severity, &"^".repeat(width))
+            );
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// The one-line totals trailer (`"2 errors, 1 warning"`), used by the
+/// CLI after the findings.
+pub fn render_summary(analysis: &Analysis) -> String {
+    let (e, w) = (analysis.error_count(), analysis.warning_count());
+    let plural = |n: usize| if n == 1 { "" } else { "s" };
+    format!("{e} error{}, {w} warning{}", plural(e), plural(w))
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the findings as a stable JSON document (2-space indent, keys
+/// in a fixed order, findings in source order) for editors and CI.
+pub fn render_json(analysis: &Analysis, file: &str) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"file\": \"{}\",", json_escape(file));
+    let _ = writeln!(out, "  \"errors\": {},", analysis.error_count());
+    let _ = writeln!(out, "  \"warnings\": {},", analysis.warning_count());
+    out.push_str("  \"diagnostics\": [");
+    for (i, d) in analysis.diagnostics.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&render_json_diagnostic(d));
+    }
+    if !analysis.diagnostics.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+fn render_json_diagnostic(d: &Diagnostic) -> String {
+    format!(
+        "    {{\n      \"code\": \"{}\",\n      \"severity\": \"{}\",\n      \"line\": {},\n      \
+         \"column\": {},\n      \"start\": {},\n      \"end\": {},\n      \"message\": \"{}\"\n    }}",
+        d.code,
+        d.severity.label(),
+        d.span.line,
+        d.span.column,
+        d.span.start,
+        d.span.end,
+        json_escape(&d.message)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checks::{analyze, Layout};
+    use viewplan_cq::parse_program;
+
+    fn example() -> (&'static str, Analysis) {
+        let src = "q(X) :- e(X, Y).\nv(A) :- e(A, A, A).";
+        (src, analyze(&parse_program(src).unwrap(), Layout::Problem))
+    }
+
+    #[test]
+    fn human_rendering_underlines_the_offending_atom() {
+        let (src, a) = example();
+        let text = render_human(&a, "bad.vp", src, false);
+        assert!(text.contains("error[VP001]:"), "{text}");
+        assert!(text.contains("--> bad.vp:2:9"), "{text}");
+        assert!(text.contains(" 2 | v(A) :- e(A, A, A)."), "{text}");
+        assert!(text.contains("|         ^^^^^^^^^^"), "{text}");
+        assert_eq!(render_summary(&a), "1 error, 0 warnings");
+    }
+
+    #[test]
+    fn colored_rendering_wraps_in_ansi() {
+        let (src, a) = example();
+        let text = render_human(&a, "bad.vp", src, true);
+        assert!(text.contains("\x1b[1;31merror[VP001]\x1b[0m"), "{text}");
+    }
+
+    #[test]
+    fn json_rendering_is_stable_and_escaped() {
+        let (_, a) = example();
+        let json = render_json(&a, "dir/bad \"x\".vp");
+        assert!(
+            json.contains("\"file\": \"dir/bad \\\"x\\\".vp\""),
+            "{json}"
+        );
+        assert!(json.contains("\"errors\": 1,"), "{json}");
+        assert!(json.contains("\"code\": \"VP001\""), "{json}");
+        assert!(json.contains("\"line\": 2,"), "{json}");
+        assert!(json.contains("\"column\": 9,"), "{json}");
+    }
+
+    #[test]
+    fn empty_analysis_renders_empty_list() {
+        let a = Analysis::default();
+        assert_eq!(render_human(&a, "f.vp", "", false), "");
+        let json = render_json(&a, "f.vp");
+        assert!(json.contains("\"diagnostics\": []"), "{json}");
+        assert_eq!(render_summary(&a), "0 errors, 0 warnings");
+    }
+}

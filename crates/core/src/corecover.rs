@@ -44,6 +44,13 @@ pub struct CoreCoverConfig {
     /// Group view tuples by tuple-core and cover with one representative
     /// per class (§5.2 step 2). Default `true`.
     pub group_view_tuples: bool,
+    /// Drop views that provably yield no view tuples (some body atom's
+    /// `(predicate, arity)` pair is absent from the minimized query —
+    /// the `VP006` analyzer condition, see [`crate::prune`]) before the
+    /// view-tuple construction. Output-invariant by construction: such
+    /// views contribute nothing to any later step. Counted under
+    /// `analyze.views_pruned`. Default `true`.
+    pub prune_unusable_views: bool,
     /// Verify each produced rewriting by expanding it and checking
     /// equivalence with the query; candidates that fail are dropped
     /// (counted under `corecover.nonequivalent_covers`, or marked
@@ -66,6 +73,7 @@ impl Default for CoreCoverConfig {
         CoreCoverConfig {
             group_equivalent_views: true,
             group_view_tuples: true,
+            prune_unusable_views: true,
             verify_rewritings: false,
             max_rewritings: 10_000,
             threads: default_threads(),
@@ -288,6 +296,29 @@ impl<'a> CoreCover<'a> {
             }
         };
 
+        // Step 1c: analyzer-driven pruning (VP006). A view whose body
+        // mentions a (predicate, arity) pair absent from the minimized
+        // query admits no homomorphism into the canonical database and
+        // therefore yields zero view tuples — dropping it here skips its
+        // share of the tuple/core work without changing any output.
+        // `stats.views`/`stats.view_classes` stay at their pre-pruning
+        // values: pruning is an execution shortcut, not a semantic change.
+        let active_views = if self.config.prune_unusable_views {
+            let needed = crate::prune::body_signature(&qm);
+            let kept: Vec<_> = active_views
+                .iter()
+                .filter(|v| !crate::prune::view_is_unusable(&needed, v))
+                .cloned()
+                .collect();
+            let pruned = active_views.len() - kept.len();
+            if pruned > 0 {
+                obs::counter!("analyze.views_pruned").add(pruned as u64);
+            }
+            ViewSet::from_views(kept)
+        } else {
+            active_views
+        };
+
         // Step 2: view tuples from the canonical database, one parallel
         // task per view (merged back in view order — same output as serial).
         let tuples = {
@@ -360,9 +391,14 @@ impl<'a> CoreCover<'a> {
             // One parallel verification task per cover; verdicts line up
             // with `rewritings` by index.
             let verified: Vec<bool> = parallel_map(threads, &rewritings, |r| {
-                let exp = expand(r, &active_views)
-                    .expect("rewritings are built from view tuples of known views");
-                are_equivalent(&exp, &qm)
+                // Covers are built from view tuples of known views, so
+                // expansion cannot fail; if that invariant ever broke,
+                // the candidate is not a rewriting — shed it like any
+                // other failed verification rather than aborting.
+                match expand(r, &active_views) {
+                    Ok(exp) => are_equivalent(&exp, &qm),
+                    Err(_) => false,
+                }
             });
             // Candidates that fail the check are dropped, never
             // asserted on: a cover whose overlapping tuple-cores treat
@@ -646,6 +682,103 @@ mod tests {
         };
         let result = CoreCover::new(&q, &views).with_config(config).run();
         assert_eq!(result.rewritings().len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod pruning_tests {
+    use super::*;
+    use viewplan_cq::{parse_query, parse_views};
+
+    /// A view set where half the views mention predicates the query never
+    /// uses (plus one arity-mismatched one) — all provably tuple-free.
+    fn mixed_problem() -> (ConjunctiveQuery, ViewSet) {
+        (
+            parse_query("q(X, Y) :- e(X, Z), f(Z, Y)").unwrap(),
+            parse_views(
+                "vall(X, Y) :- e(X, Z), f(Z, Y).\n\
+                 ve(X, Z) :- e(X, Z).\n\
+                 vf(Z, Y) :- f(Z, Y).\n\
+                 vg(A, B) :- g(A, B).\n\
+                 vmix(A) :- e(A, B), h(B).\n\
+                 varity(A) :- e(A, B, B).",
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn pruning_is_output_invariant() {
+        let (q, views) = mixed_problem();
+        let pruned_cfg = CoreCoverConfig {
+            prune_unusable_views: true,
+            ..CoreCoverConfig::default()
+        };
+        let unpruned_cfg = CoreCoverConfig {
+            prune_unusable_views: false,
+            ..CoreCoverConfig::default()
+        };
+        for all_minimal in [false, true] {
+            let run = |cfg: &CoreCoverConfig| {
+                let cc = CoreCover::new(&q, &views).with_config(cfg.clone());
+                if all_minimal {
+                    cc.run_all_minimal()
+                } else {
+                    cc.run()
+                }
+            };
+            let with = run(&pruned_cfg);
+            let without = run(&unpruned_cfg);
+            assert_eq!(with.rewritings(), without.rewritings());
+            assert_eq!(with.view_tuples, without.view_tuples);
+            // Tuple-core *mappings* embed gensym'd fresh variables whose
+            // global counter depends on how much work ran before — only
+            // the covered-subgoal sets are observable output.
+            let subgoal_sets = |r: &CoreCoverResult| -> Vec<_> {
+                r.cores.iter().map(|c| c.subgoals.clone()).collect()
+            };
+            assert_eq!(subgoal_sets(&with), subgoal_sets(&without));
+            assert_eq!(with.tuple_classes, without.tuple_classes);
+            assert_eq!(with.stats, without.stats);
+            assert_eq!(with.minimized_query, without.minimized_query);
+        }
+    }
+
+    #[test]
+    fn pruning_counts_dropped_views() {
+        let (q, views) = mixed_problem();
+        obs::set_enabled(true);
+        let before = obs::counter_value("analyze.views_pruned");
+        let _ = CoreCover::new(&q, &views).run();
+        let after = obs::counter_value("analyze.views_pruned");
+        // vg, vmix, and varity are provably tuple-free.
+        assert_eq!(after - before, 3);
+    }
+
+    #[test]
+    fn pruning_keeps_filter_candidates() {
+        // v3 has an empty tuple-core (a filter candidate, §5.1) but all
+        // its predicates match the query — it must survive pruning.
+        let q = parse_query("q1(S, C) :- car(M, a), loc(a, C), part(S, M, C)").unwrap();
+        let views = parse_views(
+            "v2(S, M, C) :- part(S, M, C).\n\
+             v3(S) :- car(M, a), loc(a, C), part(S, M, C).\n\
+             v1(M, D, C) :- car(M, D), loc(D, C).",
+        )
+        .unwrap();
+        let result = CoreCover::new(&q, &views).run_all_minimal();
+        assert_eq!(result.stats.empty_core_tuples, 1);
+        assert_eq!(result.filter_tuples().len(), 1);
+    }
+
+    #[test]
+    fn prepared_views_prune_identically() {
+        let (q, views) = mixed_problem();
+        let prepared = PreparedViews::prepare(&views);
+        let fresh = CoreCover::new(&q, &views).run_all_minimal();
+        let pre = CoreCover::with_prepared_views(&q, &prepared).run_all_minimal();
+        assert_eq!(fresh.rewritings(), pre.rewritings());
+        assert_eq!(fresh.stats, pre.stats);
     }
 }
 

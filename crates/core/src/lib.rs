@@ -51,6 +51,7 @@ pub mod minicon;
 pub mod naive;
 pub mod parallel;
 pub mod prepared;
+pub mod prune;
 pub mod rewriting;
 pub mod tuple_core;
 pub mod view_tuple;
@@ -69,6 +70,7 @@ pub use minicon::{minicon_rewritings, Mcd, MiniCon};
 pub use naive::naive_gmrs;
 pub use parallel::{default_threads, parallel_map};
 pub use prepared::PreparedViews;
+pub use prune::{body_signature, view_is_unusable};
 pub use rewriting::{dedup_variants, Rewriting};
 pub use tuple_core::{tuple_core, TupleCore};
 pub use view_tuple::{view_tuples, view_tuples_with_threads, ViewTuple};

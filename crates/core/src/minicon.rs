@@ -297,6 +297,8 @@ impl<'a> MiniCon<'a> {
         Ok((dedup_variants(results), completeness))
     }
 
+    // Recursive combination search; state is threaded as parameters to
+    // keep the per-frame cost at a few words.
     #[allow(clippy::too_many_arguments)]
     fn combine(
         &self,

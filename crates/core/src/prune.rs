@@ -1,0 +1,82 @@
+//! Analyzer-driven view pruning (the `VP006` necessary condition).
+//!
+//! A view can contribute a view tuple only if its expansion admits a
+//! homomorphism into the canonical database of the (minimized) query
+//! (Lemma 3.2) — and a homomorphism maps each view body atom onto a
+//! canonical-database fact with the **same predicate and arity**. So a
+//! view whose body mentions any `(predicate, arity)` pair absent from the
+//! query body provably yields *zero* view tuples: dropping it before the
+//! (expensive) view-tuple construction cannot change the computed tuple
+//! set, the filter candidates, the rewritings, or any downstream plan.
+//! This is the cheap MiniCon-style prefilter (§4.3) that
+//! `viewplan-analyze` reports as `VP006` and `CoreCover` applies as a
+//! pre-pass.
+//!
+//! Note the condition is deliberately *conservative*: a view sharing all
+//! its predicates with the query may still produce only empty-core
+//! tuples, but those are M2 filter candidates (§5.1) and must **not** be
+//! pruned. Only the zero-tuple case is safe to drop.
+
+use std::collections::HashSet;
+use viewplan_cq::{ConjunctiveQuery, Symbol, View};
+
+/// The `(predicate, arity)` pairs occurring in a query body — the
+/// signature a view body atom must match to be mappable at all.
+pub fn body_signature(query: &ConjunctiveQuery) -> HashSet<(Symbol, usize)> {
+    query
+        .body
+        .iter()
+        .map(|a| (a.predicate, a.arity()))
+        .collect()
+}
+
+/// True iff `view` provably admits no homomorphism into the canonical
+/// database of a query with body signature `needed`: some body atom's
+/// `(predicate, arity)` pair has no matching query subgoal. Such a view
+/// produces no view tuples, so it is safe to drop before tuple
+/// construction (the `VP006` pruning condition).
+pub fn view_is_unusable(needed: &HashSet<(Symbol, usize)>, view: &View) -> bool {
+    view.definition
+        .body
+        .iter()
+        .any(|a| !needed.contains(&(a.predicate, a.arity())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viewplan_cq::{parse_query, parse_views};
+
+    #[test]
+    fn signature_collects_predicate_arity_pairs() {
+        let q = parse_query("q(X) :- e(X, Y), f(Y), e(Y, X)").unwrap();
+        let sig = body_signature(&q);
+        assert_eq!(sig.len(), 2);
+        assert!(sig.contains(&(Symbol::new("e"), 2)));
+        assert!(sig.contains(&(Symbol::new("f"), 1)));
+    }
+
+    #[test]
+    fn foreign_predicate_views_are_unusable() {
+        let q = parse_query("q(X) :- e(X, Y)").unwrap();
+        let needed = body_signature(&q);
+        let views = parse_views(
+            "good(A) :- e(A, B).\n\
+             bad(A) :- g(A, B).\n\
+             mixed(A) :- e(A, B), g(B, A).",
+        )
+        .unwrap();
+        let flags: Vec<bool> = views.iter().map(|v| view_is_unusable(&needed, v)).collect();
+        assert_eq!(flags, [false, true, true]);
+    }
+
+    #[test]
+    fn arity_mismatch_makes_a_view_unusable() {
+        // Same predicate name, different arity: no atom-to-fact mapping
+        // exists, so the view is as dead as a foreign-predicate one.
+        let q = parse_query("q(X) :- e(X, Y)").unwrap();
+        let needed = body_signature(&q);
+        let views = parse_views("v(A) :- e(A, A, A)").unwrap();
+        assert!(view_is_unusable(&needed, &views.as_slice()[0]));
+    }
+}

@@ -224,6 +224,8 @@ fn component_mappings(
     results
 }
 
+// Recursive backtracking search; the assignment/bookkeeping state is
+// threaded as parameters so frames stay allocation-free.
 #[allow(clippy::too_many_arguments)]
 fn search_component(
     q: &ConjunctiveQuery,
@@ -265,8 +267,13 @@ fn search_component(
             );
         }
         for v in newly {
-            let img = assignment.remove(&v).expect("was inserted");
-            used.remove(&img);
+            // `newly` records exactly the variables this frame inserted,
+            // so the entry must still be present; a miss would mean the
+            // backtracking bookkeeping desynced.
+            debug_assert!(assignment.contains_key(&v));
+            if let Some(img) = assignment.remove(&v) {
+                used.remove(&img);
+            }
         }
         if meter.exhausted() {
             return;

@@ -99,7 +99,12 @@ pub fn try_optimal_m2_order(
     let mut order = Vec::with_capacity(n);
     let mut mask = full;
     while mask != 0 {
-        let g = last[mask as usize].expect("every nonempty subset has a last subgoal");
+        // The DP seeds best[∅] = 0, so by induction every nonempty
+        // subset received a finite candidate and recorded a last
+        // subgoal; a `None` here would mean the table is corrupt, in
+        // which case we stop reconstructing rather than spin forever.
+        debug_assert!(last[mask as usize].is_some());
+        let Some(g) = last[mask as usize] else { break };
         order.push(g);
         mask &= !(1 << g);
     }

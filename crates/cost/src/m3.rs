@@ -311,6 +311,8 @@ pub fn try_optimal_m3_plan(
     Ok(best)
 }
 
+// Recursive permutation search over join orders; state is threaded as
+// parameters to avoid a builder struct for a single call site.
 #[allow(clippy::too_many_arguments)]
 fn permute(
     query: &ConjunctiveQuery,

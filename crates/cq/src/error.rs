@@ -1,5 +1,6 @@
 //! Parse errors with source positions.
 
+use crate::span::Span;
 use std::fmt;
 
 /// An error produced while parsing the Datalog-style query syntax.
@@ -9,6 +10,8 @@ pub struct ParseError {
     pub line: usize,
     /// 1-based column of the offending token.
     pub column: usize,
+    /// Byte range of the offending token (empty at end of input).
+    pub span: Span,
     /// Human-readable description.
     pub message: String,
 }
@@ -18,8 +21,25 @@ impl ParseError {
         ParseError {
             line,
             column,
+            span: Span::new(0, 0, line, column),
             message: message.into(),
         }
+    }
+
+    pub(crate) fn spanned(span: Span, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: span.line,
+            column: span.column,
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// Builds a parse error at an explicit position. Primarily for
+    /// adapters wrapping other syntaxes into `ParseError` (e.g. the
+    /// extended-query comparison parser).
+    pub fn at(line: usize, column: usize, message: impl Into<String>) -> ParseError {
+        ParseError::new(line, column, message)
     }
 }
 
@@ -43,5 +63,12 @@ mod tests {
     fn display_includes_position() {
         let e = ParseError::new(3, 7, "expected ')'");
         assert_eq!(e.to_string(), "parse error at 3:7: expected ')'");
+    }
+
+    #[test]
+    fn spanned_errors_carry_their_byte_range() {
+        let e = ParseError::spanned(Span::new(10, 14, 2, 3), "boom");
+        assert_eq!((e.line, e.column), (2, 3));
+        assert_eq!((e.span.start, e.span.end), (10, 14));
     }
 }

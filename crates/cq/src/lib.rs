@@ -33,6 +33,7 @@ pub mod atom;
 pub mod error;
 pub mod parser;
 pub mod query;
+pub mod span;
 pub mod subst;
 pub mod symbol;
 pub mod term;
@@ -40,8 +41,9 @@ pub mod view;
 
 pub use atom::Atom;
 pub use error::ParseError;
-pub use parser::{parse_atom, parse_program, parse_query, parse_views, Program};
+pub use parser::{parse_atom, parse_program, parse_query, parse_views, Program, RuleSpans};
 pub use query::ConjunctiveQuery;
+pub use span::Span;
 pub use subst::Substitution;
 pub use symbol::Symbol;
 pub use term::{Constant, Term};

@@ -14,18 +14,43 @@
 //! identifiers beginning with a lower-case letter are **constants** (in
 //! term position) or predicate names (in predicate position). `%` and `#`
 //! start line comments.
+//!
+//! Every token carries a byte-range [`Span`]; the parser merges them so
+//! each parsed rule records the span of its head and of every body atom
+//! (see [`RuleSpans`]), letting diagnostics underline the offending atom.
 
 use crate::atom::Atom;
 use crate::error::ParseError;
 use crate::query::ConjunctiveQuery;
+use crate::span::Span;
 use crate::term::Term;
 use crate::view::{View, ViewSet};
 
-/// A parsed program: a list of rules in source order.
+/// A parsed program: a list of rules in source order, plus the source
+/// spans of each rule's head and body atoms (parallel to `rules`).
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Program {
     /// The rules, each a safe conjunctive query.
     pub rules: Vec<ConjunctiveQuery>,
+    /// Per-rule atom spans; `spans[i]` describes `rules[i]`.
+    pub spans: Vec<RuleSpans>,
+}
+
+/// Source spans for one rule: where the head and each body atom sit in
+/// the original text. `body[j]` covers the rule's j-th body atom.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RuleSpans {
+    /// Span of the head atom.
+    pub head: Span,
+    /// Span of each body atom, in body order.
+    pub body: Vec<Span>,
+}
+
+impl RuleSpans {
+    /// The whole rule, head through last body atom.
+    pub fn rule(&self) -> Span {
+        self.body.iter().fold(self.head, |acc, s| acc.merge(*s))
+    }
 }
 
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -69,15 +94,16 @@ impl<'a> Lexer<'a> {
         next
     }
 
-    fn err(&self, msg: impl Into<String>) -> ParseError {
-        ParseError::new(self.line, self.col, msg)
+    fn err_at(&self, start: usize, len: usize, msg: impl Into<String>) -> ParseError {
+        ParseError::spanned(Span::new(start, start + len, self.line, self.col), msg)
     }
 
-    /// Tokenizes the whole input, attaching the position of each token.
-    fn tokenize(mut self) -> Result<Vec<(Tok, usize, usize)>, ParseError> {
+    /// Tokenizes the whole input, attaching the byte span of each token.
+    fn tokenize(mut self) -> Result<Vec<(Tok, Span)>, ParseError> {
         let mut out = Vec::new();
         while let Some(&(i, c)) = self.chars.peek() {
             let (line, col) = (self.line, self.col);
+            let span = |end: usize| Span::new(i, end, line, col);
             match c {
                 ' ' | '\t' | '\r' | '\n' => {
                     self.bump();
@@ -92,28 +118,28 @@ impl<'a> Lexer<'a> {
                 }
                 '(' => {
                     self.bump();
-                    out.push((Tok::LParen, line, col));
+                    out.push((Tok::LParen, span(i + 1)));
                 }
                 ')' => {
                     self.bump();
-                    out.push((Tok::RParen, line, col));
+                    out.push((Tok::RParen, span(i + 1)));
                 }
                 ',' => {
                     self.bump();
-                    out.push((Tok::Comma, line, col));
+                    out.push((Tok::Comma, span(i + 1)));
                 }
                 '.' => {
                     self.bump();
-                    out.push((Tok::Dot, line, col));
+                    out.push((Tok::Dot, span(i + 1)));
                 }
                 ':' => {
                     self.bump();
                     match self.chars.peek() {
                         Some(&(_, '-')) => {
                             self.bump();
-                            out.push((Tok::Implies, line, col));
+                            out.push((Tok::Implies, span(i + 2)));
                         }
-                        _ => return Err(self.err("expected '-' after ':'")),
+                        _ => return Err(self.err_at(i, 1, "expected '-' after ':'")),
                     }
                 }
                 c if c.is_ascii_alphabetic() || c == '_' => {
@@ -128,7 +154,7 @@ impl<'a> Lexer<'a> {
                             break;
                         }
                     }
-                    out.push((Tok::Ident(self.src[start..end].to_string()), line, col));
+                    out.push((Tok::Ident(self.src[start..end].to_string()), span(end)));
                 }
                 c if c.is_ascii_digit() || c == '-' => {
                     let start = i;
@@ -145,15 +171,21 @@ impl<'a> Lexer<'a> {
                         }
                     }
                     if !saw_digit {
-                        return Err(self.err("expected digits after '-'"));
+                        return Err(self.err_at(start, end - start, "expected digits after '-'"));
                     }
                     let text = &self.src[start..end];
-                    let value = text
-                        .parse::<i64>()
-                        .map_err(|_| self.err(format!("integer out of range: {text}")))?;
-                    out.push((Tok::Int(value), line, col));
+                    let value = text.parse::<i64>().map_err(|_| {
+                        self.err_at(start, end - start, format!("integer out of range: {text}"))
+                    })?;
+                    out.push((Tok::Int(value), span(end)));
                 }
-                other => return Err(self.err(format!("unexpected character {other:?}"))),
+                other => {
+                    return Err(self.err_at(
+                        i,
+                        other.len_utf8(),
+                        format!("unexpected character {other:?}"),
+                    ))
+                }
             }
         }
         Ok(out)
@@ -161,72 +193,93 @@ impl<'a> Lexer<'a> {
 }
 
 struct Parser {
-    toks: Vec<(Tok, usize, usize)>,
+    toks: Vec<(Tok, Span)>,
     pos: usize,
 }
 
 impl Parser {
     fn peek(&self) -> Option<&Tok> {
-        self.toks.get(self.pos).map(|(t, _, _)| t)
+        self.toks.get(self.pos).map(|(t, _)| t)
     }
 
-    fn position(&self) -> (usize, usize) {
-        self.toks
-            .get(self.pos)
-            .or_else(|| self.toks.last())
-            .map(|&(_, l, c)| (l, c))
-            .unwrap_or((1, 1))
+    /// The span of the current token — or, at end of input, an empty
+    /// span just past the last token.
+    fn position(&self) -> Span {
+        match self.toks.get(self.pos) {
+            Some(&(_, s)) => s,
+            None => match self.toks.last() {
+                Some(&(_, s)) => Span::new(s.end, s.end, s.line, s.column + s.len()),
+                None => Span::new(0, 0, 1, 1),
+            },
+        }
     }
 
     fn err(&self, msg: impl Into<String>) -> ParseError {
-        let (l, c) = self.position();
-        ParseError::new(l, c, msg)
+        ParseError::spanned(self.position(), msg)
     }
 
-    fn bump(&mut self) -> Option<Tok> {
-        let t = self.toks.get(self.pos).map(|(t, _, _)| t.clone());
+    fn bump(&mut self) -> Option<(Tok, Span)> {
+        let t = self.toks.get(self.pos).cloned();
         if t.is_some() {
             self.pos += 1;
         }
         t
     }
 
-    fn expect(&mut self, want: Tok, what: &str) -> Result<(), ParseError> {
+    fn expect(&mut self, want: Tok, what: &str) -> Result<Span, ParseError> {
         match self.bump() {
-            Some(t) if t == want => Ok(()),
-            Some(t) => Err(self.err(format!("expected {what}, found {t:?}"))),
+            Some((t, s)) if t == want => Ok(s),
+            Some((t, s)) => Err(ParseError::spanned(
+                s,
+                format!("expected {what}, found {t:?}"),
+            )),
             None => Err(self.err(format!("expected {what}, found end of input"))),
         }
     }
 
     fn term(&mut self) -> Result<Term, ParseError> {
         match self.bump() {
-            Some(Tok::Ident(name)) => {
-                let first = name.chars().next().expect("identifier is nonempty");
+            Some((Tok::Ident(name), span)) => {
+                let Some(first) = name.chars().next() else {
+                    return Err(ParseError::spanned(span, "empty identifier"));
+                };
                 if first.is_ascii_uppercase() {
                     Ok(Term::var(&name))
                 } else {
                     Ok(Term::cst(&name))
                 }
             }
-            Some(Tok::Int(i)) => Ok(Term::int(i)),
-            Some(t) => Err(self.err(format!("expected term, found {t:?}"))),
+            Some((Tok::Int(i), _)) => Ok(Term::int(i)),
+            Some((t, s)) => Err(ParseError::spanned(
+                s,
+                format!("expected term, found {t:?}"),
+            )),
             None => Err(self.err("expected term, found end of input")),
         }
     }
 
-    fn atom(&mut self) -> Result<Atom, ParseError> {
-        let name = match self.bump() {
-            Some(Tok::Ident(name)) => {
-                let first = name.chars().next().expect("identifier is nonempty");
+    /// Parses one atom and returns it with the span from its predicate
+    /// name through its closing parenthesis.
+    fn atom(&mut self) -> Result<(Atom, Span), ParseError> {
+        let (name, name_span) = match self.bump() {
+            Some((Tok::Ident(name), span)) => {
+                let Some(first) = name.chars().next() else {
+                    return Err(ParseError::spanned(span, "empty identifier"));
+                };
                 if first.is_ascii_uppercase() {
-                    return Err(self.err(format!(
-                        "predicate names must start lower-case, found {name:?}"
-                    )));
+                    return Err(ParseError::spanned(
+                        span,
+                        format!("predicate names must start lower-case, found {name:?}"),
+                    ));
                 }
-                name
+                (name, span)
             }
-            Some(t) => return Err(self.err(format!("expected predicate name, found {t:?}"))),
+            Some((t, s)) => {
+                return Err(ParseError::spanned(
+                    s,
+                    format!("expected predicate name, found {t:?}"),
+                ))
+            }
             None => return Err(self.err("expected predicate name, found end of input")),
         };
         self.expect(Tok::LParen, "'('")?;
@@ -242,34 +295,52 @@ impl Parser {
                 }
             }
         }
-        self.expect(Tok::RParen, "')'")?;
-        Ok(Atom::new(name.as_str(), terms))
+        let close = self.expect(Tok::RParen, "')'")?;
+        Ok((Atom::new(name.as_str(), terms), name_span.merge(close)))
     }
 
-    fn rule(&mut self) -> Result<ConjunctiveQuery, ParseError> {
-        let head = self.atom()?;
+    fn rule(&mut self) -> Result<(ConjunctiveQuery, RuleSpans), ParseError> {
+        let (head, head_span) = self.atom()?;
         self.expect(Tok::Implies, "':-'")?;
-        let mut body = vec![self.atom()?];
+        let mut body = Vec::new();
+        let mut body_spans = Vec::new();
+        let (first, first_span) = self.atom()?;
+        body.push(first);
+        body_spans.push(first_span);
         while self.peek() == Some(&Tok::Comma) {
             self.bump();
-            body.push(self.atom()?);
+            let (a, s) = self.atom()?;
+            body.push(a);
+            body_spans.push(s);
         }
         if self.peek() == Some(&Tok::Dot) {
             self.bump();
         }
         let q = ConjunctiveQuery::new(head, body);
         if !q.is_safe() {
-            return Err(self.err(format!("unsafe rule (head variable not in body): {q}")));
+            return Err(ParseError::spanned(
+                head_span,
+                format!("unsafe rule (head variable not in body): {q}"),
+            ));
         }
-        Ok(q)
+        Ok((
+            q,
+            RuleSpans {
+                head: head_span,
+                body: body_spans,
+            },
+        ))
     }
 
     fn program(&mut self) -> Result<Program, ParseError> {
         let mut rules = Vec::new();
+        let mut spans = Vec::new();
         while self.peek().is_some() {
-            rules.push(self.rule()?);
+            let (q, s) = self.rule()?;
+            rules.push(q);
+            spans.push(s);
         }
-        Ok(Program { rules })
+        Ok(Program { rules, spans })
     }
 }
 
@@ -289,7 +360,7 @@ pub fn parse_program(src: &str) -> Result<Program, ParseError> {
 /// Parses a single rule as a conjunctive query.
 pub fn parse_query(src: &str) -> Result<ConjunctiveQuery, ParseError> {
     let mut p = parser(src)?;
-    let q = p.rule()?;
+    let (q, _) = p.rule()?;
     if p.peek().is_some() {
         return Err(p.err("trailing input after rule"));
     }
@@ -308,7 +379,7 @@ pub fn parse_views(src: &str) -> Result<ViewSet, ParseError> {
 /// literals in tests).
 pub fn parse_atom(src: &str) -> Result<Atom, ParseError> {
     let mut p = parser(src)?;
-    let a = p.atom()?;
+    let (a, _) = p.atom()?;
     if p.peek().is_some() {
         return Err(p.err("trailing input after atom"));
     }
@@ -342,6 +413,30 @@ mod tests {
     }
 
     #[test]
+    fn program_spans_cover_each_atom() {
+        let src = "q(X) :- a(X, Y), b(Y, X)";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.spans.len(), 1);
+        let spans = &p.spans[0];
+        assert_eq!(spans.head.slice(src), "q(X)");
+        assert_eq!(spans.body[0].slice(src), "a(X, Y)");
+        assert_eq!(spans.body[1].slice(src), "b(Y, X)");
+        assert_eq!((spans.body[1].line, spans.body[1].column), (1, 18));
+        assert_eq!(spans.rule().slice(src), src);
+    }
+
+    #[test]
+    fn spans_track_lines() {
+        let src = "% comment\nq(X) :-\n  a(X),\n  b(X).\n";
+        let p = parse_program(src).unwrap();
+        let spans = &p.spans[0];
+        assert_eq!((spans.head.line, spans.head.column), (2, 1));
+        assert_eq!((spans.body[0].line, spans.body[0].column), (3, 3));
+        assert_eq!((spans.body[1].line, spans.body[1].column), (4, 3));
+        assert_eq!(spans.body[1].slice(src), "b(X)");
+    }
+
+    #[test]
     fn parses_integers_and_negatives() {
         let q = parse_query("q(X) :- r(X, 7), s(-3, X)").unwrap();
         assert_eq!(q.body[0].terms[1], Term::int(7));
@@ -352,6 +447,8 @@ mod tests {
     fn rejects_unsafe_rule() {
         let e = parse_query("q(X, Y) :- a(X)").unwrap_err();
         assert!(e.message.contains("unsafe"));
+        // The error points at the head atom that exports the unbound var.
+        assert_eq!((e.span.start, e.span.end), (0, 7));
     }
 
     #[test]
@@ -369,6 +466,8 @@ mod tests {
     fn rejects_bad_tokens_with_position() {
         let e = parse_program("q(X) :- a(X), @(X)").unwrap_err();
         assert_eq!(e.line, 1);
+        assert_eq!(e.column, 15);
+        assert_eq!((e.span.start, e.span.end), (14, 15));
         assert!(e.message.contains("unexpected character"));
     }
 

@@ -87,6 +87,12 @@ fn join_atom(bindings: Bindings, atom: &Atom, db: &Database) -> Bindings {
         .collect();
     let mut index: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::new();
     'tuples: for tuple in rel {
+        // An atom whose arity differs from the stored relation matches
+        // nothing (it cannot map onto any fact) — skip rather than index
+        // out of bounds on the narrower side.
+        if tuple.len() != slots.len() {
+            continue;
+        }
         for (i, slot) in slots.iter().enumerate() {
             match slot {
                 Slot::Fixed(v) if tuple[i] != *v => continue 'tuples,

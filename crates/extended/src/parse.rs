@@ -31,11 +31,7 @@ fn parse_term(src: &str) -> Result<Term, ParseError> {
 }
 
 fn err(message: String) -> ParseError {
-    ParseError {
-        line: 1,
-        column: 1,
-        message,
-    }
+    ParseError::at(1, 1, message)
 }
 
 /// Parses one comparison such as `"C <= D"`, `"X < 3"`, `"A = b"`,

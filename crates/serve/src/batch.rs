@@ -177,6 +177,16 @@ impl BatchServer {
         self.cache.as_ref()
     }
 
+    /// Rejects queries that are ill-typed against this server's view
+    /// set — before canonicalization, before the cache. An
+    /// arity-mismatched query would otherwise pollute the canonical key
+    /// space with entries that can only ever answer "no rewriting" (and,
+    /// worse, teach callers that the mismatch was meaningful). Callers
+    /// should gate [`BatchServer::serve`] on this for untrusted input.
+    pub fn validate(&self, query: &ConjunctiveQuery) -> Result<(), String> {
+        viewplan_analyze::validate_query_against_views(query, self.views())
+    }
+
     /// Answers one query: canonicalize, hit the cache or run the
     /// pipeline over the prepared views, denormalize.
     pub fn serve(&self, query: &ConjunctiveQuery) -> Result<ServedAnswer, PlanError> {
@@ -372,6 +382,18 @@ mod tests {
                 .collect();
             assert_eq!(out, reference, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn validate_rejects_arity_mismatches_before_the_cache() {
+        let server = BatchServer::new(&example41_views());
+        let bad = parse_query("q(X) :- a(X, X, X)").unwrap();
+        let err = server.validate(&bad).unwrap_err();
+        assert!(err.contains("VP001"), "{err}");
+        let ok = parse_query("q(X) :- a(X, X)").unwrap();
+        assert!(server.validate(&ok).is_ok());
+        // Nothing above touched the cache.
+        assert_eq!(server.cache().unwrap().stats().entries, 0);
     }
 
     #[test]

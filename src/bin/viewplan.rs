@@ -2,7 +2,7 @@
 //! optimizer.
 //!
 //! ```text
-//! viewplan rewrite FILE [--all-minimal] [--no-grouping] [--baseline {naive,minicon,bucket}]
+//! viewplan rewrite FILE [--all-minimal] [--no-grouping] [--no-prune] [--baseline {naive,minicon,bucket}]
 //! viewplan plan    FILE [--model {m1,m2,m3}]
 //! viewplan eval    FILE
 //! viewplan batch   FILE [--no-cache] [--cache-capacity N] [--csv FILE] [--all-minimal]
@@ -56,8 +56,12 @@
 //! ```
 
 use std::process::ExitCode;
+use viewplan::analyze::{
+    analyze, analyze_errors, render_human, render_json, render_summary, Layout,
+};
 use viewplan::core::{default_threads, parallel_map, CoreError};
 use viewplan::cost::PlanError;
+use viewplan::cq::Program;
 use viewplan::obs::budget::BudgetGuard;
 use viewplan::obs::{BudgetSpec, Completeness, Fault};
 use viewplan::prelude::*;
@@ -120,6 +124,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "batch" => with_stats(&args[1..], batch),
         "serve" => with_stats(&args[1..], serve),
         "soak" => with_stats(&args[1..], soak),
+        "check" => check(&args[1..]),
         other => Err(CliError::Input(format!("unknown command {other:?}"))),
     }
 }
@@ -140,13 +145,22 @@ fn print_help() {
         "viewplan — generating efficient plans for queries using views\n\
          \n\
          USAGE:\n\
-         viewplan rewrite FILE [--all-minimal] [--no-grouping] [--baseline NAME]\n\
+         viewplan rewrite FILE [--all-minimal] [--no-grouping] [--no-prune] [--baseline NAME]\n\
          viewplan plan    FILE [--model m1|m2|m3]\n\
          viewplan eval    FILE\n\
          viewplan batch   FILE [--no-cache] [--cache-capacity N] [--csv FILE] [--all-minimal]\n\
          viewplan batch   --workload star|chain|random [--queries N] [--views N] [--seed S] [--repeat K]\n\
          viewplan serve   VIEWSFILE   (queries on stdin, one per line)\n\
          viewplan soak    [--queries N] [--views N] [--seed S]\n\
+         viewplan check   FILE [--json]\n\
+         \n\
+         `check` runs the static analyzer over a problem or batch file and\n\
+         prints coded diagnostics (VP001–VP007) with line:column spans —\n\
+         rustc-style by default, a stable JSON document with --json. Exit 2\n\
+         iff any error-severity finding (VP001 arity mismatch) is present;\n\
+         warnings (dead views, uncoverable subgoals, cartesian products,\n\
+         redundant subgoals, predicted blowups) exit 0. The processing\n\
+         commands refuse (exit 2) inputs `check` reports errors for.\n\
          \n\
          `batch` serves many queries against one view set in one process:\n\
          the per-view-set preprocessing runs once, requests fan out over\n\
@@ -187,20 +201,35 @@ struct Problem {
     base: Database,
 }
 
-fn load(path: &str) -> Result<Problem, CliError> {
+/// A `.vp` file split into rules and facts, with the rule text kept
+/// *line-preserving*: `rules_src` has exactly one line per input line
+/// (non-rule lines blanked, comments stripped, leading whitespace kept),
+/// so parser spans carry the original file's line:column coordinates.
+struct SourceFile {
+    rules_src: String,
+    program: Program,
+    layout: Layout,
+    facts: Vec<Atom>,
+}
+
+fn read_source(path: &str) -> Result<SourceFile, CliError> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| CliError::Input(format!("cannot read {path}: {e}")))?;
     let mut rules_src = String::new();
     let mut facts: Vec<Atom> = Vec::new();
+    let mut rules_before_separator = 0usize;
+    let mut saw_separator = false;
     for raw in text.lines() {
-        let line = raw.split(['%', '#']).next().unwrap_or("").trim();
-        if line.is_empty() {
-            continue;
-        }
+        let stripped = raw.split(['%', '#']).next().unwrap_or("");
+        let line = stripped.trim();
         if line.contains(":-") {
-            rules_src.push_str(line);
-            rules_src.push('\n');
-        } else {
+            rules_src.push_str(stripped.trim_end());
+            if !saw_separator {
+                rules_before_separator += 1;
+            }
+        } else if line == "---" {
+            saw_separator = true;
+        } else if !line.is_empty() {
             let atom_src = line.trim_end_matches('.');
             let atom = parse_atom(atom_src)
                 .map_err(|e| CliError::Input(format!("bad fact {line:?}: {e}")))?;
@@ -209,16 +238,65 @@ fn load(path: &str) -> Result<Problem, CliError> {
             }
             facts.push(atom);
         }
+        rules_src.push('\n');
     }
     let program = viewplan::cq::parse_program(&rules_src)
         .map_err(|e| CliError::Input(format!("bad rule: {e}")))?;
-    let mut rules = program.rules.into_iter();
+    let layout = if saw_separator {
+        Layout::Batch {
+            view_count: rules_before_separator,
+        }
+    } else {
+        Layout::Problem
+    };
+    Ok(SourceFile {
+        rules_src,
+        program,
+        layout,
+        facts,
+    })
+}
+
+/// The fail-fast input gate shared by the processing commands: runs the
+/// error-severity checks and refuses (exit 2) any program with
+/// findings. Warnings are not computed here — the warning passes do
+/// containment work that would pollute the pipeline's own stats — run
+/// `viewplan check` for the full analysis.
+fn analysis_gate(source: &SourceFile, path: &str) -> Result<(), CliError> {
+    let analysis = analyze_errors(&source.program, source.layout);
+    if analysis.has_errors() {
+        let findings: Vec<String> = analysis
+            .errors()
+            .map(|d| {
+                format!(
+                    "{path}:{}:{}: [{}] {}",
+                    d.span.line, d.span.column, d.code, d.message
+                )
+            })
+            .collect();
+        return Err(CliError::Input(format!(
+            "{}\n(run `viewplan check {path}` for details)",
+            findings.join("\n")
+        )));
+    }
+    Ok(())
+}
+
+fn load(path: &str) -> Result<Problem, CliError> {
+    let source = read_source(path)?;
+    if matches!(source.layout, Layout::Batch { .. }) {
+        return Err(CliError::Input(format!(
+            "{path} is a batch file (it contains a `---` separator); use `viewplan batch`"
+        )));
+    }
+    analysis_gate(&source, path)?;
+    let mut rules = source.program.rules.into_iter();
     let query = rules
         .next()
         .ok_or_else(|| CliError::input("file contains no rules"))?;
     let views = ViewSet::from_views(rules.map(View::new));
     let mut base = Database::new();
-    for f in facts {
+    for f in source.facts {
         base.insert(
             f.predicate,
             f.terms
@@ -231,6 +309,38 @@ fn load(path: &str) -> Result<Problem, CliError> {
         );
     }
     Ok(Problem { query, views, base })
+}
+
+/// `viewplan check FILE [--json]`: run the static analyzer and report
+/// every finding (errors *and* warnings). Exit 0 when no errors, 2 when
+/// any error-severity diagnostic is present.
+fn check(args: &[String]) -> Result<(), CliError> {
+    let path = file_arg(args)?;
+    let source = read_source(path)?;
+    let analysis = analyze(&source.program, source.layout);
+    if flag(args, "--json") {
+        print!("{}", render_json(&analysis, path));
+    } else {
+        let color = use_color();
+        print!(
+            "{}",
+            render_human(&analysis, path, &source.rules_src, color)
+        );
+        println!("{path}: {}", render_summary(&analysis));
+    }
+    if analysis.has_errors() {
+        return Err(CliError::Input(format!(
+            "{path}: {}",
+            render_summary(&analysis)
+        )));
+    }
+    Ok(())
+}
+
+/// Color when stdout is a terminal and `NO_COLOR` is unset.
+fn use_color() -> bool {
+    use std::io::IsTerminal;
+    std::env::var_os("NO_COLOR").is_none() && std::io::stdout().is_terminal()
 }
 
 /// Options that consume the following argument as their value.
@@ -424,6 +534,9 @@ fn rewrite(args: &[String]) -> Result<(), CliError> {
         config.group_equivalent_views = false;
         config.group_view_tuples = false;
     }
+    if flag(args, "--no-prune") {
+        config.prune_unusable_views = false;
+    }
     let cc = CoreCover::new(&problem.query, &problem.views).with_config(config);
     let result = if flag(args, "--all-minimal") {
         cc.try_run_all_minimal()?
@@ -590,53 +703,44 @@ fn serve_config(args: &[String]) -> Result<ServeConfig, CliError> {
 
 /// Parses a block of text as rules only (no facts), with the same
 /// comment handling as [`load`].
-fn parse_rules(src: &str, what: &str) -> Result<Vec<ConjunctiveQuery>, CliError> {
+/// Parses rule-only source (line-preserving, like [`read_source`]) into
+/// a [`Program`]; any non-rule, non-comment line is an input error.
+fn parse_rules_program(src: &str, what: &str) -> Result<Program, CliError> {
     let mut rules_src = String::new();
     for raw in src.lines() {
-        let line = raw.split(['%', '#']).next().unwrap_or("").trim();
-        if line.is_empty() {
-            continue;
-        }
-        if !line.contains(":-") {
+        let stripped = raw.split(['%', '#']).next().unwrap_or("");
+        let line = stripped.trim();
+        if !line.is_empty() && !line.contains(":-") {
             return Err(CliError::Input(format!(
                 "expected a {what} rule, got {line:?}"
             )));
         }
-        rules_src.push_str(line);
+        rules_src.push_str(stripped.trim_end());
         rules_src.push('\n');
     }
-    let program = viewplan::cq::parse_program(&rules_src)
-        .map_err(|e| CliError::Input(format!("bad {what} rule: {e}")))?;
-    Ok(program.rules)
+    viewplan::cq::parse_program(&rules_src)
+        .map_err(|e| CliError::Input(format!("bad {what} rule: {e}")))
 }
 
 /// Loads a batch problem file: view rules, a `---` line, query rules.
+/// The analyzer gate runs over the whole program (views + queries), so a
+/// malformed stream fails fast with exit 2 before anything is served.
 fn load_batch(path: &str) -> Result<(ViewSet, Vec<ConjunctiveQuery>), CliError> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| CliError::Input(format!("cannot read {path}: {e}")))?;
-    let mut views_src = String::new();
-    let mut queries_src = String::new();
-    let mut past_separator = false;
-    for line in text.lines() {
-        if !past_separator && line.trim() == "---" {
-            past_separator = true;
-            continue;
-        }
-        let section = if past_separator {
-            &mut queries_src
-        } else {
-            &mut views_src
-        };
-        section.push_str(line);
-        section.push('\n');
-    }
-    if !past_separator {
+    let source = read_source(path)?;
+    let Layout::Batch { view_count } = source.layout else {
         return Err(CliError::input(
             "batch FILE needs a `---` line separating views from queries",
         ));
+    };
+    if let Some(fact) = source.facts.first() {
+        return Err(CliError::Input(format!(
+            "batch FILE cannot contain ground facts, got {fact}"
+        )));
     }
-    let views = ViewSet::from_views(parse_rules(&views_src, "view")?.into_iter().map(View::new));
-    let queries = parse_rules(&queries_src, "query")?;
+    analysis_gate(&source, path)?;
+    let mut rules = source.program.rules.into_iter();
+    let views = ViewSet::from_views(rules.by_ref().take(view_count).map(View::new));
+    let queries: Vec<ConjunctiveQuery> = rules.collect();
     if queries.is_empty() {
         return Err(CliError::input("batch FILE has no queries after `---`"));
     }
@@ -790,7 +894,21 @@ fn serve(args: &[String]) -> Result<(), CliError> {
     let config = serve_config(args)?;
     let text = std::fs::read_to_string(path)
         .map_err(|e| CliError::Input(format!("cannot read {path}: {e}")))?;
-    let views = ViewSet::from_views(parse_rules(&text, "view")?.into_iter().map(View::new));
+    let program = parse_rules_program(&text, "view")?;
+    let analysis = analyze_errors(&program, Layout::ViewsOnly);
+    if analysis.has_errors() {
+        let findings: Vec<String> = analysis
+            .errors()
+            .map(|d| {
+                format!(
+                    "{path}:{}:{}: [{}] {}",
+                    d.span.line, d.span.column, d.code, d.message
+                )
+            })
+            .collect();
+        return Err(CliError::Input(findings.join("\n")));
+    }
+    let views = ViewSet::from_views(program.rules.into_iter().map(View::new));
     let server = BatchServer::with_config(&views, config);
     eprintln!(
         "serving over {} view(s); one query per line, Ctrl-D to finish",
@@ -807,13 +925,19 @@ fn serve(args: &[String]) -> Result<(), CliError> {
         }
         match parse_query(src) {
             Err(e) => eprintln!("error: bad query {src:?}: {e}"),
-            Ok(q) => match server.serve(&q) {
+            // Reject ill-typed queries *before* the cache sees them: an
+            // arity-mismatched query would otherwise burn a canonical
+            // cache entry that can only ever answer "no rewriting".
+            Ok(q) => match server.validate(&q) {
                 Err(e) => eprintln!("error: {e}"),
-                Ok(a) => {
-                    answered += 1;
-                    print!("{}", a.render());
-                    println!();
-                }
+                Ok(()) => match server.serve(&q) {
+                    Err(e) => eprintln!("error: {e}"),
+                    Ok(a) => {
+                        answered += 1;
+                        print!("{}", a.render());
+                        println!();
+                    }
+                },
             },
         }
     }

@@ -11,6 +11,8 @@
 //! This facade re-exports the whole workspace:
 //!
 //! * [`cq`] — conjunctive queries, views, parser;
+//! * [`analyze`] — the static-analysis pass (VP001–VP007 diagnostics)
+//!   behind `viewplan check` and the processing commands' input gate;
 //! * [`containment`] — containment mappings, equivalence, minimization,
 //!   expansion;
 //! * [`engine`] — the in-memory relational engine and canonical databases;
@@ -49,6 +51,7 @@
 //! );
 //! ```
 
+pub use viewplan_analyze as analyze;
 pub use viewplan_containment as containment;
 pub use viewplan_core as core;
 pub use viewplan_cost as cost;

@@ -1,0 +1,190 @@
+//! Integration tests for `viewplan check`: each diagnostic code VP001–
+//! VP007 is triggered from a real `.vp` file through the real binary,
+//! asserting the code, a `file:line:column` anchor, and the exit-code
+//! contract (errors → 2, warnings → 0), plus the fail-fast gate on the
+//! processing commands.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+/// Writes `contents` to a scratch `.vp` file and runs
+/// `viewplan check <file> [extra...]` on it.
+fn run_check(tag: &str, contents: &str, extra: &[&str]) -> (Output, PathBuf) {
+    let path = std::env::temp_dir().join(format!("viewplan-check-{tag}-{}.vp", std::process::id()));
+    std::fs::write(&path, contents).expect("write fixture");
+    let out = Command::new(env!("CARGO_BIN_EXE_viewplan"))
+        .arg("check")
+        .arg(&path)
+        .args(extra)
+        .env("NO_COLOR", "1")
+        .output()
+        .expect("spawn viewplan");
+    (out, path)
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn vp001_arity_mismatch_is_an_error_with_span_and_exit_2() {
+    let (out, path) = run_check("vp001", "q(X) :- e(X, Y).\nv(A) :- e(A, A, A).\n", &[]);
+    assert_eq!(out.status.code(), Some(2));
+    let text = stdout(&out);
+    assert!(text.contains("error[VP001]"), "{text}");
+    // The mismatching use is the 3-ary e on line 2, column 9.
+    assert!(text.contains(":2:9"), "{text}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn vp002_head_anomalies_warn_and_exit_0() {
+    let (out, path) = run_check("vp002", "q(X, X, c) :- e(X, Y).\nv(A) :- e(A, B).\n", &[]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = stdout(&out);
+    assert!(text.contains("warning[VP002]"), "{text}");
+    assert!(text.contains(":1:"), "{text}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn vp003_disconnected_body_warns() {
+    let (out, path) = run_check(
+        "vp003",
+        "q(X, Y) :- e(X, X), f(Y, Y).\nv(A, B) :- e(A, B).\nw(A, B) :- f(A, B).\n",
+        &[],
+    );
+    assert_eq!(out.status.code(), Some(0));
+    let text = stdout(&out);
+    assert!(text.contains("warning[VP003]"), "{text}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn vp004_duplicate_subgoal_warns_with_span() {
+    let (out, path) = run_check(
+        "vp004",
+        "q(X) :- e(X, Y), e(X, Y).\nv(A) :- e(A, B).\n",
+        &[],
+    );
+    assert_eq!(out.status.code(), Some(0));
+    let text = stdout(&out);
+    assert!(text.contains("warning[VP004]"), "{text}");
+    // The duplicate is the second e(X, Y), at column 18.
+    assert!(text.contains(":1:18"), "{text}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn vp005_uncovered_predicate_warns() {
+    let (out, path) = run_check(
+        "vp005",
+        "q(X) :- e(X, Y), p(Y).\nv(A, B) :- e(A, B).\n",
+        &[],
+    );
+    assert_eq!(out.status.code(), Some(0));
+    let text = stdout(&out);
+    assert!(text.contains("warning[VP005]"), "{text}");
+    assert!(text.contains("p/1"), "{text}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn vp006_foreign_predicate_view_warns() {
+    let (out, path) = run_check(
+        "vp006",
+        "q(X) :- e(X, Y).\nv(A) :- e(A, B).\nw(A) :- f(A, A).\n",
+        &[],
+    );
+    assert_eq!(out.status.code(), Some(0));
+    let text = stdout(&out);
+    assert!(text.contains("warning[VP006]"), "{text}");
+    assert!(text.contains("f/2"), "{text}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn vp007_blowup_warns_past_the_subgoal_cap() {
+    let body: Vec<String> = (0..65).map(|i| format!("p{i}(X{i})")).collect();
+    let head: Vec<String> = (0..65).map(|i| format!("X{i}")).collect();
+    let views: Vec<String> = (0..65).map(|i| format!("v{i}(A) :- p{i}(A).")).collect();
+    let src = format!(
+        "q({}) :- {}.\n{}\n",
+        head.join(", "),
+        body.join(", "),
+        views.join("\n")
+    );
+    let (out, path) = run_check("vp007", &src, &[]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = stdout(&out);
+    assert!(text.contains("warning[VP007]"), "{text}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn clean_program_reports_no_diagnostics() {
+    let (out, path) = run_check(
+        "clean",
+        "q(X, Y) :- e(X, Z), f(Z, Y).\nve(A, B) :- e(A, B).\nvf(A, B) :- f(A, B).\n",
+        &[],
+    );
+    assert_eq!(out.status.code(), Some(0));
+    let text = stdout(&out);
+    assert!(
+        text.contains("0 errors, 0 warnings"),
+        "expected a clean summary, got: {text}"
+    );
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn check_json_carries_code_severity_and_position() {
+    let (out, path) = run_check(
+        "json",
+        "q(X) :- e(X, Y).\nv(A) :- e(A, A, A).\n",
+        &["--json"],
+    );
+    assert_eq!(out.status.code(), Some(2));
+    let text = stdout(&out);
+    for needle in [
+        "\"code\": \"VP001\"",
+        "\"severity\": \"error\"",
+        "\"line\": 2",
+        "\"column\": 9",
+        "\"errors\": 1",
+    ] {
+        assert!(text.contains(needle), "missing {needle} in:\n{text}");
+    }
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn processing_commands_refuse_programs_with_errors() {
+    let path = std::env::temp_dir().join(format!("viewplan-gate-{}.vp", std::process::id()));
+    std::fs::write(&path, "q(X) :- e(X, Y).\nv(A) :- e(A, A, A).\n").expect("write fixture");
+    for cmd in ["rewrite", "plan"] {
+        let out = Command::new(env!("CARGO_BIN_EXE_viewplan"))
+            .arg(cmd)
+            .arg(&path)
+            .output()
+            .expect("spawn viewplan");
+        assert_eq!(out.status.code(), Some(2), "{cmd} must exit 2");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("[VP001]"), "{cmd} stderr: {err}");
+        assert!(err.contains(":2:9"), "{cmd} stderr lacks line:col: {err}");
+    }
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn warnings_do_not_block_processing_commands() {
+    // unanswerable.vp carries a deliberate VP005 warning; rewrite must
+    // still run (and report no rewriting) with exit 0.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let out = Command::new(env!("CARGO_BIN_EXE_viewplan"))
+        .current_dir(root)
+        .args(["rewrite", "tests/golden/unanswerable.vp"])
+        .output()
+        .expect("spawn viewplan");
+    assert_eq!(out.status.code(), Some(0));
+}

@@ -86,6 +86,10 @@ fn check_stats_counters(name: &str, problem: &str) {
     let json_path = std::env::temp_dir().join(format!("viewplan_golden_{name}.json"));
     let out = Command::new(env!("CARGO_BIN_EXE_viewplan"))
         .current_dir(root)
+        // Pin the serial pipeline regardless of the ambient
+        // VIEWPLAN_THREADS: parallel runs add scheduler counters
+        // (parallel.batches/tasks) that are not part of this snapshot.
+        .env("VIEWPLAN_THREADS", "1")
         .args([
             "rewrite",
             problem,
@@ -192,6 +196,12 @@ golden! {
     batch_carlocpart_no_cache =>
         ["batch", "tests/golden/batch_carlocpart.vp", "--no-cache", "--threads", "4"];
     batch_example41_variants => ["batch", "tests/golden/batch_example41.vp"];
+
+    // Static analysis: `check --json` is a machine interface (editors,
+    // CI annotations), so its exact bytes are golden. One clean fixture
+    // and one with a deliberate VP005 warning (warnings exit 0).
+    check_json_example_1_1 => ["check", "tests/golden/example_1_1_carlocpart.vp", "--json"];
+    check_json_unanswerable => ["check", "tests/golden/unanswerable.vp", "--json"];
 
     // Generator-derived streams (deterministic in the seed).
     batch_workload_star =>

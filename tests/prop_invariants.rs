@@ -169,4 +169,64 @@ proptest! {
             prop_assert_eq!(a.subgoals, b.subgoals);
         }
     }
+
+    /// Generated workloads are free of static-analysis *errors* (VP001):
+    /// the generator and the analyzer agree on what a well-formed
+    /// problem is, across every shape.
+    #[test]
+    fn generated_workloads_are_diagnostic_error_free(seed in 0u64..150) {
+        for config in [
+            WorkloadConfig::star(6, 1, seed),
+            WorkloadConfig::chain(6, 1, seed),
+            WorkloadConfig::random(6, 1, seed),
+        ] {
+            let w = generate(&config);
+            let mut src = format!("{}.\n", w.query);
+            for v in w.views.iter() {
+                src.push_str(&format!("{v}.\n"));
+            }
+            let program = viewplan::cq::parse_program(&src)
+                .expect("generated workloads must parse back");
+            let analysis =
+                viewplan::analyze::analyze(&program, viewplan::analyze::Layout::Problem);
+            prop_assert!(
+                !analysis.has_errors(),
+                "seed {seed}: {:?}",
+                analysis.errors().collect::<Vec<_>>()
+            );
+        }
+    }
+
+    /// The VP006 pruning pre-pass is output-invariant: with an
+    /// unmatchable view injected, CoreCover with pruning on and off
+    /// renders byte-identical rewriting sets (both the globally-minimal
+    /// and the all-minimal searches).
+    #[test]
+    fn view_pruning_is_output_invariant(seed in 0u64..100) {
+        let w = generate(&WorkloadConfig::chain(8, 1, seed));
+        // Append views the pruner must discard: a foreign predicate and
+        // a self-join the (minimized) query cannot satisfy.
+        let mut vsrc = String::new();
+        for v in w.views.iter() {
+            vsrc.push_str(&format!("{v}.\n"));
+        }
+        vsrc.push_str("zdead(A) :- zforeign(A, A).\n");
+        let views = parse_views(&vsrc).expect("views render round-trips");
+
+        let render = |prune: bool| {
+            let config = CoreCoverConfig {
+                prune_unusable_views: prune,
+                ..CoreCoverConfig::default()
+            };
+            let gmr = CoreCover::new(&w.query, &views).with_config(config.clone()).run();
+            let all = CoreCover::new(&w.query, &views)
+                .with_config(config)
+                .run_all_minimal();
+            let fmt = |rs: &[ConjunctiveQuery]| -> String {
+                rs.iter().map(|r| format!("{r}\n")).collect()
+            };
+            (fmt(gmr.rewritings()), fmt(all.rewritings()))
+        };
+        prop_assert_eq!(render(true), render(false));
+    }
 }

@@ -1,0 +1,636 @@
+//! Repo-level lints for the `viewplan` workspace, run as
+//! `cargo run -p xtask -- lint` (and in CI).
+//!
+//! Four checks, all offline and purely textual:
+//!
+//! 1. **Panic ban** — no `.unwrap()` / `.expect(` / `panic!(` in library
+//!    crates (`crates/*/src`) outside `#[cfg(test)]` code. Audited
+//!    remainders live in `xtask/lint-allowlist.txt` as `path count`
+//!    lines; the check is a *ratchet*: a file over its allowance fails,
+//!    and a file under it also fails until the allowance is lowered, so
+//!    the debt can only shrink.
+//! 2. **Counter uniqueness** — every `obs::counter!("name")` name is
+//!    registered at exactly one non-test source site, so a counter's
+//!    meaning has a single owner (`crates/*/src` + the CLI in `src/`).
+//! 3. **Golden pairing** — every `tests/golden/*.vp` fixture is
+//!    exercised by `tests/golden_corpus.rs`, and every snapshot under
+//!    `tests/golden/expected/` corresponds to a test there (no orphaned
+//!    fixtures, no dead snapshots).
+//! 4. **Justified allows** — every `#[allow(...)]` carries a
+//!    justification comment on the same line or the line above.
+//!
+//! The scans work on a *stripped* view of each file: comment and string
+//! contents are blanked (structure and braces preserved), so `"panic!"`
+//! in a doc comment or a string never trips a lint. `#[cfg(test)]`
+//! items are skipped by brace matching. The vendored dependency shims
+//! under `stubs/` are out of scope — they mirror external APIs.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// The outcome of a lint run: human-readable violations, empty = clean.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// One line per violation.
+    pub violations: Vec<String>,
+}
+
+impl LintReport {
+    /// True iff the repo is clean.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Replaces the contents of comments (line, nested block) and literals
+/// (strings, raw strings, chars) with spaces, preserving the line
+/// structure and all code characters — so later scans can match tokens
+/// and count braces without a real parser.
+pub fn strip_code(src: &str) -> String {
+    let bytes = src.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    let keep_or_blank = |b: u8| if b == b'\n' { b'\n' } else { b' ' };
+    while i < bytes.len() {
+        match bytes[i] {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let mut depth = 0usize;
+                while i < bytes.len() {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        out.extend([b' ', b' ']);
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        out.extend([b' ', b' ']);
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        out.push(keep_or_blank(bytes[i]));
+                        i += 1;
+                    }
+                }
+            }
+            b'r' if matches!(bytes.get(i + 1), Some(&b'"') | Some(&b'#')) => {
+                // Raw string: r"…", r#"…"#, r##"…"##, …
+                let start = i;
+                let mut j = i + 1;
+                let mut hashes = 0usize;
+                while bytes.get(j) == Some(&b'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                if bytes.get(j) == Some(&b'"') {
+                    out.extend(std::iter::repeat_n(b' ', j + 1 - start));
+                    i = j + 1;
+                    'raw: while i < bytes.len() {
+                        if bytes[i] == b'"' {
+                            let mut k = 0usize;
+                            while k < hashes && bytes.get(i + 1 + k) == Some(&b'#') {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                out.extend(std::iter::repeat_n(b' ', hashes + 1));
+                                i += hashes + 1;
+                                break 'raw;
+                            }
+                        }
+                        out.push(keep_or_blank(bytes[i]));
+                        i += 1;
+                    }
+                } else {
+                    out.push(bytes[i]);
+                    i += 1;
+                }
+            }
+            b'"' => {
+                out.push(b' ');
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => {
+                            out.extend([b' ', b' ']);
+                            i += 2;
+                        }
+                        b'"' => {
+                            out.push(b' ');
+                            i += 1;
+                            break;
+                        }
+                        b => {
+                            out.push(keep_or_blank(b));
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            b'\'' => {
+                // Char literal ('x', '\n', '\u{1F600}') vs lifetime ('a).
+                let lit_end = if bytes.get(i + 1) == Some(&b'\\') {
+                    let mut j = i + 2;
+                    while j < bytes.len() && bytes[j] != b'\'' && bytes[j] != b'\n' {
+                        j += 1;
+                    }
+                    (bytes.get(j) == Some(&b'\'')).then_some(j)
+                } else {
+                    (bytes.get(i + 2) == Some(&b'\'')).then_some(i + 2)
+                };
+                match lit_end {
+                    Some(end) => {
+                        out.extend(std::iter::repeat_n(b' ', end + 1 - i));
+                        i = end + 1;
+                    }
+                    None => {
+                        out.push(bytes[i]);
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Marks, per line of `stripped`, whether it belongs to a
+/// `#[cfg(test)]` item (attribute line included), by matching the brace
+/// block that follows the attribute.
+pub fn test_region_mask(stripped: &str) -> Vec<bool> {
+    let lines: Vec<&str> = stripped.lines().collect();
+    let mut mask = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        if lines[i].trim_start().starts_with("#[cfg(test)]") {
+            let mut depth = 0i64;
+            let mut opened = false;
+            let mut j = i;
+            while j < lines.len() {
+                mask[j] = true;
+                for c in lines[j].chars() {
+                    match c {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                // A `#[cfg(test)] use …;` style item ends at the first
+                // `;` before any brace opens.
+                if !opened && lines[j].contains(';') {
+                    break;
+                }
+                if opened && depth <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for determinism.
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let p = entry.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// The library source roots the panic ban covers: every `crates/*/src`.
+fn library_roots(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        for entry in entries.flatten() {
+            let src = entry.path().join("src");
+            if src.is_dir() {
+                out.push(src);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Counts banned panic sites (`.unwrap()`, `.expect(`, `panic!(`) on the
+/// non-test lines of a stripped file. `self.expect(` is excluded: the
+/// parsers in this workspace define their own fallible `expect` helper
+/// returning `Result`, which is exactly the pattern the ban pushes
+/// toward.
+pub fn count_panic_sites(stripped: &str) -> usize {
+    let mask = test_region_mask(stripped);
+    stripped
+        .lines()
+        .zip(&mask)
+        .filter(|&(_, &in_test)| !in_test)
+        .map(|(line, _)| {
+            line.matches(".unwrap()").count()
+                + line.matches(".expect(").count()
+                + line.matches("panic!(").count()
+                - line.matches("self.expect(").count()
+        })
+        .sum()
+}
+
+/// Parses `xtask/lint-allowlist.txt`: `path count` per line, `#`
+/// comments. Paths are relative to the repo root.
+fn parse_allowlist(text: &str) -> Result<BTreeMap<String, usize>, String> {
+    let mut out = BTreeMap::new();
+    for (no, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(path), Some(count), None) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(format!("allowlist line {}: expected `path count`", no + 1));
+        };
+        let count: usize = count
+            .parse()
+            .map_err(|_| format!("allowlist line {}: bad count {count:?}", no + 1))?;
+        out.insert(path.to_string(), count);
+    }
+    Ok(out)
+}
+
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Check 1: the `.unwrap()` / `.expect(` / `panic!(` ratchet over the
+/// library crates.
+fn check_panics(root: &Path, report: &mut LintReport) {
+    let allowlist_path = root.join("xtask/lint-allowlist.txt");
+    let allowlist = match std::fs::read_to_string(&allowlist_path) {
+        Ok(text) => match parse_allowlist(&text) {
+            Ok(a) => a,
+            Err(e) => {
+                report.violations.push(format!("lint-allowlist.txt: {e}"));
+                return;
+            }
+        },
+        Err(_) => BTreeMap::new(),
+    };
+    let mut seen: BTreeMap<String, usize> = BTreeMap::new();
+    for src_root in library_roots(root) {
+        for file in rust_files(&src_root) {
+            let Ok(text) = std::fs::read_to_string(&file) else {
+                continue;
+            };
+            let count = count_panic_sites(&strip_code(&text));
+            if count > 0 {
+                seen.insert(rel(root, &file), count);
+            }
+        }
+    }
+    for (path, &actual) in &seen {
+        let allowed = allowlist.get(path).copied().unwrap_or(0);
+        if actual > allowed {
+            report.violations.push(format!(
+                "{path}: {actual} unwrap/expect/panic site(s) in non-test library code, \
+                 allowlist permits {allowed} — return a typed error or justify with a \
+                 debug_assert!, don't panic on user input"
+            ));
+        }
+    }
+    for (path, &allowed) in &allowlist {
+        let actual = seen.get(path).copied().unwrap_or(0);
+        if actual < allowed {
+            report.violations.push(format!(
+                "{path}: allowlist permits {allowed} panic site(s) but only {actual} remain — \
+                 ratchet xtask/lint-allowlist.txt down"
+            ));
+        }
+    }
+}
+
+/// Check 2: each `counter!("name")` name has exactly one non-test
+/// registration site.
+fn check_counter_uniqueness(root: &Path, report: &mut LintReport) {
+    let mut sites: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    let mut roots = library_roots(root);
+    roots.push(root.join("src"));
+    for src_root in roots {
+        for file in rust_files(&src_root) {
+            let Ok(text) = std::fs::read_to_string(&file) else {
+                continue;
+            };
+            // Counter names live in string literals, so extract them from
+            // the original text — but only on lines that are non-test,
+            // non-comment code in the stripped view.
+            let stripped = strip_code(&text);
+            let mask = test_region_mask(&stripped);
+            for ((line_no, original), (stripped_line, &in_test)) in
+                text.lines().enumerate().zip(stripped.lines().zip(&mask))
+            {
+                if in_test || !stripped_line.contains("counter!(") {
+                    continue;
+                }
+                let mut rest = original;
+                while let Some(at) = rest.find("counter!(\"") {
+                    let name_start = &rest[at + "counter!(\"".len()..];
+                    if let Some(end) = name_start.find('"') {
+                        sites
+                            .entry(name_start[..end].to_string())
+                            .or_default()
+                            .push(format!("{}:{}", rel(root, &file), line_no + 1));
+                        rest = &name_start[end..];
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    for (name, at) in sites {
+        if at.len() > 1 {
+            report.violations.push(format!(
+                "counter {name:?} is registered at {} sites ({}) — funnel all increments \
+                 through one helper so the name has a single owner",
+                at.len(),
+                at.join(", ")
+            ));
+        }
+    }
+}
+
+/// Check 3: golden fixtures and snapshots pair up with the corpus tests.
+fn check_golden_pairing(root: &Path, report: &mut LintReport) {
+    let corpus = std::fs::read_to_string(root.join("tests/golden_corpus.rs")).unwrap_or_default();
+    let list = |dir: &Path, ext: &str| -> Vec<PathBuf> {
+        let mut v: Vec<PathBuf> = std::fs::read_dir(dir)
+            .into_iter()
+            .flatten()
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == ext))
+            .collect();
+        v.sort();
+        v
+    };
+    for fixture in list(&root.join("tests/golden"), "vp") {
+        let path = rel(root, &fixture);
+        if !corpus.contains(&path) {
+            report.violations.push(format!(
+                "{path}: golden fixture is not exercised by tests/golden_corpus.rs"
+            ));
+        }
+    }
+    for snapshot in list(&root.join("tests/golden/expected"), "txt") {
+        let stem = snapshot
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if !corpus.contains(&stem) {
+            report.violations.push(format!(
+                "{}: orphaned snapshot — no test named {stem:?} in tests/golden_corpus.rs",
+                rel(root, &snapshot)
+            ));
+        }
+    }
+}
+
+/// Check 4: every `#[allow(...)]` (or `#![allow(...)]`) carries a
+/// justification comment on the same line or the line above.
+fn check_justified_allows(root: &Path, report: &mut LintReport) {
+    let mut roots = library_roots(root);
+    roots.push(root.join("src"));
+    for src_root in roots {
+        for file in rust_files(&src_root) {
+            let Ok(text) = std::fs::read_to_string(&file) else {
+                continue;
+            };
+            let stripped = strip_code(&text);
+            let originals: Vec<&str> = text.lines().collect();
+            for (line_no, stripped_line) in stripped.lines().enumerate() {
+                if !stripped_line.contains("[allow(") {
+                    continue;
+                }
+                let same_line = originals
+                    .get(line_no)
+                    .is_some_and(|l| l.contains("//") || l.contains("/*"));
+                let line_above = line_no
+                    .checked_sub(1)
+                    .and_then(|i| originals.get(i))
+                    .is_some_and(|l| {
+                        let t = l.trim();
+                        t.starts_with("//") || t.ends_with("*/")
+                    });
+                if !same_line && !line_above {
+                    report.violations.push(format!(
+                        "{}:{}: #[allow(...)] without a justification comment (same line or \
+                         the line above)",
+                        rel(root, &file),
+                        line_no + 1
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Runs every lint over the workspace at `root`.
+pub fn run_lint(root: &Path) -> LintReport {
+    let mut report = LintReport::default();
+    check_panics(root, &mut report);
+    check_counter_uniqueness(root, &mut report);
+    check_golden_pairing(root, &mut report);
+    check_justified_allows(root, &mut report);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scratch workspace on disk, deleted on drop.
+    struct TempRepo {
+        root: PathBuf,
+    }
+
+    impl TempRepo {
+        fn new(tag: &str) -> Self {
+            let root =
+                std::env::temp_dir().join(format!("xtask-lint-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&root);
+            std::fs::create_dir_all(&root).expect("create temp repo");
+            TempRepo { root }
+        }
+
+        fn write(&self, rel_path: &str, contents: &str) {
+            let path = self.root.join(rel_path);
+            std::fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+            std::fs::write(path, contents).expect("write");
+        }
+    }
+
+    impl Drop for TempRepo {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.root);
+        }
+    }
+
+    #[test]
+    fn strip_code_blanks_comments_strings_and_chars() {
+        let src = r##"let s = "panic!(no)"; // .unwrap() here
+let r = r#"also .expect( nothing"#; /* panic!( */
+let c = '"'; let lt: &'static str = s;
+real.unwrap();"##;
+        let stripped = strip_code(src);
+        assert_eq!(stripped.lines().count(), src.lines().count());
+        assert_eq!(stripped.matches(".unwrap()").count(), 1);
+        assert_eq!(stripped.matches(".expect(").count(), 0);
+        assert_eq!(stripped.matches("panic!(").count(), 0);
+        // Lifetimes survive stripping (not mistaken for char literals).
+        assert!(stripped.contains("'static"));
+    }
+
+    #[test]
+    fn test_region_mask_covers_cfg_test_modules_only() {
+        let src = "fn a() { x.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn b() { y.unwrap(); }\n\
+                   }\n\
+                   fn c() { z.unwrap(); }\n";
+        let stripped = strip_code(src);
+        let mask = test_region_mask(&stripped);
+        assert_eq!(mask, vec![false, true, true, true, true, false]);
+        assert_eq!(count_panic_sites(&stripped), 2);
+    }
+
+    #[test]
+    fn count_panic_sites_ignores_unwrap_or_variants() {
+        let stripped = strip_code("a.unwrap_or(0); b.unwrap_or_default(); c.unwrap_or_else(f);");
+        assert_eq!(count_panic_sites(&stripped), 0);
+    }
+
+    #[test]
+    fn lint_fails_on_injected_unwrap_in_library_code() {
+        let repo = TempRepo::new("injected-unwrap");
+        repo.write(
+            "crates/demo/src/lib.rs",
+            "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n\
+             #[cfg(test)]\n\
+             mod tests { fn ok() { Some(1).unwrap(); } }\n",
+        );
+        let report = run_lint(&repo.root);
+        assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+        assert!(report.violations[0].contains("crates/demo/src/lib.rs"));
+        assert!(report.violations[0].contains("1 unwrap/expect/panic"));
+    }
+
+    #[test]
+    fn lint_allowlist_permits_audited_sites_and_ratchets_down() {
+        let repo = TempRepo::new("allowlist");
+        repo.write(
+            "crates/demo/src/lib.rs",
+            "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+        );
+        repo.write(
+            "xtask/lint-allowlist.txt",
+            "# audited: f() is only called on Some in this demo\n\
+             crates/demo/src/lib.rs 1\n",
+        );
+        assert!(run_lint(&repo.root).is_clean());
+
+        // Debt shrank below the allowance: the ratchet demands tightening.
+        repo.write("crates/demo/src/lib.rs", "pub fn f() {}\n");
+        let report = run_lint(&repo.root);
+        assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+        assert!(report.violations[0].contains("ratchet"));
+    }
+
+    #[test]
+    fn lint_flags_duplicate_counter_registrations() {
+        let repo = TempRepo::new("dup-counter");
+        repo.write(
+            "crates/demo/src/lib.rs",
+            "fn a() { counter!(\"demo.hits\"); }\nfn b() { counter!(\"demo.hits\"); }\n",
+        );
+        let report = run_lint(&repo.root);
+        assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+        assert!(report.violations[0].contains("demo.hits"));
+        assert!(report.violations[0].contains("2 sites"));
+    }
+
+    #[test]
+    fn lint_flags_unpaired_golden_fixtures_and_orphan_snapshots() {
+        let repo = TempRepo::new("golden");
+        repo.write("tests/golden/used.vp", "q(X) :- e(X, Y).\n");
+        repo.write("tests/golden/unused.vp", "q(X) :- e(X, Y).\n");
+        repo.write("tests/golden/expected/used_rewrite.txt", "out\n");
+        repo.write("tests/golden/expected/orphan.txt", "out\n");
+        repo.write(
+            "tests/golden_corpus.rs",
+            "golden!(used_rewrite => [\"rewrite\", \"tests/golden/used.vp\"]);\n",
+        );
+        let report = run_lint(&repo.root);
+        assert_eq!(report.violations.len(), 2, "{:?}", report.violations);
+        assert!(report.violations.iter().any(|v| v.contains("unused.vp")));
+        assert!(report.violations.iter().any(|v| v.contains("orphan.txt")));
+    }
+
+    #[test]
+    fn lint_requires_justified_allows() {
+        let repo = TempRepo::new("allows");
+        repo.write(
+            "crates/demo/src/lib.rs",
+            "// the span type forces this signature\n\
+             #[allow(clippy::too_many_arguments)]\n\
+             pub fn ok() {}\n\
+             #[allow(dead_code)]\n\
+             pub fn bad() {}\n",
+        );
+        let report = run_lint(&repo.root);
+        assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+        assert!(report.violations[0].contains("lib.rs:4"));
+    }
+
+    #[test]
+    fn the_repo_itself_is_clean() {
+        // CARGO_MANIFEST_DIR is <root>/xtask.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .expect("workspace root")
+            .to_path_buf();
+        let report = run_lint(&root);
+        assert!(
+            report.is_clean(),
+            "repo lint violations:\n{}",
+            report.violations.join("\n")
+        );
+    }
+}

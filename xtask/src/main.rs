@@ -1,0 +1,32 @@
+//! `cargo run -p xtask -- lint` — repo lints for the viewplan workspace.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            // The xtask manifest lives at <root>/xtask, so the workspace
+            // root is its parent; this keeps the tool cwd-independent.
+            let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+                .parent()
+                .unwrap_or_else(|| Path::new("."));
+            let report = xtask::run_lint(root);
+            if report.is_clean() {
+                println!("xtask lint: ok");
+                ExitCode::SUCCESS
+            } else {
+                for v in &report.violations {
+                    eprintln!("lint: {v}");
+                }
+                eprintln!("xtask lint: {} violation(s)", report.violations.len());
+                ExitCode::FAILURE
+            }
+        }
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint");
+            ExitCode::FAILURE
+        }
+    }
+}
