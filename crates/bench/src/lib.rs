@@ -13,6 +13,8 @@ use viewplan_core::{default_threads, parallel_map, CoreCover, CoreCoverConfig};
 use viewplan_obs as obs;
 use viewplan_workload::{generate, WorkloadConfig};
 
+pub mod trajectory;
+
 /// Which §7 workload family a sweep runs.
 #[derive(Clone, Copy, Debug)]
 pub enum Family {

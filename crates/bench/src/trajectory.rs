@@ -1,0 +1,418 @@
+//! The measured bench trajectory behind `viewplan bench`.
+//!
+//! Every PR should land on a *curve*, not a vibe: this module runs fixed
+//! star/chain/random CoreCover suites (the sweep machinery of
+//! [`crate::run_sweep`]) plus a warm/cold serving loop against
+//! [`viewplan_serve::BatchServer`], and renders the results as two
+//! schema-versioned JSON documents — `BENCH_core.json` and
+//! `BENCH_serve.json` — that CI regenerates in smoke mode and validates
+//! against [`validate_core`] / [`validate_serve`].
+//!
+//! # `BENCH_core.json` (schema version 1)
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "suite": "core",
+//!   "mode": "smoke" | "full",
+//!   "threads": 1,
+//!   "sweeps": [
+//!     {
+//!       "family": "star" | "chain" | "random",
+//!       "nondistinguished": 2,
+//!       "points": [
+//!         { "views": 40, "queries": 4, "avg_ms": 1.2,
+//!           "view_classes": 19.0, "view_tuples": 40.0,
+//!           "representative_tuples": 19.0, "gmrs": 2.0,
+//!           "hom_nodes": 800.0, "set_cover_nodes": 12.0,
+//!           "completeness": 1.0 }
+//!       ]
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! # `BENCH_serve.json` (schema version 1)
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "suite": "serve",
+//!   "mode": "smoke" | "full",
+//!   "views": 12, "queries": 16,
+//!   "passes": {
+//!     "cold": { "requests": 16, "cache_hits": 0, "cache_misses": 16,
+//!               "truncated": 0, "errors": 0,
+//!               "latency_us": { "p50": 900.0, "p95": 1800.0,
+//!                                "p99": 2100.0, "mean": 1000.0,
+//!                                "max": 2200 } },
+//!     "warm": { ... same shape, cache_hits > 0 ... }
+//!   }
+//! }
+//! ```
+//!
+//! Latency percentiles come from the `serve.request_latency_us` log₂
+//! histogram (per-pass deltas via
+//! [`viewplan_obs::MetricsSnapshot::delta_since`]), so they inherit the
+//! documented ≤1-bucket interpolation error of
+//! [`viewplan_obs::HistogramSnapshot::percentile`]. Wall-clock and
+//! latency fields vary run to run; the *schema* (and the cache-behavior
+//! invariants cold-misses/warm-hits) is what validation pins.
+
+use std::collections::BTreeMap;
+
+use viewplan_obs::{self as obs, Json};
+use viewplan_serve::{BatchServer, ServeConfig};
+use viewplan_workload::{generate, WorkloadConfig};
+
+use crate::{run_sweep, Family, SweepConfig, SweepPoint};
+
+/// Schema version stamped into (and required from) both documents.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// How big a trajectory run should be.
+#[derive(Clone, Copy, Debug)]
+pub struct TrajectoryConfig {
+    /// Smoke mode: tiny fixed suites that finish in seconds (what the CI
+    /// `bench-smoke` job runs). Full mode runs the `quick` sweeps.
+    pub smoke: bool,
+    /// Harness threads forwarded to the sweep machinery.
+    pub threads: usize,
+}
+
+/// The fixed core suites: one sweep per workload family. Smoke mode
+/// shrinks the view counts and per-point quota so the whole trajectory
+/// (including the serve loop) stays under a few seconds.
+fn core_suites(config: &TrajectoryConfig) -> Vec<SweepConfig> {
+    let families = [
+        (Family::Star, 2usize),
+        (Family::Chain, 0usize),
+        (Family::Random, 1usize),
+    ];
+    families
+        .into_iter()
+        .map(|(family, nondistinguished)| {
+            let mut sweep = SweepConfig::quick(family, nondistinguished);
+            sweep.threads = config.threads;
+            if config.smoke {
+                sweep.view_counts = vec![20, 60];
+                sweep.queries_per_point = 4;
+            }
+            sweep
+        })
+        .collect()
+}
+
+fn family_name(family: Family) -> &'static str {
+    match family {
+        Family::Star => "star",
+        Family::Chain => "chain",
+        Family::Random => "random",
+    }
+}
+
+fn json_point(p: &SweepPoint) -> Json {
+    let mut o = BTreeMap::new();
+    o.insert("views".into(), Json::num(p.views as u64));
+    o.insert("queries".into(), Json::num(p.queries as u64));
+    o.insert("avg_ms".into(), Json::Number(p.avg_ms));
+    o.insert("view_classes".into(), Json::Number(p.view_classes));
+    o.insert("view_tuples".into(), Json::Number(p.view_tuples));
+    o.insert(
+        "representative_tuples".into(),
+        Json::Number(p.representative_tuples),
+    );
+    o.insert("gmrs".into(), Json::Number(p.gmrs));
+    o.insert("hom_nodes".into(), Json::Number(p.hom_nodes));
+    o.insert("set_cover_nodes".into(), Json::Number(p.set_cover_nodes));
+    o.insert("completeness".into(), Json::Number(p.completeness));
+    Json::Object(o)
+}
+
+/// Runs the fixed CoreCover suites and renders `BENCH_core.json`.
+/// Enables metrics collection for the duration (the sweep counters need
+/// it) and leaves it enabled.
+pub fn core_trajectory(config: &TrajectoryConfig) -> Json {
+    obs::set_enabled(true);
+    let sweeps: Vec<Json> = core_suites(config)
+        .iter()
+        .map(|sweep| {
+            let points = run_sweep(sweep);
+            let mut o = BTreeMap::new();
+            o.insert("family".into(), Json::str(family_name(sweep.family)));
+            o.insert(
+                "nondistinguished".into(),
+                Json::num(sweep.nondistinguished as u64),
+            );
+            o.insert(
+                "points".into(),
+                Json::Array(points.iter().map(json_point).collect()),
+            );
+            Json::Object(o)
+        })
+        .collect();
+    let mut doc = BTreeMap::new();
+    doc.insert("schema_version".into(), Json::num(BENCH_SCHEMA_VERSION));
+    doc.insert("suite".into(), Json::str("core"));
+    doc.insert(
+        "mode".into(),
+        Json::str(if config.smoke { "smoke" } else { "full" }),
+    );
+    doc.insert("threads".into(), Json::num(config.threads as u64));
+    doc.insert("sweeps".into(), Json::Array(sweeps));
+    Json::Object(doc)
+}
+
+/// One warm/cold pass summary, in JSON form.
+fn json_pass(
+    requests: usize,
+    truncated: usize,
+    errors: usize,
+    hits: u64,
+    misses: u64,
+    latency: &obs::HistogramSnapshot,
+) -> Json {
+    let mut lat = BTreeMap::new();
+    lat.insert("p50".into(), Json::Number(latency.percentile(0.5)));
+    lat.insert("p95".into(), Json::Number(latency.percentile(0.95)));
+    lat.insert("p99".into(), Json::Number(latency.percentile(0.99)));
+    lat.insert("mean".into(), Json::Number(latency.mean()));
+    lat.insert("max".into(), Json::num(latency.max));
+    let mut o = BTreeMap::new();
+    o.insert("requests".into(), Json::num(requests as u64));
+    o.insert("truncated".into(), Json::num(truncated as u64));
+    o.insert("errors".into(), Json::num(errors as u64));
+    o.insert("cache_hits".into(), Json::num(hits));
+    o.insert("cache_misses".into(), Json::num(misses));
+    o.insert("latency_us".into(), Json::Object(lat));
+    Json::Object(o)
+}
+
+/// Runs the warm/cold serving loop and renders `BENCH_serve.json`: one
+/// view set, a stream of distinct queries served twice through one
+/// [`BatchServer`] — the first (cold) pass misses the rewriting cache on
+/// every request, the second (warm) pass hits it on every request.
+pub fn serve_trajectory(config: &TrajectoryConfig) -> Json {
+    obs::set_enabled(true);
+    let (views_n, queries_n) = if config.smoke { (12, 16) } else { (24, 64) };
+    let seed = 20010521u64; // same fixed seed as the sweep machinery
+    let views = generate(&WorkloadConfig::random(views_n, 1, seed)).views;
+    let queries: Vec<_> = (0..queries_n)
+        .map(|i| generate(&WorkloadConfig::random(views_n, 1, seed + 1 + i as u64)).query)
+        .collect();
+    let server = BatchServer::with_config(&views, ServeConfig::default());
+
+    let run_pass = |label: &str| -> (String, Json) {
+        let before = obs::metrics_snapshot();
+        let hits_before = server.cache().map_or(0, |c| c.stats().hits);
+        let misses_before = server.cache().map_or(0, |c| c.stats().misses);
+        let mut truncated = 0usize;
+        let mut errors = 0usize;
+        for q in &queries {
+            match server.serve(q) {
+                Ok(a) if a.completeness.is_incomplete() => truncated += 1,
+                Ok(_) => {}
+                Err(_) => errors += 1,
+            }
+        }
+        let delta = obs::metrics_snapshot().delta_since(&before);
+        let latency = delta
+            .histogram("serve.request_latency_us")
+            .cloned()
+            .unwrap_or_default();
+        let hits = server.cache().map_or(0, |c| c.stats().hits) - hits_before;
+        let misses = server.cache().map_or(0, |c| c.stats().misses) - misses_before;
+        (
+            label.to_string(),
+            json_pass(queries.len(), truncated, errors, hits, misses, &latency),
+        )
+    };
+
+    let passes: BTreeMap<String, Json> = [run_pass("cold"), run_pass("warm")].into_iter().collect();
+    let mut doc = BTreeMap::new();
+    doc.insert("schema_version".into(), Json::num(BENCH_SCHEMA_VERSION));
+    doc.insert("suite".into(), Json::str("serve"));
+    doc.insert(
+        "mode".into(),
+        Json::str(if config.smoke { "smoke" } else { "full" }),
+    );
+    doc.insert("views".into(), Json::num(views_n as u64));
+    doc.insert("queries".into(), Json::num(queries_n as u64));
+    doc.insert("passes".into(), Json::Object(passes));
+    Json::Object(doc)
+}
+
+// ---------------------------------------------------------------------
+// Schema validation (what the CI bench-smoke job runs against both the
+// freshly emitted documents and the checked-in trajectory files).
+
+fn expect_u64(doc: &Json, key: &str) -> Result<u64, String> {
+    doc.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field {key:?}"))
+}
+
+fn expect_f64(doc: &Json, key: &str) -> Result<f64, String> {
+    doc.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing or non-numeric field {key:?}"))
+}
+
+fn expect_str<'a>(doc: &'a Json, key: &str) -> Result<&'a str, String> {
+    doc.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("missing or non-string field {key:?}"))
+}
+
+fn check_header(doc: &Json, suite: &str) -> Result<(), String> {
+    let version = expect_u64(doc, "schema_version")?;
+    if version != BENCH_SCHEMA_VERSION {
+        return Err(format!(
+            "schema_version {version} != supported {BENCH_SCHEMA_VERSION}"
+        ));
+    }
+    let got = expect_str(doc, "suite")?;
+    if got != suite {
+        return Err(format!("suite {got:?} != expected {suite:?}"));
+    }
+    let mode = expect_str(doc, "mode")?;
+    if mode != "smoke" && mode != "full" {
+        return Err(format!("mode {mode:?} is neither \"smoke\" nor \"full\""));
+    }
+    Ok(())
+}
+
+/// Validates a `BENCH_core.json` document against schema version 1.
+pub fn validate_core(doc: &Json) -> Result<(), String> {
+    check_header(doc, "core")?;
+    expect_u64(doc, "threads")?;
+    let sweeps = doc
+        .get("sweeps")
+        .and_then(Json::as_array)
+        .ok_or("missing \"sweeps\" array")?;
+    if sweeps.is_empty() {
+        return Err("\"sweeps\" is empty".into());
+    }
+    for sweep in sweeps {
+        let family = expect_str(sweep, "family")?;
+        if !matches!(family, "star" | "chain" | "random") {
+            return Err(format!("unknown family {family:?}"));
+        }
+        expect_u64(sweep, "nondistinguished")?;
+        let points = sweep
+            .get("points")
+            .and_then(Json::as_array)
+            .ok_or("sweep missing \"points\" array")?;
+        if points.is_empty() {
+            return Err(format!("family {family:?} has no points"));
+        }
+        for p in points {
+            expect_u64(p, "views")?;
+            expect_u64(p, "queries")?;
+            for key in [
+                "avg_ms",
+                "view_classes",
+                "view_tuples",
+                "representative_tuples",
+                "gmrs",
+                "hom_nodes",
+                "set_cover_nodes",
+                "completeness",
+            ] {
+                let v = expect_f64(p, key)?;
+                if v < 0.0 {
+                    return Err(format!("negative {key} in a {family:?} point"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validates a `BENCH_serve.json` document against schema version 1,
+/// including the cache-behavior invariant: the cold pass cannot hit more
+/// than the warm pass, and the warm pass must actually hit the cache.
+pub fn validate_serve(doc: &Json) -> Result<(), String> {
+    check_header(doc, "serve")?;
+    expect_u64(doc, "views")?;
+    expect_u64(doc, "queries")?;
+    let passes = doc.get("passes").ok_or("missing \"passes\" object")?;
+    let mut hit_rate = BTreeMap::new();
+    for label in ["cold", "warm"] {
+        let pass = passes
+            .get(label)
+            .ok_or_else(|| format!("missing pass {label:?}"))?;
+        let requests = expect_u64(pass, "requests")?;
+        if requests == 0 {
+            return Err(format!("pass {label:?} served no requests"));
+        }
+        expect_u64(pass, "truncated")?;
+        expect_u64(pass, "errors")?;
+        let hits = expect_u64(pass, "cache_hits")?;
+        expect_u64(pass, "cache_misses")?;
+        hit_rate.insert(label, hits as f64 / requests as f64);
+        let lat = pass
+            .get("latency_us")
+            .ok_or_else(|| format!("pass {label:?} missing \"latency_us\""))?;
+        let p50 = expect_f64(lat, "p50")?;
+        let p95 = expect_f64(lat, "p95")?;
+        let p99 = expect_f64(lat, "p99")?;
+        expect_f64(lat, "mean")?;
+        expect_u64(lat, "max")?;
+        if !(p50 <= p95 && p95 <= p99) {
+            return Err(format!(
+                "pass {label:?}: percentiles are not monotone (p50={p50}, p95={p95}, p99={p99})"
+            ));
+        }
+    }
+    if hit_rate["warm"] <= hit_rate["cold"] {
+        return Err(format!(
+            "warm hit rate {} is not above cold hit rate {} — the cache did nothing",
+            hit_rate["warm"], hit_rate["cold"]
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke() -> TrajectoryConfig {
+        TrajectoryConfig {
+            smoke: true,
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn serve_trajectory_validates_and_shows_warm_cache_hits() {
+        let doc = serve_trajectory(&smoke());
+        validate_serve(&doc).unwrap();
+        let warm = doc.get("passes").unwrap().get("warm").unwrap();
+        let requests = warm.get("requests").unwrap().as_u64().unwrap();
+        let hits = warm.get("cache_hits").unwrap().as_u64().unwrap();
+        assert_eq!(hits, requests, "every warm request hits the cache");
+    }
+
+    #[test]
+    fn core_trajectory_validates_and_round_trips_through_render() {
+        let doc = core_trajectory(&smoke());
+        validate_core(&doc).unwrap();
+        let rendered = doc.render();
+        let parsed = obs::parse_json(&rendered).unwrap();
+        validate_core(&parsed).unwrap();
+        assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn validation_rejects_wrong_versions_and_broken_invariants() {
+        let mut doc = serve_trajectory(&smoke());
+        validate_serve(&doc).unwrap();
+        // Bump the version: must be rejected.
+        if let Json::Object(map) = &mut doc {
+            map.insert("schema_version".into(), Json::num(99));
+        }
+        assert!(validate_serve(&doc).unwrap_err().contains("schema_version"));
+    }
+}

@@ -27,7 +27,7 @@ use crate::cover::{all_irredundant_covers_counted, all_minimum_covers_counted};
 use crate::error::{CoreError, MAX_SUBGOALS};
 use crate::parallel::{default_threads, parallel_map};
 use crate::prepared::PreparedViews;
-use crate::rewriting::{dedup_variants, Rewriting};
+use crate::rewriting::{dedup_variants_with_map, Rewriting};
 use crate::tuple_core::{tuple_core, TupleCore};
 use crate::view_tuple::{view_tuples_with_threads, ViewTuple};
 use viewplan_containment::{are_equivalent, expand, minimize};
@@ -66,6 +66,14 @@ pub struct CoreCoverConfig {
     /// every thread count. Defaults to the `VIEWPLAN_THREADS` environment
     /// variable, or 1 when unset.
     pub threads: usize,
+    /// Record per-candidate provenance — which views the VP006 prune
+    /// dropped, every candidate cover with its fate (accepted, duplicate
+    /// variant, nonequivalent, unverified) — in
+    /// [`CoreCoverResult::provenance`]. Forces verification (a verdict
+    /// is only meaningful when the equivalence check ran) and keeps a
+    /// copy of every pre-dedup candidate, so leave it off outside
+    /// `viewplan explain`. Default `false`.
+    pub collect_provenance: bool,
 }
 
 impl Default for CoreCoverConfig {
@@ -77,8 +85,57 @@ impl Default for CoreCoverConfig {
             verify_rewritings: false,
             max_rewritings: 10_000,
             threads: default_threads(),
+            collect_provenance: false,
         }
     }
+}
+
+/// Why the run produced the rewritings it did — collected when
+/// [`CoreCoverConfig::collect_provenance`] is on, and rendered by
+/// `viewplan explain`.
+#[derive(Clone, Debug, Default)]
+pub struct CoverProvenance {
+    /// Views dropped by the VP006 prune (a body `(predicate, arity)`
+    /// pair is absent from the minimized query, so no homomorphism into
+    /// the canonical database exists).
+    pub pruned_views: Vec<String>,
+    /// Representative views that survived grouping and pruning, in view
+    /// order.
+    pub surviving_views: Vec<String>,
+    /// Every candidate cover in enumeration order, with its fate.
+    pub candidates: Vec<CandidateCover>,
+}
+
+/// One candidate cover and what became of it.
+#[derive(Clone, Debug)]
+pub struct CandidateCover {
+    /// The candidate rewriting built from the cover.
+    pub rewriting: Rewriting,
+    /// View names used by the cover (body predicates, in body order).
+    pub views_used: Vec<String>,
+    /// The candidate's fate.
+    pub verdict: CandidateVerdict,
+}
+
+/// The fate of one candidate cover.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CandidateVerdict {
+    /// Survived dedup and verification: a genuine equivalent rewriting.
+    Accepted,
+    /// A variable renaming of candidate `of` (index into
+    /// [`CoverProvenance::candidates`]); dropped per the §3.3 convention
+    /// that renamings are the same rewriting.
+    DuplicateVariant {
+        /// Index of the kept candidate this one renames.
+        of: usize,
+    },
+    /// The expansion is provably not equivalent to the query
+    /// (overlapping tuple-cores treated a shared variable
+    /// inconsistently).
+    NotEquivalent,
+    /// The equivalence check was cut short by the ambient budget: shed
+    /// for lack of proof, not disproved.
+    Unverified,
 }
 
 /// Counters describing one run (these are the series plotted in the
@@ -128,6 +185,9 @@ pub struct CoreCoverResult {
     pub tuple_classes: Vec<Vec<usize>>,
     /// Run counters.
     pub stats: CoreCoverStats,
+    /// Per-candidate provenance; `Some` iff
+    /// [`CoreCoverConfig::collect_provenance`] was on.
+    pub provenance: Option<CoverProvenance>,
     rewritings: Vec<Rewriting>,
 }
 
@@ -266,6 +326,10 @@ impl<'a> CoreCover<'a> {
         // budget handle may carry hits from earlier runs.
         let budget_active = obs::budget::current().is_some();
         let budget_before = obs::budget::snapshot();
+        let mut provenance = self
+            .config
+            .collect_provenance
+            .then(CoverProvenance::default);
 
         // Step 1: minimize the query (times itself as containment.minimize).
         let qm = minimize(self.query);
@@ -305,11 +369,17 @@ impl<'a> CoreCover<'a> {
         // values: pruning is an execution shortcut, not a semantic change.
         let active_views = if self.config.prune_unusable_views {
             let needed = crate::prune::body_signature(&qm);
-            let kept: Vec<_> = active_views
-                .iter()
-                .filter(|v| !crate::prune::view_is_unusable(&needed, v))
-                .cloned()
-                .collect();
+            let mut kept: Vec<_> = Vec::with_capacity(active_views.len());
+            for v in active_views.iter() {
+                if crate::prune::view_is_unusable(&needed, v) {
+                    obs::trace_event!("analyze.view_pruned", ("view", v.name().as_str()));
+                    if let Some(p) = provenance.as_mut() {
+                        p.pruned_views.push(v.name().as_str());
+                    }
+                } else {
+                    kept.push(v.clone());
+                }
+            }
             let pruned = active_views.len() - kept.len();
             if pruned > 0 {
                 obs::counter!("analyze.views_pruned").add(pruned as u64);
@@ -318,6 +388,10 @@ impl<'a> CoreCover<'a> {
         } else {
             active_views
         };
+
+        if let Some(p) = provenance.as_mut() {
+            p.surviving_views = active_views.iter().map(|v| v.name().as_str()).collect();
+        }
 
         // Step 2: view tuples from the canonical database, one parallel
         // task per view (merged back in view order — same output as serial).
@@ -383,10 +457,19 @@ impl<'a> CoreCover<'a> {
                 )
             })
             .collect();
-        rewritings = dedup_variants(rewritings);
+        // Pre-dedup candidates are kept only when provenance is on: the
+        // explain path wants to say "this cover was a renaming of that
+        // one", which requires remembering the dropped ones.
+        let all_candidates: Option<Vec<Rewriting>> =
+            provenance.is_some().then(|| rewritings.clone());
+        let (deduped, variant_of) = dedup_variants_with_map(rewritings);
+        rewritings = deduped;
 
         let mut unverified_dropped = false;
-        if self.config.verify_rewritings || cfg!(debug_assertions) {
+        // Indexed like post-dedup `rewritings` before filtering; `Some`
+        // iff verification ran.
+        let mut verified_flags: Option<Vec<bool>> = None;
+        if self.config.verify_rewritings || provenance.is_some() || cfg!(debug_assertions) {
             let _span = obs::span("corecover.verify");
             // One parallel verification task per cover; verdicts line up
             // with `rewritings` by index.
@@ -395,10 +478,16 @@ impl<'a> CoreCover<'a> {
                 // expansion cannot fail; if that invariant ever broke,
                 // the candidate is not a rewriting — shed it like any
                 // other failed verification rather than aborting.
-                match expand(r, &active_views) {
+                let equivalent = match expand(r, &active_views) {
                     Ok(exp) => are_equivalent(&exp, &qm),
                     Err(_) => false,
-                }
+                };
+                obs::trace_event!(
+                    "corecover.cover_verified",
+                    ("subgoals", r.body.len()),
+                    ("equivalent", equivalent)
+                );
+                equivalent
             });
             // Candidates that fail the check are dropped, never
             // asserted on: a cover whose overlapping tuple-cores treat
@@ -424,6 +513,35 @@ impl<'a> CoreCover<'a> {
                 }
             }
             rewritings = kept;
+            verified_flags = Some(verified);
+        }
+
+        if let (Some(p), Some(candidates)) = (provenance.as_mut(), all_candidates) {
+            // Walk candidates in enumeration order; kept ones consume
+            // the next verification verdict.
+            let mut kept_pos = 0usize;
+            for (idx, r) in candidates.into_iter().enumerate() {
+                let verdict = match variant_of[idx] {
+                    Some(of) => CandidateVerdict::DuplicateVariant { of },
+                    None => {
+                        let ok = verified_flags.as_ref().map(|v| v[kept_pos]).unwrap_or(true);
+                        kept_pos += 1;
+                        if ok {
+                            CandidateVerdict::Accepted
+                        } else if budget_active {
+                            CandidateVerdict::Unverified
+                        } else {
+                            CandidateVerdict::NotEquivalent
+                        }
+                    }
+                };
+                let views_used = r.body.iter().map(|a| a.predicate.as_str()).collect();
+                p.candidates.push(CandidateCover {
+                    rewriting: r,
+                    views_used,
+                    verdict,
+                });
+            }
         }
 
         let truncated = truncated || unverified_dropped;
@@ -463,6 +581,7 @@ impl<'a> CoreCover<'a> {
             cores,
             tuple_classes,
             stats,
+            provenance,
             rewritings,
         })
     }

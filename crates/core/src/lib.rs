@@ -58,7 +58,10 @@ pub mod view_tuple;
 
 pub use bucket::{bucket_rewritings, build_buckets, BucketEntry, Buckets};
 pub use classes::{view_equivalence_classes, view_tuple_classes};
-pub use corecover::{CoreCover, CoreCoverConfig, CoreCoverResult, CoreCoverStats};
+pub use corecover::{
+    CandidateCover, CandidateVerdict, CoreCover, CoreCoverConfig, CoreCoverResult, CoreCoverStats,
+    CoverProvenance,
+};
 pub use cover::{
     all_irredundant_covers, all_irredundant_covers_counted, all_minimum_covers, CoverEnumeration,
 };
@@ -71,6 +74,6 @@ pub use naive::naive_gmrs;
 pub use parallel::{default_threads, parallel_map};
 pub use prepared::PreparedViews;
 pub use prune::{body_signature, view_is_unusable};
-pub use rewriting::{dedup_variants, Rewriting};
+pub use rewriting::{dedup_variants, dedup_variants_with_map, Rewriting};
 pub use tuple_core::{tuple_core, TupleCore};
 pub use view_tuple::{view_tuples, view_tuples_with_threads, ViewTuple};

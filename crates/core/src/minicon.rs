@@ -194,6 +194,14 @@ impl<'a> MiniCon<'a> {
                     Term::Var(_) => state.class_has_head_var(view, img, &head_vars),
                 };
                 if !class_ok {
+                    // Clause C1 violation: a distinguished query variable
+                    // landed in a purely existential view class.
+                    obs::trace_event!(
+                        "minicon.mcd_rejected",
+                        ("view", view.name().as_str()),
+                        ("variable", x.as_str()),
+                        ("reason", "c1_distinguished_not_exposed")
+                    );
                     return;
                 }
             }

@@ -18,7 +18,10 @@
 //! Phase attribution: the spawning thread's open span path is captured
 //! and re-attached on every worker ([`obs::attach_path`]), so spans
 //! opened inside `f` aggregate under the same phase-tree node a serial
-//! run would use instead of dangling at the root.
+//! run would use instead of dangling at the root. The spawning thread's
+//! request trace (if one is installed) is carried the same way
+//! ([`obs::trace::attach`]), so worker-side spans and events land under
+//! the request span that spawned them.
 //!
 //! Budget propagation: likewise, the spawning thread's ambient
 //! [`obs::Budget`] (if any) is attached on every worker, so the whole
@@ -63,6 +66,7 @@ where
     obs::counter!("parallel.tasks").add(items.len() as u64);
     let parent_path = obs::current_path();
     let parent_budget = obs::budget::current();
+    let parent_trace = obs::trace::current_context();
     let next = AtomicUsize::new(0);
     let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
     // Workers catch panics from `f` so the original payload (not the
@@ -73,6 +77,7 @@ where
             scope.spawn(|| {
                 let _phase = obs::attach_path(&parent_path);
                 let _budget = obs::budget::attach(parent_budget.clone());
+                let _trace = obs::trace::attach(parent_trace.as_ref());
                 let mut local: Vec<(usize, R)> = Vec::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);

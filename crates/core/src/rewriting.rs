@@ -45,17 +45,33 @@ fn shape_signature(q: &Rewriting) -> Vec<String> {
 /// (§3.3 footnote: "we assume two rewritings are the same if the only
 /// difference between them is variable renamings").
 pub fn dedup_variants(rewritings: Vec<Rewriting>) -> Vec<Rewriting> {
+    dedup_variants_with_map(rewritings).0
+}
+
+/// [`dedup_variants`], additionally reporting each input's fate: entry
+/// `i` of the second vector is `None` when input `i` was kept, or
+/// `Some(j)` when it was dropped as a renaming of (kept) input `j`.
+/// Feeds the `viewplan explain` duplicate-variant verdicts.
+pub fn dedup_variants_with_map(rewritings: Vec<Rewriting>) -> (Vec<Rewriting>, Vec<Option<usize>>) {
     let mut out: Vec<Rewriting> = Vec::new();
+    // Input index each `out[i]` came from, for reporting in input terms.
+    let mut kept_input: Vec<usize> = Vec::new();
+    let mut variant_of: Vec<Option<usize>> = Vec::with_capacity(rewritings.len());
     let mut buckets: HashMap<Vec<String>, Vec<usize>> = HashMap::new();
-    for r in rewritings {
+    for (idx, r) in rewritings.into_iter().enumerate() {
         let sig = shape_signature(&r);
         let bucket = buckets.entry(sig).or_default();
-        if !bucket.iter().any(|&i| is_variant(&out[i], &r)) {
-            bucket.push(out.len());
-            out.push(r);
+        match bucket.iter().find(|&&i| is_variant(&out[i], &r)) {
+            Some(&i) => variant_of.push(Some(kept_input[i])),
+            None => {
+                bucket.push(out.len());
+                kept_input.push(idx);
+                out.push(r);
+                variant_of.push(None);
+            }
         }
     }
-    out
+    (out, variant_of)
 }
 
 #[cfg(test)]
@@ -77,5 +93,18 @@ mod tests {
     #[test]
     fn empty_input_stays_empty() {
         assert!(dedup_variants(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn dedup_map_points_variants_at_their_kept_input() {
+        let rs = vec![
+            parse_query("q(X) :- v(X, Y)").unwrap(),
+            parse_query("q(X) :- v(X, X)").unwrap(),
+            parse_query("q(A) :- v(A, B)").unwrap(), // renaming of input 0
+            parse_query("q(B) :- v(B, B)").unwrap(), // renaming of input 1
+        ];
+        let (kept, variant_of) = dedup_variants_with_map(rs);
+        assert_eq!(kept.len(), 2);
+        assert_eq!(variant_of, vec![None, None, Some(0), Some(1)]);
     }
 }

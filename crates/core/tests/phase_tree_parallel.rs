@@ -1,0 +1,105 @@
+//! Phase-tree and trace attribution are independent of the thread count.
+//!
+//! `parallel_map` re-attaches the spawning thread's span path and trace
+//! context on every worker, and workers stage closed span stats in
+//! per-thread buffers that merge atomically. The observable consequence,
+//! pinned here: the aggregated phase tree (names, nesting, counts) and
+//! the trace span tree (the multiset of root-to-leaf name paths) of a
+//! CoreCover run are identical at `threads = 1` and `threads = 8`.
+//!
+//! This file holds these tests alone in their own integration binary
+//! because the span aggregate is process-global: another test's spans
+//! interleaving mid-run would perturb the shapes compared here.
+
+use viewplan_core::{CoreCover, CoreCoverConfig};
+use viewplan_cq::{parse_query, parse_views};
+use viewplan_obs as obs;
+
+fn fixture() -> (viewplan_cq::ConjunctiveQuery, viewplan_cq::ViewSet) {
+    // Example 1.1: four view tuples and several covers, so the parallel
+    // stages (view tuples, tuple-cores, verification) all see real work.
+    let query =
+        parse_query("q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C)").unwrap();
+    let views = parse_views(
+        "
+        v1(M, D, C)    :- car(M, D), loc(D, C).
+        v2(S, M, C)    :- part(S, M, C).
+        v3(S)          :- car(M, anderson), loc(anderson, C), part(S, M, C).
+        v4(M, D, C, S) :- car(M, D), loc(D, C), part(S, M, C).
+        v5(M, D, C)    :- car(M, D), loc(D, C).
+        ",
+    )
+    .unwrap();
+    (query, views)
+}
+
+/// The phase tree flattened to (path, count) rows; durations vary run to
+/// run and are excluded.
+fn tree_shape(
+    nodes: &[obs::SpanNode],
+    prefix: &mut Vec<&'static str>,
+    out: &mut Vec<(String, u64)>,
+) {
+    for node in nodes {
+        prefix.push(node.name);
+        out.push((prefix.join("/"), node.count));
+        tree_shape(&node.children, prefix, out);
+        prefix.pop();
+    }
+}
+
+fn run_at(threads: usize) -> (Vec<(String, u64)>, Vec<String>) {
+    let (query, views) = fixture();
+    obs::reset();
+    let trace = obs::Trace::new();
+    let shape = {
+        let _t = obs::trace::install(&trace);
+        let config = CoreCoverConfig {
+            threads,
+            ..CoreCoverConfig::default()
+        };
+        let _ = CoreCover::new(&query, &views).with_config(config).run();
+        let mut shape = Vec::new();
+        tree_shape(&obs::span_tree(), &mut Vec::new(), &mut shape);
+        shape
+    };
+    // Trace spans: the multiset of root-to-leaf name paths. Sibling
+    // *order* under a parent depends on worker scheduling; the paths do
+    // not.
+    let mut paths = Vec::new();
+    fn walk(nodes: &[obs::TraceNode], prefix: &mut Vec<&'static str>, out: &mut Vec<String>) {
+        for node in nodes {
+            prefix.push(node.name);
+            out.push(prefix.join("/"));
+            walk(&node.children, prefix, out);
+            prefix.pop();
+        }
+    }
+    walk(&trace.tree(), &mut Vec::new(), &mut paths);
+    paths.sort();
+    (shape, paths)
+}
+
+#[test]
+fn phase_tree_and_trace_paths_match_between_serial_and_parallel_runs() {
+    obs::set_enabled(true);
+    let (serial_shape, serial_paths) = run_at(1);
+    let (parallel_shape, parallel_paths) = run_at(8);
+    // Sanity: the serial run recorded the pipeline, not an empty tree.
+    assert!(
+        serial_shape
+            .iter()
+            .any(|(p, _)| p.contains("corecover.run")),
+        "serial run recorded no corecover.run span: {serial_shape:?}"
+    );
+    assert!(!serial_paths.is_empty(), "serial trace recorded no spans");
+    assert_eq!(
+        serial_shape, parallel_shape,
+        "phase tree shape differs between threads=1 and threads=8"
+    );
+    assert_eq!(
+        serial_paths, parallel_paths,
+        "trace span paths differ between threads=1 and threads=8"
+    );
+    obs::set_enabled(false);
+}

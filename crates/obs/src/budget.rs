@@ -412,6 +412,11 @@ impl Budget {
             Phase::Cover => crate::counter!("budget.abandoned.cover").incr(),
             Phase::Plan => crate::counter!("budget.abandoned.plan").incr(),
         }
+        crate::trace_event!(
+            "budget.truncated",
+            ("phase", phase.name()),
+            ("by_deadline", by_deadline)
+        );
     }
 
     /// Decrements the fault countdown if this search matches the fault

@@ -63,6 +63,74 @@ impl Json {
             _ => None,
         }
     }
+
+    /// A string value (convenience constructor).
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::String(s.into())
+    }
+
+    /// An integral number value. Precise up to 2⁵³ (the `f64` mantissa);
+    /// larger metric values lose low bits, which no consumer of these
+    /// documents distinguishes.
+    pub fn num(n: u64) -> Json {
+        Json::Number(n as f64)
+    }
+
+    /// Serializes this value as compact JSON. Object keys come out in
+    /// `BTreeMap` order (sorted), so equal values render byte-identically
+    /// — the property the golden tests and `parse` round-trips rely on.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Number(n) => {
+                if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else if n.is_finite() {
+                    out.push_str(&format!("{n}"));
+                } else {
+                    // JSON has no NaN/Infinity; null is the least-wrong
+                    // encoding and parses back as an absent measurement.
+                    out.push_str("null");
+                }
+            }
+            Json::String(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Object(map) => {
+                out.push('{');
+                for (i, (key, value)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    value.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
 }
 
 /// Writes `s` as a JSON string literal (with escaping) into `out`.
@@ -343,5 +411,20 @@ mod tests {
         assert_eq!(parse("3").unwrap().as_u64(), Some(3));
         assert_eq!(parse("3.5").unwrap().as_u64(), None);
         assert_eq!(parse("-3").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn render_round_trips_through_parse() {
+        let doc = r#"{"a":[1,2.5,{"b":null}],"c":"x\ny","d":true}"#;
+        let v = parse(doc).unwrap();
+        assert_eq!(v.render(), doc);
+        assert_eq!(parse(&v.render()).unwrap(), v);
+    }
+
+    #[test]
+    fn render_writes_integral_numbers_without_decimal_point() {
+        assert_eq!(Json::num(42).render(), "42");
+        assert_eq!(Json::Number(1.25).render(), "1.25");
+        assert_eq!(Json::Number(f64::NAN).render(), "null");
     }
 }

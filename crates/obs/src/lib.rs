@@ -14,8 +14,14 @@
 //!   phase tree (`corecover.run` → `corecover.set_cover` → …) aggregated
 //!   by path across the whole process.
 //! * **Reporters** ([`render_report`], [`json_report`],
-//!   [`report_to_stderr`], [`write_json_report`]) — a human-readable
-//!   phase tree and a machine-readable JSON dump of everything.
+//!   [`report_to_stderr`], [`write_json_report`], [`prometheus_text`]) —
+//!   a human-readable phase tree, a machine-readable JSON dump, and a
+//!   Prometheus text exposition of everything.
+//! * **Traces** ([`trace::Trace`], [`trace_event!`]) — request-scoped
+//!   span trees with typed events, stitched across worker threads by
+//!   span id; export as a Chrome trace or a rendered tree. Snapshots of
+//!   the registry ([`metrics_snapshot`]) subtract to isolate one
+//!   request's share of the global counters.
 //!
 //! Collection is **off by default**: every instrumentation point first
 //! checks one relaxed atomic bool, so instrumented hot loops cost ~one
@@ -39,16 +45,21 @@
 pub mod budget;
 mod json;
 mod metrics;
+mod prometheus;
 mod report;
 mod span;
+pub mod trace;
 
 pub use budget::{Budget, BudgetSpec, Completeness, Fault, FaultPoint, Meter, Phase};
 pub use json::{parse as parse_json, Json};
 pub use metrics::{
-    counter_value, counters, histogram_snapshot, histograms, Counter, Histogram, HistogramSnapshot,
+    counter_value, counters, histogram_snapshot, histograms, metrics_snapshot, Counter, Histogram,
+    HistogramSnapshot, MetricsSnapshot,
 };
+pub use prometheus::{prometheus_text, write_prometheus};
 pub use report::{json_report, render_report, report_to_stderr, write_json_report};
 pub use span::{attach_path, current_path, span, span_tree, Span, SpanNode, SpanPathGuard};
+pub use trace::{validate_chrome_trace, AttrValue, Trace, TraceContext, TraceGuard, TraceNode};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -74,18 +85,24 @@ pub fn reset() {
     span::reset();
 }
 
+/// The registry and the enabled switch are process-global while `cargo
+/// test` is concurrent, so every test in this crate that toggles
+/// [`set_enabled`] or calls [`reset`] serializes on this lock.
+#[cfg(test)]
+pub(crate) mod testlock {
+    use std::sync::{Mutex, MutexGuard};
+
+    static GUARD: Mutex<()> = Mutex::new(());
+
+    pub(crate) fn serial() -> MutexGuard<'static, ()> {
+        GUARD.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Mutex;
-
-    /// The registry is process-global and `cargo test` is concurrent, so
-    /// every test that enables collection serializes on this lock.
-    static GUARD: Mutex<()> = Mutex::new(());
-
-    fn serial() -> std::sync::MutexGuard<'static, ()> {
-        GUARD.lock().unwrap_or_else(|e| e.into_inner())
-    }
+    use testlock::serial;
 
     #[test]
     fn disabled_counters_stay_zero() {

@@ -212,6 +212,145 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// The `q`-quantile (`q` ∈ [0, 1], clamped) estimated from the log₂
+    /// buckets by linear interpolation.
+    ///
+    /// The fractional rank `q·(count−1)` locates the bucket holding the
+    /// exact quantile; within it, ranks interpolate linearly between the
+    /// bucket's bounds (tightened to the recorded `min`/`max` in the
+    /// first/last nonempty bucket). **Error bound:** the true quantile
+    /// lies in the same bucket, so the estimate is off by at most one
+    /// bucket width — under 2× relative error for any log₂ bucket, and
+    /// exact when the bucket holds a single distinct value (e.g. a
+    /// constant distribution). Returns 0.0 for an empty histogram.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = q * (self.count - 1) as f64;
+        let last = self.buckets.len() - 1;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let first_rank = seen as f64;
+            seen += b.count;
+            let last_rank = (seen - 1) as f64;
+            if rank <= last_rank {
+                let lo = if i == 0 { self.min.max(b.lo) } else { b.lo } as f64;
+                let hi = if i == last { self.max.min(b.hi) } else { b.hi } as f64;
+                if b.count == 1 {
+                    // A lone observation is exactly `max` in the last
+                    // nonempty bucket and exactly `min` in the first;
+                    // anywhere else, split the difference.
+                    return if i == last {
+                        hi
+                    } else if i == 0 {
+                        lo
+                    } else {
+                        (lo + hi) / 2.0
+                    };
+                }
+                let frac = (rank - first_rank) / (b.count - 1) as f64;
+                return lo + frac * (hi - lo);
+            }
+        }
+        self.max as f64
+    }
+
+    /// The change since `earlier` (an older snapshot of the same
+    /// histogram): `count`, `sum`, and per-bucket counts subtract
+    /// (saturating, so a reset between snapshots degrades to the later
+    /// values instead of wrapping); `min`/`max` are **not** differential
+    /// — they carry the later snapshot's whole-history bounds, which
+    /// still bound every observation of the interval.
+    pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let earlier_count = |lo: u64| {
+            earlier
+                .buckets
+                .iter()
+                .find(|b| b.lo == lo)
+                .map_or(0, |b| b.count)
+        };
+        HistogramSnapshot {
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            min: self.min,
+            max: self.max,
+            buckets: self
+                .buckets
+                .iter()
+                .filter_map(|b| {
+                    let count = b.count.saturating_sub(earlier_count(b.lo));
+                    (count > 0).then_some(BucketCount { count, ..*b })
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of the whole registry (every counter and
+/// histogram, sorted by name). Two snapshots subtract via
+/// [`MetricsSnapshot::delta_since`] to isolate one request's (or one
+/// bench pass's) share of the process-global metrics.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter values, sorted by name.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Histogram snapshots, sorted by name.
+    pub histograms: Vec<(&'static str, HistogramSnapshot)>,
+}
+
+/// Snapshots every registered counter and histogram.
+pub fn metrics_snapshot() -> MetricsSnapshot {
+    MetricsSnapshot {
+        counters: counters(),
+        histograms: histograms(),
+    }
+}
+
+impl MetricsSnapshot {
+    /// One counter's value in this snapshot (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// One histogram's snapshot (`None` if absent).
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, s)| s)
+    }
+
+    /// The per-name change since `earlier`: counters subtract
+    /// (saturating), histograms via
+    /// [`HistogramSnapshot::delta_since`]. Names registered only after
+    /// `earlier` was taken count from zero. Because counters are
+    /// monotone while collection stays on, the delta of two snapshots
+    /// equals exactly the events recorded between them — including
+    /// events from concurrent threads, which land in one snapshot or
+    /// the other but never vanish.
+    pub fn delta_since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|&(name, v)| (name, v.saturating_sub(earlier.counter(name))))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(name, s)| {
+                    let base = earlier.histogram(name).cloned().unwrap_or_default();
+                    (*name, s.delta_since(&base))
+                })
+                .collect(),
+        }
+    }
 }
 
 /// A named process-global log₂ histogram. Declare via [`histogram!`].
@@ -349,5 +488,88 @@ mod tests {
     #[test]
     fn mean_of_empty_histogram_is_zero() {
         assert_eq!(HistogramSnapshot::default().mean(), 0.0);
+    }
+
+    /// The inclusive bounds of the log₂ bucket `value` lands in.
+    fn bucket_of(value: u64) -> (u64, u64) {
+        let i = match value {
+            0 => 0,
+            v => 64 - v.leading_zeros() as usize,
+        };
+        bucket_bounds(i)
+    }
+
+    #[test]
+    fn percentile_is_exact_on_a_constant_distribution() {
+        let cell = HistogramCell::new();
+        for _ in 0..10 {
+            cell.record(100);
+        }
+        let snap = cell.snapshot();
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(snap.percentile(q), 100.0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn percentile_of_uniform_distribution_stays_within_one_bucket() {
+        // 1..=1000 uniformly: the exact q-quantile is 1 + q·999.
+        let cell = HistogramCell::new();
+        for v in 1..=1000u64 {
+            cell.record(v);
+        }
+        let snap = cell.snapshot();
+        for q in [0.5, 0.95, 0.99] {
+            let exact = 1.0 + q * 999.0;
+            let est = snap.percentile(q);
+            let (lo, hi) = bucket_of(exact.round() as u64);
+            assert!(
+                est >= lo as f64 && est <= hi as f64,
+                "q={q}: estimate {est} outside the exact quantile's bucket [{lo}, {hi}]"
+            );
+            // The documented bound: off by at most one bucket width.
+            assert!(
+                (est - exact).abs() <= (hi - lo + 1) as f64,
+                "q={q}: |{est} - {exact}| exceeds the bucket width"
+            );
+        }
+    }
+
+    #[test]
+    fn percentile_is_monotone_in_q_and_clamped_to_min_max() {
+        let cell = HistogramCell::new();
+        for v in [3u64, 17, 17, 90, 1200, 1200, 1200, 40_000] {
+            cell.record(v);
+        }
+        let snap = cell.snapshot();
+        let (p50, p95, p99) = (
+            snap.percentile(0.5),
+            snap.percentile(0.95),
+            snap.percentile(0.99),
+        );
+        assert!(p50 <= p95 && p95 <= p99);
+        assert_eq!(snap.percentile(0.0), snap.min as f64);
+        assert_eq!(snap.percentile(1.0), snap.max as f64);
+        assert_eq!(snap.percentile(-3.0), snap.min as f64, "q clamps to [0,1]");
+        assert_eq!(HistogramSnapshot::default().percentile(0.5), 0.0);
+    }
+
+    #[test]
+    fn histogram_delta_subtracts_counts_and_buckets() {
+        let cell = HistogramCell::new();
+        cell.record(5);
+        cell.record(100);
+        let a = cell.snapshot();
+        cell.record(5);
+        cell.record(7);
+        let b = cell.snapshot();
+        let d = b.delta_since(&a);
+        assert_eq!(d.count, 2);
+        assert_eq!(d.sum, 12);
+        // The [4,7] bucket gained two observations; [64,127] gained none
+        // and is dropped from the delta.
+        assert_eq!(d.buckets.len(), 1);
+        assert_eq!(d.buckets[0].count, 2);
+        assert_eq!(d.buckets[0].lo, 4);
     }
 }

@@ -6,7 +6,7 @@ use crate::span::{span_tree, SpanNode};
 use std::fmt::Write as _;
 use std::time::Duration;
 
-fn format_duration(d: Duration) -> String {
+pub(crate) fn format_duration(d: Duration) -> String {
     let nanos = d.as_nanos();
     if nanos < 10_000 {
         format!("{nanos}ns")

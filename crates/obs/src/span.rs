@@ -6,6 +6,16 @@
 //! aggregate is process-global, so repeated runs of the same phase fold
 //! into one node — exactly what a per-phase profile of a 40-query sweep
 //! wants.
+//!
+//! **Buffering.** Closed spans are staged in a per-thread buffer and
+//! merged into the global aggregate only when the thread's span stack
+//! empties (or its [`attach_path`] guard detaches). A worker pool at
+//! `--threads 8` therefore contributes each worker's timings in one
+//! atomic merge instead of interleaving per-span lock acquisitions into
+//! the shared map mid-flight — the phase tree a reporter reads is
+//! identical to the serial run's, and the hot path never touches the
+//! global lock. When a [`crate::trace::Trace`] is installed, each span
+//! additionally records start/end into the trace's per-thread buffers.
 
 use parking_lot::Mutex;
 use std::cell::RefCell;
@@ -28,11 +38,33 @@ fn aggregate() -> &'static Mutex<BTreeMap<Vec<&'static str>, SpanStat>> {
 thread_local! {
     /// The stack of open span names on this thread.
     static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    /// Closed spans not yet merged into the global aggregate. Flushed
+    /// when the thread's stack empties or its attach guard drops.
+    static PENDING: RefCell<BTreeMap<Vec<&'static str>, SpanStat>> =
+        const { RefCell::new(BTreeMap::new()) };
+}
+
+/// Merges this thread's staged span stats into the global aggregate
+/// under a single lock acquisition.
+fn flush_pending() {
+    PENDING.with(|pending| {
+        let mut pending = pending.borrow_mut();
+        if pending.is_empty() {
+            return;
+        }
+        let mut agg = aggregate().lock();
+        for (path, stat) in std::mem::take(&mut *pending) {
+            let entry = agg.entry(path).or_default();
+            entry.count += stat.count;
+            entry.total += stat.total;
+        }
+    });
 }
 
 /// An open phase timer; records on drop. Returned by [`span`].
 pub struct Span {
     start: Option<Instant>,
+    traced: bool,
 }
 
 /// Opens a span named `name`, nested under the innermost span already
@@ -40,11 +72,16 @@ pub struct Span {
 /// costing one relaxed load.
 pub fn span(name: &'static str) -> Span {
     if !crate::enabled() {
-        return Span { start: None };
+        return Span {
+            start: None,
+            traced: false,
+        };
     }
     STACK.with(|stack| stack.borrow_mut().push(name));
+    let traced = crate::trace::on_span_start(name);
     Span {
         start: Some(Instant::now()),
+        traced,
     }
 }
 
@@ -54,16 +91,24 @@ impl Drop for Span {
             return;
         };
         let elapsed = start.elapsed();
-        let path = STACK.with(|stack| {
+        if self.traced {
+            crate::trace::on_span_end();
+        }
+        let (path, stack_empty) = STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
             let path = stack.clone();
             stack.pop();
-            path
+            (path, stack.is_empty())
         });
-        let mut agg = aggregate().lock();
-        let stat = agg.entry(path).or_default();
-        stat.count += 1;
-        stat.total += elapsed;
+        PENDING.with(|pending| {
+            let mut pending = pending.borrow_mut();
+            let stat = pending.entry(path).or_default();
+            stat.count += 1;
+            stat.total += elapsed;
+        });
+        if stack_empty {
+            flush_pending();
+        }
     }
 }
 
@@ -103,6 +148,10 @@ impl Drop for SpanPathGuard {
             let keep = stack.len().saturating_sub(self.depth);
             stack.truncate(keep);
         });
+        // A worker's spans close with the attached prefix still on its
+        // stack, so they stay staged until here: one merge per worker,
+        // not one lock acquisition per span.
+        flush_pending();
     }
 }
 
@@ -170,6 +219,7 @@ mod tests {
 
     #[test]
     fn disabled_span_records_nothing() {
+        let _serial = crate::testlock::serial();
         crate::set_enabled(false);
         {
             let _s = span("span_test.disabled_unique");
@@ -181,6 +231,7 @@ mod tests {
 
     #[test]
     fn sibling_spans_do_not_nest() {
+        let _serial = crate::testlock::serial();
         crate::set_enabled(true);
         {
             let _a = span("span_test.sib_a");
@@ -197,6 +248,7 @@ mod tests {
 
     #[test]
     fn attached_path_nests_worker_spans_under_the_parent() {
+        let _serial = crate::testlock::serial();
         crate::set_enabled(true);
         let path = {
             let _outer = span("span_test.attach_outer");
@@ -223,6 +275,7 @@ mod tests {
 
     #[test]
     fn attach_path_detaches_on_drop() {
+        let _serial = crate::testlock::serial();
         crate::set_enabled(true);
         {
             let _g = attach_path(&["span_test.detach_a", "span_test.detach_b"]);
@@ -234,6 +287,7 @@ mod tests {
 
     #[test]
     fn count_accumulates_across_runs() {
+        let _serial = crate::testlock::serial();
         crate::set_enabled(true);
         for _ in 0..3 {
             let _s = span("span_test.counted");

@@ -192,6 +192,16 @@ impl BatchServer {
     pub fn serve(&self, query: &ConjunctiveQuery) -> Result<ServedAnswer, PlanError> {
         let _span = obs::span("serve.request");
         obs::counter!("serve.requests").incr();
+        let started = obs::enabled().then(std::time::Instant::now);
+        let out = self.serve_inner(query);
+        if let Some(started) = started {
+            obs::histogram!("serve.request_latency_us")
+                .record(started.elapsed().as_micros() as u64);
+        }
+        out
+    }
+
+    fn serve_inner(&self, query: &ConjunctiveQuery) -> Result<ServedAnswer, PlanError> {
         let c = canonicalize(query);
         if let Some(cache) = &self.cache {
             if let Some(hit) = cache.get(&c.key) {

@@ -121,12 +121,14 @@ impl RewritingCache {
                 drop(shard);
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 obs::counter!("serve.cache_hits").incr();
+                obs::trace_event!("serve.cache_hit");
                 Some(value)
             }
             None => {
                 drop(shard);
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 obs::counter!("serve.cache_misses").incr();
+                obs::trace_event!("serve.cache_miss");
                 None
             }
         }

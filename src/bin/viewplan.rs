@@ -4,11 +4,13 @@
 //! ```text
 //! viewplan rewrite FILE [--all-minimal] [--no-grouping] [--no-prune] [--baseline {naive,minicon,bucket}]
 //! viewplan plan    FILE [--model {m1,m2,m3}]
+//! viewplan explain FILE [--model {m1,m2,m3}] [--json]
 //! viewplan eval    FILE
 //! viewplan batch   FILE [--no-cache] [--cache-capacity N] [--csv FILE] [--all-minimal]
 //! viewplan batch   --workload {star,chain,random} [--queries N] [--views N] [--seed S] [--repeat K]
 //! viewplan serve   VIEWSFILE   (queries on stdin, one per line)
 //! viewplan soak    [--queries N] [--views N] [--seed S]
+//! viewplan bench   [--smoke] [--out DIR] | --validate FILE... | --validate-trace FILE...
 //! viewplan help
 //! ```
 //!
@@ -23,10 +25,23 @@
 //! `serve` is the interactive form: views from a file, queries on stdin,
 //! one answer block per line.
 //!
+//! `explain` replays a rewrite/plan with full provenance: which views the
+//! VP006 pre-pass pruned, every candidate cover with its accept/reject
+//! verdict, and the per-term cost breakdown of the winning plan vs. the
+//! runner-up — human-readable by default, a stable JSON document with
+//! `--json`. `bench` runs the fixed star/chain/random sweep suites plus a
+//! cold/warm serve loop and writes schema-versioned `BENCH_core.json` /
+//! `BENCH_serve.json` (`--validate` re-checks such files, and
+//! `--validate-trace` checks a `--trace-json` export is well-formed).
+//!
 //! Every command also accepts `--stats` (print a phase/counter report to
 //! stderr), `--stats-json FILE` (dump the full metrics registry as JSON),
-//! and `--threads N` (parallelize the CoreCover pipeline; results are
-//! identical for any N — default `VIEWPLAN_THREADS` or 1).
+//! `--trace` (render this request's span tree with typed events on
+//! stderr), `--trace-json FILE` (export the same trace as Chrome
+//! trace-event JSON for `chrome://tracing` / Perfetto), `--metrics-out
+//! FILE` (write a Prometheus text-format snapshot of all counters and
+//! histograms), and `--threads N` (parallelize the CoreCover pipeline;
+//! results are identical for any N — default `VIEWPLAN_THREADS` or 1).
 //!
 //! Anytime budgets: `--timeout-ms MS` bounds the wall clock and
 //! `--node-budget N` caps each search's node count (deterministic at any
@@ -120,6 +135,8 @@ fn run(args: &[String]) -> Result<(), CliError> {
         }
         "rewrite" => with_stats(&args[1..], rewrite),
         "plan" => with_stats(&args[1..], plan),
+        "explain" => with_stats(&args[1..], explain_cmd),
+        "bench" => with_stats(&args[1..], bench),
         "eval" => with_stats(&args[1..], eval),
         "batch" => with_stats(&args[1..], batch),
         "serve" => with_stats(&args[1..], serve),
@@ -147,11 +164,13 @@ fn print_help() {
          USAGE:\n\
          viewplan rewrite FILE [--all-minimal] [--no-grouping] [--no-prune] [--baseline NAME]\n\
          viewplan plan    FILE [--model m1|m2|m3]\n\
+         viewplan explain FILE [--model m1|m2|m3] [--json]\n\
          viewplan eval    FILE\n\
          viewplan batch   FILE [--no-cache] [--cache-capacity N] [--csv FILE] [--all-minimal]\n\
          viewplan batch   --workload star|chain|random [--queries N] [--views N] [--seed S] [--repeat K]\n\
          viewplan serve   VIEWSFILE   (queries on stdin, one per line)\n\
          viewplan soak    [--queries N] [--views N] [--seed S]\n\
+         viewplan bench   [--smoke] [--out DIR] | --validate FILE... | --validate-trace FILE...\n\
          viewplan check   FILE [--json]\n\
          \n\
          `check` runs the static analyzer over a problem or batch file and\n\
@@ -170,8 +189,24 @@ fn print_help() {
          Per-query stdout is byte-identical at any thread count and cache\n\
          setting; cache hit/miss and latency columns go to stderr / --csv.\n\
          \n\
+         `explain` replays a rewrite/plan with provenance: views pruned\n\
+         by the VP006 pre-pass, every candidate cover with its verdict\n\
+         (accepted / duplicate variant / not equivalent), and per-term\n\
+         cost breakdowns of the winning plan vs. the runner-up. Without\n\
+         ground facts the default model is m1; --json emits a stable\n\
+         machine-readable document (golden-tested).\n\
+         \n\
+         `bench` runs the fixed star/chain/random sweep suites and a\n\
+         cold/warm serve loop, writing schema-versioned BENCH_core.json\n\
+         and BENCH_serve.json to --out DIR (--smoke shrinks them for CI).\n\
+         --validate re-checks BENCH files; --validate-trace checks a\n\
+         --trace-json export parses and balances.\n\
+         \n\
          Common flags: --stats (phase/counter report on stderr),\n\
          --stats-json FILE (dump the metrics registry as JSON),\n\
+         --trace (render the request's span tree + typed events on\n\
+         stderr), --trace-json FILE (Chrome trace-event export),\n\
+         --metrics-out FILE (Prometheus text-format snapshot),\n\
          --threads N (parallel CoreCover pipeline; identical results for\n\
          any N; default: VIEWPLAN_THREADS or 1).\n\
          \n\
@@ -358,6 +393,9 @@ const VALUE_OPTIONS: &[&str] = &[
     "--csv",
     "--workload",
     "--repeat",
+    "--trace-json",
+    "--metrics-out",
+    "--out",
 ];
 
 fn flag(args: &[String], name: &str) -> bool {
@@ -474,20 +512,42 @@ fn budget_note(completeness: Completeness) {
     }
 }
 
-/// Which stats outputs the user asked for; constructing it (via
-/// [`stats_request`]) enables collection when any output is requested.
+/// Which observability outputs the user asked for; constructing it (via
+/// [`stats_request`]) enables collection when any output is requested and
+/// installs a request-scoped [`viewplan::obs::Trace`] for `--trace` /
+/// `--trace-json`.
 struct StatsRequest {
     report: bool,
     json: Option<String>,
+    metrics_out: Option<String>,
+    trace_tree: bool,
+    trace_json: Option<String>,
+    /// The installed trace (plus the guard keeping it installed on this
+    /// thread) when either trace output was requested.
+    trace: Option<(viewplan::obs::Trace, viewplan::obs::trace::TraceGuard)>,
 }
 
 fn stats_request(args: &[String]) -> StatsRequest {
-    let request = StatsRequest {
+    let mut request = StatsRequest {
         report: flag(args, "--stats"),
         json: option(args, "--stats-json").map(str::to_string),
+        metrics_out: option(args, "--metrics-out").map(str::to_string),
+        trace_tree: flag(args, "--trace"),
+        trace_json: option(args, "--trace-json").map(str::to_string),
+        trace: None,
     };
-    if request.report || request.json.is_some() {
+    if request.report
+        || request.json.is_some()
+        || request.metrics_out.is_some()
+        || request.trace_tree
+        || request.trace_json.is_some()
+    {
         viewplan::obs::set_enabled(true);
+    }
+    if request.trace_tree || request.trace_json.is_some() {
+        let trace = viewplan::obs::Trace::new();
+        let guard = viewplan::obs::trace::install(&trace);
+        request.trace = Some((trace, guard));
     }
     request
 }
@@ -501,6 +561,19 @@ impl StatsRequest {
         if let Some(path) = &self.json {
             viewplan::obs::write_json_report(std::path::Path::new(path))
                 .map_err(|e| CliError::Input(format!("cannot write {path}: {e}")))?;
+        }
+        if let Some(path) = &self.metrics_out {
+            viewplan::obs::write_prometheus(std::path::Path::new(path))
+                .map_err(|e| CliError::Input(format!("cannot write {path}: {e}")))?;
+        }
+        if let Some((trace, _)) = &self.trace {
+            if self.trace_tree {
+                eprint!("{}", trace.render_tree());
+            }
+            if let Some(path) = &self.trace_json {
+                std::fs::write(path, trace.chrome_json())
+                    .map_err(|e| CliError::Input(format!("cannot write {path}: {e}")))?;
+            }
         }
         Ok(())
     }
@@ -637,6 +710,116 @@ fn plan(args: &[String]) -> Result<(), CliError> {
     println!("\nanswer ({} tuple(s)):", trace.answer.len());
     print!("{}", trace.answer);
     budget_note(outcome.completeness);
+    Ok(())
+}
+
+/// `viewplan bench`: run the fixed trajectory suites and write the
+/// schema-versioned `BENCH_core.json` / `BENCH_serve.json` documents,
+/// or (with `--validate`) check existing documents against the schema.
+fn bench(args: &[String]) -> Result<(), CliError> {
+    use viewplan_bench::trajectory::{
+        core_trajectory, serve_trajectory, validate_core, validate_serve, TrajectoryConfig,
+    };
+    if flag(args, "--validate-trace") {
+        let files = positional_args(args);
+        if files.is_empty() {
+            return Err(CliError::input(
+                "bench --validate-trace needs one or more Chrome trace JSON files",
+            ));
+        }
+        for path in files {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::Input(format!("cannot read {path}: {e}")))?;
+            let doc = viewplan::obs::parse_json(&text)
+                .map_err(|e| CliError::Input(format!("{path}: {e}")))?;
+            viewplan::obs::validate_chrome_trace(&doc)
+                .map_err(|e| CliError::Input(format!("{path}: malformed trace: {e}")))?;
+            println!("{path}: ok (chrome trace)");
+        }
+        return Ok(());
+    }
+    if flag(args, "--validate") {
+        let files = positional_args(args);
+        if files.is_empty() {
+            return Err(CliError::input(
+                "bench --validate needs one or more BENCH_*.json files",
+            ));
+        }
+        for path in files {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::Input(format!("cannot read {path}: {e}")))?;
+            let doc = viewplan::obs::parse_json(&text)
+                .map_err(|e| CliError::Input(format!("{path}: {e}")))?;
+            let suite = doc.get("suite").and_then(|s| s.as_str());
+            let result = match suite {
+                Some("core") => validate_core(&doc),
+                Some("serve") => validate_serve(&doc),
+                other => Err(format!("unknown suite tag {other:?}")),
+            };
+            result.map_err(|e| CliError::Input(format!("{path}: schema violation: {e}")))?;
+            println!("{path}: ok ({} suite)", suite.unwrap_or("?"));
+        }
+        return Ok(());
+    }
+    let config = TrajectoryConfig {
+        smoke: flag(args, "--smoke"),
+        threads: threads_arg(args)?,
+    };
+    let out_dir = std::path::Path::new(option(args, "--out").unwrap_or("."));
+    std::fs::create_dir_all(out_dir)
+        .map_err(|e| CliError::Input(format!("cannot create {}: {e}", out_dir.display())))?;
+    for (name, doc, validate) in [
+        (
+            "BENCH_core.json",
+            core_trajectory(&config),
+            validate_core as fn(&viewplan::obs::Json) -> Result<(), String>,
+        ),
+        (
+            "BENCH_serve.json",
+            serve_trajectory(&config),
+            validate_serve,
+        ),
+    ] {
+        validate(&doc)
+            .map_err(|e| CliError::Internal(format!("emitted {name} violates its schema: {e}")))?;
+        let path = out_dir.join(name);
+        std::fs::write(&path, format!("{}\n", doc.render()))
+            .map_err(|e| CliError::Input(format!("cannot write {}: {e}", path.display())))?;
+        println!("wrote {}", path.display());
+    }
+    Ok(())
+}
+
+fn explain_cmd(args: &[String]) -> Result<(), CliError> {
+    let problem = load(file_arg(args)?)?;
+    let threads = threads_arg(args)?;
+    let _budget = install_budget(budget_arg(args)?);
+    // Without ground facts only M1 (subgoal counting) can rank plans;
+    // with facts the default matches `plan`'s (M2).
+    let default_model = if problem.base.is_empty() { "m1" } else { "m2" };
+    let model_name = option(args, "--model").unwrap_or(default_model);
+    let model = viewplan::explain::model_from_name(model_name)
+        .ok_or_else(|| CliError::Input(format!("unknown cost model {model_name:?}")))?;
+    if problem.base.is_empty() && model_name != "m1" {
+        return Err(CliError::input(
+            "`explain --model m2|m3` needs ground facts in the file (base data); \
+             use --model m1 for data-free provenance",
+        ));
+    }
+    let explanation = viewplan::explain::explain(
+        &problem.query,
+        &problem.views,
+        &problem.base,
+        model,
+        flag(args, "--all-minimal"),
+        threads,
+    )?;
+    if flag(args, "--json") {
+        println!("{}", explanation.to_json().render());
+    } else {
+        print!("{}", explanation.render_human());
+    }
+    budget_note(budget_outcome());
     Ok(())
 }
 

@@ -51,6 +51,8 @@
 //! );
 //! ```
 
+pub mod explain;
+
 pub use viewplan_analyze as analyze;
 pub use viewplan_containment as containment;
 pub use viewplan_core as core;

@@ -206,3 +206,97 @@ fn stats_json_writes_parseable_report() {
     assert!(json.get("spans").is_some(), "report must have spans");
     let _ = std::fs::remove_file(&path);
 }
+
+#[test]
+fn trace_flag_renders_a_span_tree_on_stderr() {
+    let out = viewplan(&["rewrite", PROBLEM, "--trace"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("trace:"), "missing trace header in:\n{err}");
+    assert!(
+        err.contains("corecover.run"),
+        "missing root span in:\n{err}"
+    );
+    // stdout stays byte-identical to the untraced run.
+    let quiet = viewplan(&["rewrite", PROBLEM]);
+    assert_eq!(stdout(&out), stdout(&quiet));
+}
+
+#[test]
+fn trace_json_output_parses_and_round_trips() {
+    let path = std::env::temp_dir().join("viewplan_cli_trace.json");
+    let path_str = path.to_str().unwrap();
+    let _ = std::fs::remove_file(&path);
+
+    let out = viewplan(&["rewrite", PROBLEM, "--trace-json", path_str]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let json = viewplan::obs::parse_json(&text).expect("trace must be valid JSON");
+    let events = json.as_array().expect("chrome trace is a JSON array");
+    assert!(!events.is_empty());
+    // Begin/End phases balance, and every event carries pid/tid/ts.
+    let mut depth = 0i64;
+    for e in events {
+        let ph = e.get("ph").and_then(|p| p.as_str()).expect("ph");
+        match ph {
+            "B" => depth += 1,
+            "E" => depth -= 1,
+            "i" => {}
+            other => panic!("unexpected phase {other:?}"),
+        }
+        assert!(depth >= 0, "E before matching B");
+        for key in ["pid", "tid", "ts"] {
+            assert!(e.get(key).is_some(), "event missing {key:?}");
+        }
+    }
+    assert_eq!(depth, 0, "unbalanced B/E events");
+    // Round-trip: rendering the parsed document and re-parsing it is
+    // lossless (the CLI emits the same subset `obs::Json` models).
+    let reparsed = viewplan::obs::parse_json(&json.render()).unwrap();
+    assert_eq!(reparsed, json);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn metrics_out_writes_prometheus_exposition() {
+    let path = std::env::temp_dir().join("viewplan_cli_metrics.prom");
+    let path_str = path.to_str().unwrap();
+    let _ = std::fs::remove_file(&path);
+
+    let out = viewplan(&[
+        "batch",
+        "--workload",
+        "star",
+        "--queries",
+        "3",
+        "--repeat",
+        "2",
+        "--metrics-out",
+        path_str,
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.contains("# TYPE viewplan_serve_requests_total counter"));
+    assert!(text.contains("viewplan_serve_cache_hits_total"));
+    assert!(
+        text.contains("viewplan_serve_request_latency_us_bucket"),
+        "latency histogram missing in:\n{text}"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn explain_needs_facts_for_m2_and_defaults_to_m1_without() {
+    let out = viewplan(&["explain", "tests/golden/example_3_1_lmr_chain.vp"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("model: m1"));
+
+    let out = viewplan(&[
+        "explain",
+        "tests/golden/example_3_1_lmr_chain.vp",
+        "--model",
+        "m2",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "m2 without facts must exit 2");
+}

@@ -197,6 +197,18 @@ golden! {
         ["batch", "tests/golden/batch_carlocpart.vp", "--no-cache", "--threads", "4"];
     batch_example41_variants => ["batch", "tests/golden/batch_example41.vp"];
 
+    // Provenance: `explain --json` is a machine interface and every
+    // field it emits is deterministic for a fixed input (measured sizes
+    // come from the bundled base data, not wall clock). Example 3.1 has
+    // no facts (M1 provenance); Example 6.1 exercises the M3 breakdown
+    // with the paper's Figure 5 data.
+    explain_json_example_3_1 =>
+        ["explain", "tests/golden/example_3_1_lmr_chain.vp", "--json"];
+    explain_json_example_6_1 =>
+        ["explain", "tests/golden/example_6_1_figure5.vp", "--model", "m3", "--json"];
+    explain_example_6_1_human =>
+        ["explain", "tests/golden/example_6_1_figure5.vp", "--model", "m3"];
+
     // Static analysis: `check --json` is a machine interface (editors,
     // CI annotations), so its exact bytes are golden. One clean fixture
     // and one with a deliberate VP005 warning (warnings exit 0).

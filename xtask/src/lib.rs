@@ -1,7 +1,7 @@
 //! Repo-level lints for the `viewplan` workspace, run as
 //! `cargo run -p xtask -- lint` (and in CI).
 //!
-//! Four checks, all offline and purely textual:
+//! Five checks, all offline and purely textual:
 //!
 //! 1. **Panic ban** — no `.unwrap()` / `.expect(` / `panic!(` in library
 //!    crates (`crates/*/src`) outside `#[cfg(test)]` code. Audited
@@ -12,11 +12,14 @@
 //! 2. **Counter uniqueness** — every `obs::counter!("name")` name is
 //!    registered at exactly one non-test source site, so a counter's
 //!    meaning has a single owner (`crates/*/src` + the CLI in `src/`).
-//! 3. **Golden pairing** — every `tests/golden/*.vp` fixture is
+//! 3. **Trace-event uniqueness** — same single-owner rule for every
+//!    `obs::trace_event!("name", …)` site, so a trace event's meaning
+//!    (and its attribute schema) cannot silently fork across emitters.
+//! 4. **Golden pairing** — every `tests/golden/*.vp` fixture is
 //!    exercised by `tests/golden_corpus.rs`, and every snapshot under
 //!    `tests/golden/expected/` corresponds to a test there (no orphaned
 //!    fixtures, no dead snapshots).
-//! 4. **Justified allows** — every `#[allow(...)]` carries a
+//! 5. **Justified allows** — every `#[allow(...)]` carries a
 //!    justification comment on the same line or the line above.
 //!
 //! The scans work on a *stripped* view of each file: comment and string
@@ -386,7 +389,69 @@ fn check_counter_uniqueness(root: &Path, report: &mut LintReport) {
     }
 }
 
-/// Check 3: golden fixtures and snapshots pair up with the corpus tests.
+/// Check 3: each `trace_event!("name", …)` name has exactly one non-test
+/// emission site. Unlike counters, trace events routinely span lines
+/// (`trace_event!(` then the name on the next line), so the name may be
+/// the first string literal on the *following* line.
+fn check_trace_event_uniqueness(root: &Path, report: &mut LintReport) {
+    let mut sites: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    let mut roots = library_roots(root);
+    roots.push(root.join("src"));
+    for src_root in roots {
+        for file in rust_files(&src_root) {
+            let Ok(text) = std::fs::read_to_string(&file) else {
+                continue;
+            };
+            let stripped = strip_code(&text);
+            let mask = test_region_mask(&stripped);
+            let originals: Vec<&str> = text.lines().collect();
+            for (line_no, (stripped_line, &in_test)) in stripped.lines().zip(&mask).enumerate() {
+                if in_test || !stripped_line.contains("trace_event!(") {
+                    continue;
+                }
+                let original = originals.get(line_no).copied().unwrap_or_default();
+                let Some(at) = original.find("trace_event!(") else {
+                    continue;
+                };
+                // The event name is the first string literal after the
+                // macro's open paren — on this line, or (multi-line
+                // invocation) leading the next line.
+                let same_line = &original[at + "trace_event!(".len()..];
+                let name = first_string_literal(same_line).or_else(|| {
+                    originals
+                        .get(line_no + 1)
+                        .and_then(|next| first_string_literal(next.trim_start()))
+                });
+                if let Some(name) = name {
+                    sites.entry(name).or_default().push(format!(
+                        "{}:{}",
+                        rel(root, &file),
+                        line_no + 1
+                    ));
+                }
+            }
+        }
+    }
+    for (name, at) in sites {
+        if at.len() > 1 {
+            report.violations.push(format!(
+                "trace event {name:?} is emitted at {} sites ({}) — funnel all emissions \
+                 through one helper so the event (and its attribute schema) has a single owner",
+                at.len(),
+                at.join(", ")
+            ));
+        }
+    }
+}
+
+/// The contents of the string literal that `text` starts with (after
+/// optional whitespace), if any.
+fn first_string_literal(text: &str) -> Option<String> {
+    let rest = text.trim_start().strip_prefix('"')?;
+    rest.find('"').map(|end| rest[..end].to_string())
+}
+
+/// Check 4: golden fixtures and snapshots pair up with the corpus tests.
 fn check_golden_pairing(root: &Path, report: &mut LintReport) {
     let corpus = std::fs::read_to_string(root.join("tests/golden_corpus.rs")).unwrap_or_default();
     let list = |dir: &Path, ext: &str| -> Vec<PathBuf> {
@@ -422,7 +487,7 @@ fn check_golden_pairing(root: &Path, report: &mut LintReport) {
     }
 }
 
-/// Check 4: every `#[allow(...)]` (or `#![allow(...)]`) carries a
+/// Check 5: every `#[allow(...)]` (or `#![allow(...)]`) carries a
 /// justification comment on the same line or the line above.
 fn check_justified_allows(root: &Path, report: &mut LintReport) {
     let mut roots = library_roots(root);
@@ -466,6 +531,7 @@ pub fn run_lint(root: &Path) -> LintReport {
     let mut report = LintReport::default();
     check_panics(root, &mut report);
     check_counter_uniqueness(root, &mut report);
+    check_trace_event_uniqueness(root, &mut report);
     check_golden_pairing(root, &mut report);
     check_justified_allows(root, &mut report);
     report
@@ -583,6 +649,31 @@ real.unwrap();"##;
         let report = run_lint(&repo.root);
         assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
         assert!(report.violations[0].contains("demo.hits"));
+        assert!(report.violations[0].contains("2 sites"));
+    }
+
+    #[test]
+    fn lint_flags_duplicate_trace_events_across_line_shapes() {
+        let repo = TempRepo::new("dup-trace-event");
+        // One single-line site plus one multi-line site (name on the
+        // next line) must still be seen as the same event; doc comments
+        // and #[cfg(test)] code must not count as sites.
+        repo.write(
+            "crates/demo/src/lib.rs",
+            "/// e.g. `obs::trace_event!(\"demo.fired\")` in a doc comment\n\
+             fn a() { obs::trace_event!(\"demo.fired\", (\"n\", 1)); }\n\
+             fn b() {\n\
+                 obs::trace_event!(\n\
+                     \"demo.fired\",\n\
+                     (\"n\", 2)\n\
+                 );\n\
+             }\n\
+             #[cfg(test)]\n\
+             mod tests { fn t() { obs::trace_event!(\"demo.fired\"); } }\n",
+        );
+        let report = run_lint(&repo.root);
+        assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+        assert!(report.violations[0].contains("demo.fired"));
         assert!(report.violations[0].contains("2 sites"));
     }
 
