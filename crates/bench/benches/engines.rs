@@ -1,0 +1,55 @@
+//! Criterion benchmarks for the execution engines: the same fixed
+//! workload query executed under the row engine and the columnar batch
+//! engine, over star and chain shapes at Figure 6 scale. The measured
+//! (non-criterion) version of this comparison is
+//! `viewplan_bench::trajectory::engine_trajectory`, which renders
+//! `BENCH_engine.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use viewplan_engine::{execute_ordered, install, Database, Engine, Value};
+use viewplan_workload::{generate, random_database, WorkloadConfig};
+
+const SEED: u64 = 20010521;
+
+fn build_db(config: &WorkloadConfig, rows: usize) -> (viewplan_cq::ConjunctiveQuery, Database) {
+    let query = generate(config).query;
+    let mut db = Database::new();
+    for (name, tuples) in random_database(&query, rows, rows as i64, SEED ^ rows as u64) {
+        for tuple in tuples {
+            db.insert(name, tuple.into_iter().map(Value::Int).collect());
+        }
+    }
+    (query, db)
+}
+
+fn engine_compare(c: &mut Criterion, family: &str, config: &WorkloadConfig) {
+    let mut group = c.benchmark_group(format!("engine_{family}"));
+    group.sample_size(20);
+    for rows in [1000usize, 5000] {
+        let (query, db) = build_db(config, rows);
+        for engine in [Engine::Row, Engine::Columnar] {
+            group.bench_with_input(
+                BenchmarkId::new(engine.name(), rows),
+                &(&query, &db),
+                |b, (query, db)| {
+                    let _guard = install(engine);
+                    b.iter(|| execute_ordered(&query.head, &query.body, db))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Row vs columnar on the 8-subgoal star query.
+fn engines_star(c: &mut Criterion) {
+    engine_compare(c, "star", &WorkloadConfig::star(1, 0, SEED));
+}
+
+/// Row vs columnar on the 8-subgoal chain query.
+fn engines_chain(c: &mut Criterion) {
+    engine_compare(c, "chain", &WorkloadConfig::chain(1, 0, SEED));
+}
+
+criterion_group!(engines, engines_star, engines_chain);
+criterion_main!(engines);

@@ -51,6 +51,32 @@
 //! }
 //! ```
 //!
+//! # `BENCH_engine.json` (schema version 1)
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "suite": "engine",
+//!   "mode": "smoke" | "full",
+//!   "points": [
+//!     { "family": "star" | "chain", "rows": 1000, "subgoals": 8,
+//!       "row_ms": 4.1, "columnar_ms": 1.3, "speedup": 3.2,
+//!       "answer_rows": 950, "traces_match": true }
+//!   ]
+//! }
+//! ```
+//!
+//! Each engine point runs the same fixed workload query (8 subgoals,
+//! Figure 6 scale) over the same random base database through
+//! [`viewplan_engine::execute_ordered`] twice — once under the row
+//! engine, once under the columnar engine — and records the mean
+//! wall-clock per execution after a warm-up run. `traces_match` is the
+//! differential-oracle bit: the two [`viewplan_engine::ExecutionTrace`]s
+//! (including the answer's row order) must be identical, and
+//! [`validate_engine`] rejects the document if any point disagrees.
+//! Timings vary run to run; `speedup` (`row_ms / columnar_ms`) is
+//! recorded for the EXPERIMENTS.md table, not pinned by validation.
+//!
 //! Latency percentiles come from the `serve.request_latency_us` log₂
 //! histogram (per-pass deltas via
 //! [`viewplan_obs::MetricsSnapshot::delta_since`]), so they inherit the
@@ -61,9 +87,10 @@
 
 use std::collections::BTreeMap;
 
+use viewplan_engine::{Database, Engine, Value};
 use viewplan_obs::{self as obs, Json};
 use viewplan_serve::{BatchServer, ServeConfig};
-use viewplan_workload::{generate, WorkloadConfig};
+use viewplan_workload::{generate, random_database, WorkloadConfig};
 
 use crate::{run_sweep, Family, SweepConfig, SweepPoint};
 
@@ -242,6 +269,84 @@ pub fn serve_trajectory(config: &TrajectoryConfig) -> Json {
     Json::Object(doc)
 }
 
+/// Runs the row-vs-columnar comparison and renders `BENCH_engine.json`:
+/// for each workload family and base-table size, the same 8-subgoal
+/// query executes under both engines over the same database, with the
+/// traces compared for byte-identity.
+pub fn engine_trajectory(config: &TrajectoryConfig) -> Json {
+    obs::set_enabled(true);
+    let row_counts: &[usize] = if config.smoke {
+        &[200, 1000]
+    } else {
+        &[1000, 5000]
+    };
+    let iters: u32 = if config.smoke { 3 } else { 5 };
+    let seed = 20010521u64; // same fixed seed as the sweep machinery
+
+    let mut points = Vec::new();
+    for (family, wconfig) in [
+        ("star", WorkloadConfig::star(1, 0, seed)),
+        ("chain", WorkloadConfig::chain(1, 0, seed)),
+    ] {
+        let subgoals = wconfig.query_subgoals;
+        let query = generate(&wconfig).query;
+        for &rows in row_counts {
+            let mut db = Database::new();
+            for (name, tuples) in random_database(&query, rows, rows as i64, seed ^ rows as u64) {
+                for tuple in tuples {
+                    db.insert(name, tuple.into_iter().map(Value::Int).collect());
+                }
+            }
+            let measure = |engine: Engine| {
+                let _guard = viewplan_engine::install(engine);
+                // Warm-up: populates the columnar cache (and the CPU's)
+                // so the timed runs measure steady-state execution.
+                let trace = viewplan_engine::execute_ordered(&query.head, &query.body, &db);
+                let start = std::time::Instant::now();
+                for _ in 0..iters {
+                    viewplan_engine::execute_ordered(&query.head, &query.body, &db);
+                }
+                let ms = start.elapsed().as_secs_f64() * 1000.0 / f64::from(iters);
+                (ms, trace)
+            };
+            let (row_ms, row_trace) = measure(Engine::Row);
+            let (columnar_ms, columnar_trace) = measure(Engine::Columnar);
+            let traces_match = row_trace == columnar_trace
+                && row_trace.answer.as_slice() == columnar_trace.answer.as_slice();
+            let mut o = BTreeMap::new();
+            o.insert("family".into(), Json::str(family));
+            o.insert("rows".into(), Json::num(rows as u64));
+            o.insert("subgoals".into(), Json::num(subgoals as u64));
+            o.insert("row_ms".into(), Json::Number(row_ms));
+            o.insert("columnar_ms".into(), Json::Number(columnar_ms));
+            o.insert(
+                "speedup".into(),
+                Json::Number(if columnar_ms > 0.0 {
+                    row_ms / columnar_ms
+                } else {
+                    0.0
+                }),
+            );
+            o.insert(
+                "answer_rows".into(),
+                Json::num(columnar_trace.answer.len() as u64),
+            );
+            o.insert("traces_match".into(), Json::Bool(traces_match));
+            points.push(Json::Object(o));
+        }
+    }
+
+    let mut doc = BTreeMap::new();
+    doc.insert("schema_version".into(), Json::num(BENCH_SCHEMA_VERSION));
+    doc.insert("suite".into(), Json::str("engine"));
+    doc.insert(
+        "mode".into(),
+        Json::str(if config.smoke { "smoke" } else { "full" }),
+    );
+    doc.insert("points".into(), Json::Array(points));
+    Json::Object(doc)
+}
+
 // ---------------------------------------------------------------------
 // Schema validation (what the CI bench-smoke job runs against both the
 // freshly emitted documents and the checked-in trajectory files).
@@ -374,6 +479,52 @@ pub fn validate_serve(doc: &Json) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates a `BENCH_engine.json` document against schema version 1,
+/// including the differential-oracle invariant: every point's row and
+/// columnar traces must have matched (`traces_match: true`).
+pub fn validate_engine(doc: &Json) -> Result<(), String> {
+    check_header(doc, "engine")?;
+    let points = doc
+        .get("points")
+        .and_then(Json::as_array)
+        .ok_or("missing \"points\" array")?;
+    if points.is_empty() {
+        return Err("\"points\" is empty".into());
+    }
+    for p in points {
+        let family = expect_str(p, "family")?;
+        if !matches!(family, "star" | "chain") {
+            return Err(format!("unknown engine family {family:?}"));
+        }
+        let rows = expect_u64(p, "rows")?;
+        if rows == 0 {
+            return Err(format!("family {family:?} has a zero-row point"));
+        }
+        expect_u64(p, "subgoals")?;
+        expect_u64(p, "answer_rows")?;
+        for key in ["row_ms", "columnar_ms"] {
+            let v = expect_f64(p, key)?;
+            if v < 0.0 {
+                return Err(format!("negative {key} in a {family:?} point"));
+            }
+        }
+        let speedup = expect_f64(p, "speedup")?;
+        if speedup <= 0.0 {
+            return Err(format!("non-positive speedup in a {family:?} point"));
+        }
+        match p.get("traces_match") {
+            Some(Json::Bool(true)) => {}
+            Some(Json::Bool(false)) => {
+                return Err(format!(
+                    "family {family:?} at {rows} rows: row and columnar traces diverged"
+                ));
+            }
+            _ => return Err("missing or non-boolean field \"traces_match\"".into()),
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -403,6 +554,25 @@ mod tests {
         let parsed = obs::parse_json(&rendered).unwrap();
         validate_core(&parsed).unwrap();
         assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn engine_trajectory_validates_and_traces_match() {
+        let doc = engine_trajectory(&smoke());
+        validate_engine(&doc).unwrap();
+        let rendered = doc.render();
+        let parsed = obs::parse_json(&rendered).unwrap();
+        validate_engine(&parsed).unwrap();
+        // Flip one oracle bit: validation must reject the document.
+        let mut broken = doc;
+        if let Json::Object(map) = &mut broken {
+            if let Some(Json::Array(points)) = map.get_mut("points") {
+                if let Some(Json::Object(p)) = points.first_mut() {
+                    p.insert("traces_match".into(), Json::Bool(false));
+                }
+            }
+        }
+        assert!(validate_engine(&broken).unwrap_err().contains("diverged"));
     }
 
     #[test]

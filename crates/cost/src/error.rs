@@ -9,6 +9,7 @@
 
 use std::fmt;
 use viewplan_core::CoreError;
+use viewplan_engine::EngineError;
 
 /// Why the physical-plan search rejected a rewriting.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -54,6 +55,9 @@ pub enum PlanError {
     Core(CoreError),
     /// Every generated rewriting was too wide for the plan search.
     Cost(CostError),
+    /// Executing the chosen plan was rejected by the engine (an unsafe
+    /// query or a plan that drops a head variable).
+    Engine(EngineError),
 }
 
 impl fmt::Display for PlanError {
@@ -61,6 +65,7 @@ impl fmt::Display for PlanError {
         match self {
             PlanError::Core(e) => e.fmt(f),
             PlanError::Cost(e) => e.fmt(f),
+            PlanError::Engine(e) => e.fmt(f),
         }
     }
 }
@@ -76,5 +81,11 @@ impl From<CoreError> for PlanError {
 impl From<CostError> for PlanError {
     fn from(e: CostError) -> PlanError {
         PlanError::Cost(e)
+    }
+}
+
+impl From<EngineError> for PlanError {
+    fn from(e: EngineError) -> PlanError {
+        PlanError::Engine(e)
     }
 }

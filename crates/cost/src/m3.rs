@@ -453,7 +453,7 @@ mod tests {
             &mut oracle,
         )
         .unwrap();
-        let trace = plan.execute(&p2.head, &vdb);
+        let trace = plan.try_execute(&p2.head, &vdb).unwrap();
         assert_eq!(
             trace.answer.as_slice(),
             [vec![viewplan_engine::Value::Int(1)]]

@@ -384,7 +384,7 @@ mod tests {
         let best = Optimizer::new(&q, &views)
             .best_plan(CostModel::M2, &mut oracle)
             .unwrap();
-        let trace = best.plan.execute(&best.rewriting.head, &vdb);
+        let trace = best.plan.try_execute(&best.rewriting.head, &vdb).unwrap();
         // Direct evaluation of the query over base relations:
         // q1(7777, 102) is the only answer.
         assert_eq!(

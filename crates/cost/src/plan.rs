@@ -3,7 +3,9 @@
 use std::collections::HashSet;
 use std::fmt;
 use viewplan_cq::{Atom, Symbol};
-use viewplan_engine::{execute_annotated, AnnotatedStep, Database, ExecutionTrace};
+use viewplan_engine::{
+    try_execute_annotated, AnnotatedStep, Database, EngineError, ExecutionTrace,
+};
 
 /// A physical plan: an ordered list of subgoals, each annotated with the
 /// attributes to drop after it is processed (Table 1's M3 plans; with all
@@ -45,9 +47,10 @@ impl PhysicalPlan {
     }
 
     /// Executes the plan against a (view) database, reporting the exact
-    /// per-step sizes and the answer.
-    pub fn execute(&self, head: &Atom, db: &Database) -> ExecutionTrace {
-        execute_annotated(head, &self.steps, db)
+    /// per-step sizes and the answer. Fails if the plan drops a head
+    /// variable or never binds one (an unsafe rewriting).
+    pub fn try_execute(&self, head: &Atom, db: &Database) -> Result<ExecutionTrace, EngineError> {
+        try_execute_annotated(head, &self.steps, db)
     }
 }
 
@@ -90,7 +93,7 @@ mod tests {
         let mut db = Database::new();
         db.insert_int("v1", &[&[1, 2], &[3, 4]]);
         let plan = PhysicalPlan::ordered(q.body.clone());
-        let trace = plan.execute(&q.head, &db);
+        let trace = plan.try_execute(&q.head, &db).unwrap();
         assert_eq!(trace.answer.len(), 2);
         assert_eq!(trace.intermediate_sizes, [2]);
     }

@@ -1,0 +1,141 @@
+//! Struct-of-arrays relation storage for the columnar engine.
+//!
+//! A [`ColumnarRelation`] holds the same tuples as its row-major
+//! [`Relation`](crate::Relation) twin, one `Vec` per attribute, in the
+//! same (insertion) row order. Columns whose every value is a symbolic
+//! constant use the dictionary-encoded [`Column::Syms`] fast path:
+//! [`Symbol`] is already a process-interned `u32`, so selections and
+//! hash-join keys on such columns compare and hash plain integers
+//! instead of full [`Value`] enums. Mixed columns (integers, frozen
+//! variables, Skolem witnesses) fall back to [`Column::Values`].
+
+use crate::relation::{Relation, Tuple};
+use crate::value::Value;
+use viewplan_cq::Symbol;
+
+/// One attribute's values, in row order.
+#[derive(Clone, Debug)]
+pub enum Column {
+    /// Dictionary fast path: every value in the column is `Value::Sym`.
+    Syms(Vec<Symbol>),
+    /// The general case: any mix of value kinds.
+    Values(Vec<Value>),
+}
+
+impl Column {
+    /// The value at `row`.
+    #[inline]
+    pub fn value(&self, row: usize) -> Value {
+        match self {
+            Column::Syms(s) => Value::Sym(s[row]),
+            Column::Values(v) => v[row],
+        }
+    }
+
+    /// True iff this column is dictionary-encoded.
+    pub fn is_dictionary(&self) -> bool {
+        matches!(self, Column::Syms(_))
+    }
+}
+
+/// A relation transposed into per-attribute columns.
+#[derive(Clone, Debug)]
+pub struct ColumnarRelation {
+    len: usize,
+    columns: Vec<Column>,
+}
+
+impl ColumnarRelation {
+    /// Transposes a row-major relation. Columns that are all-symbol
+    /// dictionary-encode; the row order is preserved exactly.
+    pub fn from_relation(rel: &Relation) -> ColumnarRelation {
+        let arity = rel.arity();
+        let len = rel.len();
+        let rows = rel.as_slice();
+        let columns = (0..arity)
+            .map(|c| {
+                let all_syms = rows.iter().all(|t| matches!(t[c], Value::Sym(_)));
+                if all_syms {
+                    Column::Syms(
+                        rows.iter()
+                            .map(|t| match t[c] {
+                                Value::Sym(s) => s,
+                                // Checked all-Sym just above.
+                                _ => unreachable!("non-Sym in an all-Sym column"),
+                            })
+                            .collect(),
+                    )
+                } else {
+                    Column::Values(rows.iter().map(|t| t[c]).collect())
+                }
+            })
+            .collect();
+        ColumnarRelation { len, columns }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff the relation has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of columns (the relation arity).
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The column at attribute position `i`.
+    pub fn column(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+
+    /// How many columns are dictionary-encoded.
+    pub fn dictionary_columns(&self) -> usize {
+        self.columns.iter().filter(|c| c.is_dictionary()).count()
+    }
+
+    /// Materializes row `row` back into a tuple (tests and debugging).
+    pub fn row(&self, row: usize) -> Tuple {
+        self.columns.iter().map(|c| c.value(row)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transposition_preserves_rows_and_order() {
+        let mut r = Relation::new(2);
+        r.insert(vec![Value::sym("a"), Value::Int(1)]);
+        r.insert(vec![Value::sym("b"), Value::Int(2)]);
+        let c = ColumnarRelation::from_relation(&r);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.arity(), 2);
+        assert_eq!(c.row(0), vec![Value::sym("a"), Value::Int(1)]);
+        assert_eq!(c.row(1), vec![Value::sym("b"), Value::Int(2)]);
+    }
+
+    #[test]
+    fn all_symbol_columns_dictionary_encode() {
+        let mut r = Relation::new(2);
+        r.insert(vec![Value::sym("a"), Value::Int(1)]);
+        r.insert(vec![Value::sym("b"), Value::sym("c")]);
+        let c = ColumnarRelation::from_relation(&r);
+        assert!(c.column(0).is_dictionary());
+        assert!(!c.column(1).is_dictionary());
+        assert_eq!(c.dictionary_columns(), 1);
+    }
+
+    #[test]
+    fn empty_relation_columns_are_dictionary() {
+        // Vacuously all-Sym: the fast path costs nothing and stays valid.
+        let c = ColumnarRelation::from_relation(&Relation::new(3));
+        assert!(c.is_empty());
+        assert_eq!(c.dictionary_columns(), 3);
+    }
+}

@@ -1,5 +1,6 @@
 //! Databases: named relations.
 
+use crate::error::EngineError;
 use crate::relation::{Relation, Tuple};
 use crate::value::Value;
 use std::collections::HashMap;
@@ -23,9 +24,42 @@ impl Database {
         self.relations.get(&name)
     }
 
-    /// The relation for `name`, creating an empty one of the given arity on
-    /// first touch.
+    /// The relation for `name`, creating an empty one of the given arity
+    /// on first touch. Requesting an existing relation at a different
+    /// arity is rejected: handing back the mismatched relation would make
+    /// the conflicting facts silently disappear downstream.
+    pub fn try_get_or_create(
+        &mut self,
+        name: Symbol,
+        arity: usize,
+    ) -> Result<&mut Relation, EngineError> {
+        let rel = self
+            .relations
+            .entry(name)
+            .or_insert_with(|| Relation::new(arity));
+        if rel.arity() != arity {
+            return Err(EngineError::ArityConflict {
+                relation: name,
+                existing: rel.arity(),
+                requested: arity,
+            });
+        }
+        Ok(rel)
+    }
+
+    /// Infallible twin of [`Database::try_get_or_create`] for callers with
+    /// schema-checked input.
+    ///
+    /// # Panics
+    /// Panics if the relation exists at a different arity.
     pub fn get_or_create(&mut self, name: Symbol, arity: usize) -> &mut Relation {
+        if let Some(existing) = self.relations.get(&name) {
+            assert!(
+                existing.arity() == arity,
+                "relation {name} has arity {}, conflicting with requested arity {arity}",
+                existing.arity()
+            );
+        }
         self.relations
             .entry(name)
             .or_insert_with(|| Relation::new(arity))
@@ -36,7 +70,22 @@ impl Database {
         self.relations.insert(name, relation);
     }
 
+    /// Inserts one tuple into relation `name` (creating it if needed),
+    /// rejecting tuples whose arity conflicts with the stored relation.
+    pub fn try_insert(
+        &mut self,
+        name: impl Into<Symbol>,
+        tuple: Tuple,
+    ) -> Result<bool, EngineError> {
+        let name = name.into();
+        let arity = tuple.len();
+        Ok(self.try_get_or_create(name, arity)?.insert(tuple))
+    }
+
     /// Inserts one tuple into relation `name` (creating it if needed).
+    ///
+    /// # Panics
+    /// Panics if the relation exists at a different arity.
     pub fn insert(&mut self, name: impl Into<Symbol>, tuple: Tuple) -> bool {
         let name = name.into();
         let arity = tuple.len();
@@ -107,6 +156,35 @@ mod tests {
         assert_eq!(db.get(Symbol::new("nums")).unwrap().len(), 2);
         assert!(db.get(Symbol::new("missing")).is_none());
         assert_eq!(db.total_tuples(), 3);
+    }
+
+    #[test]
+    fn arity_conflict_is_a_typed_error() {
+        let mut db = Database::new();
+        db.insert_int("r", &[&[1, 2]]);
+        let err = db.try_get_or_create(Symbol::new("r"), 3);
+        assert!(matches!(
+            err,
+            Err(EngineError::ArityConflict {
+                existing: 2,
+                requested: 3,
+                ..
+            })
+        ));
+        let err = db.try_insert("r", vec![Value::Int(1)]);
+        assert!(matches!(err, Err(EngineError::ArityConflict { .. })));
+        // Matching arity still works.
+        assert!(db
+            .try_insert("r", vec![Value::Int(3), Value::Int(4)])
+            .unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "conflicting")]
+    fn get_or_create_panics_on_arity_conflict() {
+        let mut db = Database::new();
+        db.insert_int("r", &[&[1, 2]]);
+        db.get_or_create(Symbol::new("r"), 1);
     }
 
     #[test]

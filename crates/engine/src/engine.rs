@@ -1,0 +1,139 @@
+//! Engine selection: the row-at-a-time executor vs. the columnar batch
+//! executor.
+//!
+//! Both engines compute identical results — answer relations in the same
+//! insertion order, [`crate::ExecutionTrace`]s with the same per-step
+//! sizes, the same `engine.*` counters — which the differential suite at
+//! the workspace root enforces. Selection is therefore purely a
+//! performance knob:
+//!
+//! * the **process default** comes from [`set_default_engine`] (the CLI
+//!   `--engine` flag) or the `VIEWPLAN_ENGINE` environment variable
+//!   (`row` | `columnar`), falling back to [`Engine::Columnar`];
+//! * a **thread-scoped override** ([`install`]) pins the engine for one
+//!   call stack — the serving layer uses it so each request honors its
+//!   [`ServeConfig`](../../viewplan_serve/struct.ServeConfig.html), and
+//!   the differential tests use it to run both engines side by side.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which executor [`crate::evaluate`] and the `execute_*` entry points
+/// run on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Engine {
+    /// The original tuple-at-a-time multiway hash join.
+    Row,
+    /// Struct-of-arrays batch execution: selection vectors, columnar
+    /// hash join build/probe, column-wise gathers.
+    Columnar,
+}
+
+impl Engine {
+    /// Parses an engine name as used by `--engine` / `VIEWPLAN_ENGINE`.
+    pub fn from_name(name: &str) -> Option<Engine> {
+        match name {
+            "row" => Some(Engine::Row),
+            "columnar" => Some(Engine::Columnar),
+            _ => None,
+        }
+    }
+
+    /// The CLI-facing name (`"row"` / `"columnar"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Row => "row",
+            Engine::Columnar => "columnar",
+        }
+    }
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// 0 = unset (consult `VIEWPLAN_ENGINE`), 1 = row, 2 = columnar.
+static DEFAULT_ENGINE: AtomicU8 = AtomicU8::new(0);
+
+thread_local! {
+    static OVERRIDE: Cell<Option<Engine>> = const { Cell::new(None) };
+}
+
+/// Sets the process-wide default engine (what the CLI `--engine` flag
+/// does). Thread-scoped [`install`] overrides still win.
+pub fn set_default_engine(engine: Engine) {
+    let code = match engine {
+        Engine::Row => 1,
+        Engine::Columnar => 2,
+    };
+    DEFAULT_ENGINE.store(code, Ordering::Relaxed);
+}
+
+/// The process-wide default engine: the value of [`set_default_engine`]
+/// if called, else `VIEWPLAN_ENGINE` (`row` | `columnar`), else
+/// [`Engine::Columnar`].
+pub fn default_engine() -> Engine {
+    match DEFAULT_ENGINE.load(Ordering::Relaxed) {
+        1 => Engine::Row,
+        2 => Engine::Columnar,
+        _ => std::env::var("VIEWPLAN_ENGINE")
+            .ok()
+            .and_then(|s| Engine::from_name(&s))
+            .unwrap_or(Engine::Columnar),
+    }
+}
+
+/// The engine the current thread's evaluations run on: the innermost
+/// [`install`]ed override, else the process default.
+pub fn current_engine() -> Engine {
+    OVERRIDE.with(|o| o.get()).unwrap_or_else(default_engine)
+}
+
+/// Pins `engine` for the current thread until the returned guard drops.
+/// Nests: dropping restores the previous override.
+pub fn install(engine: Engine) -> EngineGuard {
+    let previous = OVERRIDE.with(|o| o.replace(Some(engine)));
+    EngineGuard { previous }
+}
+
+/// Restores the previous thread-scoped engine override on drop.
+#[must_use = "dropping the guard immediately uninstalls the engine override"]
+pub struct EngineGuard {
+    previous: Option<Engine>,
+}
+
+impl Drop for EngineGuard {
+    fn drop(&mut self) {
+        OVERRIDE.with(|o| o.set(self.previous));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for e in [Engine::Row, Engine::Columnar] {
+            assert_eq!(Engine::from_name(e.name()), Some(e));
+        }
+        assert_eq!(Engine::from_name("vectorised"), None);
+    }
+
+    #[test]
+    fn install_overrides_and_restores() {
+        let ambient = current_engine();
+        {
+            let _g = install(Engine::Row);
+            assert_eq!(current_engine(), Engine::Row);
+            {
+                let _g2 = install(Engine::Columnar);
+                assert_eq!(current_engine(), Engine::Columnar);
+            }
+            assert_eq!(current_engine(), Engine::Row);
+        }
+        assert_eq!(current_engine(), ambient);
+    }
+}

@@ -1,8 +1,10 @@
 //! Set-semantics relations.
 
+use crate::columnar::ColumnarRelation;
 use crate::value::Value;
 use std::collections::HashSet;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// A database tuple.
 pub type Tuple = Vec<Value>;
@@ -18,6 +20,9 @@ pub struct Relation {
     arity: usize,
     tuples: Vec<Tuple>,
     index: HashSet<Tuple>,
+    /// Lazily-built struct-of-arrays twin for the columnar engine,
+    /// invalidated on insertion.
+    columnar: OnceLock<ColumnarRelation>,
 }
 
 /// Relations compare as *sets*: same arity and same tuples, regardless of
@@ -37,6 +42,7 @@ impl Relation {
             arity,
             tuples: Vec::new(),
             index: HashSet::new(),
+            columnar: OnceLock::new(),
         }
     }
 
@@ -69,10 +75,18 @@ impl Relation {
         );
         if self.index.insert(tuple.clone()) {
             self.tuples.push(tuple);
+            self.columnar.take();
             true
         } else {
             false
         }
+    }
+
+    /// The columnar (struct-of-arrays) view of this relation, built on
+    /// first use and cached until the next insertion.
+    pub fn columnar(&self) -> &ColumnarRelation {
+        self.columnar
+            .get_or_init(|| ColumnarRelation::from_relation(self))
     }
 
     /// True iff `tuple` is in the relation.
@@ -182,6 +196,16 @@ mod tests {
             })
             .collect();
         assert_eq!(got, [3, 1, 2]);
+    }
+
+    #[test]
+    fn columnar_cache_invalidates_on_insert() {
+        let mut r = Relation::new(1);
+        r.insert(t(&[1]));
+        assert_eq!(r.columnar().len(), 1);
+        r.insert(t(&[2]));
+        assert_eq!(r.columnar().len(), 2);
+        assert_eq!(r.columnar().row(1), t(&[2]));
     }
 
     #[test]

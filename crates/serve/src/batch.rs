@@ -38,7 +38,7 @@ use viewplan_containment::canonicalize;
 use viewplan_core::{parallel_map, CoreCover, CoreCoverConfig, PreparedViews, Rewriting};
 use viewplan_cost::{CostModel, Optimizer, PhysicalPlan, PlanError, PlannedRewriting, SizeOracle};
 use viewplan_cq::{Atom, ConjunctiveQuery, Substitution, Symbol, Term, ViewSet};
-use viewplan_engine::AnnotatedStep;
+use viewplan_engine::{AnnotatedStep, Engine};
 use viewplan_obs as obs;
 use viewplan_obs::budget::BudgetSpec;
 use viewplan_obs::Completeness;
@@ -58,6 +58,11 @@ pub struct ServeConfig {
     pub budget: BudgetSpec,
     /// Rewriting-cache capacity in entries; `0` disables caching.
     pub cache_capacity: usize,
+    /// Which execution engine the server installs while preparing views
+    /// and serving requests. Defaults to the process-wide
+    /// [`viewplan_engine::default_engine`] (columnar unless overridden
+    /// via `VIEWPLAN_ENGINE` or the CLI's `--engine` flag).
+    pub engine: Engine,
 }
 
 impl Default for ServeConfig {
@@ -67,6 +72,7 @@ impl Default for ServeConfig {
             corecover: CoreCoverConfig::default(),
             budget: BudgetSpec::new(),
             cache_capacity: 4096,
+            engine: viewplan_engine::default_engine(),
         }
     }
 }
@@ -158,6 +164,7 @@ impl BatchServer {
     /// A server with explicit configuration. The per-view-set
     /// preprocessing runs here, once.
     pub fn with_config(views: &ViewSet, config: ServeConfig) -> BatchServer {
+        let _engine = viewplan_engine::install(config.engine);
         let prepared = PreparedViews::prepare(views);
         let cache = (config.cache_capacity > 0).then(|| RewritingCache::new(config.cache_capacity));
         BatchServer {
@@ -202,6 +209,10 @@ impl BatchServer {
     }
 
     fn serve_inner(&self, query: &ConjunctiveQuery) -> Result<ServedAnswer, PlanError> {
+        // Installed per request (not once at construction) because
+        // `serve_batch` fans requests out across pool threads and the
+        // engine override is thread-local.
+        let _engine = viewplan_engine::install(self.config.engine);
         let c = canonicalize(query);
         if let Some(cache) = &self.cache {
             if let Some(hit) = cache.get(&c.key) {

@@ -70,8 +70,14 @@ fn example_61() {
     println!("\n✓ cost(F1) = {cost_smart} < cost(F2) = {cost_supp}, as in the paper");
 
     // The answers agree regardless.
-    let a = plan_supp.execute(&p2.head, &view_db).answer;
-    let b = plan_smart.execute(&p2.head, &view_db).answer;
+    let a = plan_supp
+        .try_execute(&p2.head, &view_db)
+        .expect("plan executes")
+        .answer;
+    let b = plan_smart
+        .try_execute(&p2.head, &view_db)
+        .expect("plan executes")
+        .answer;
     assert_eq!(a, b);
     println!("✓ both plans return {:?}", a.as_slice());
 }
@@ -134,7 +140,11 @@ fn filter_subgoals() {
 
     // And the answers still match the direct evaluation over base tables.
     let direct = evaluate(&query, &base);
-    let via = with.plan.execute(&with.rewriting.head, &view_db).answer;
+    let via = with
+        .plan
+        .try_execute(&with.rewriting.head, &view_db)
+        .expect("plan executes")
+        .answer;
     assert_eq!(direct, via);
     println!("✓ answer matches direct evaluation: {} tuple(s)", via.len());
 }

@@ -90,7 +90,10 @@ fn main() {
     println!("\nOptimizer's choice (estimated cost {:.0}):", plan.cost);
     println!("  {}", plan.plan);
 
-    let trace = plan.plan.execute(&plan.rewriting.head, &warehouse);
+    let trace = plan
+        .plan
+        .try_execute(&plan.rewriting.head, &warehouse)
+        .expect("plan executes");
     println!(
         "\nExecuted against the views: {} answer tuple(s), intermediates {:?}",
         trace.answer.len(),

@@ -147,14 +147,29 @@ fn run(args: &[String]) -> Result<(), CliError> {
 }
 
 /// Runs a command with stats collection enabled when requested, emitting
-/// the reports afterwards.
+/// the reports afterwards. Also installs the `--engine` selection first,
+/// so every evaluation in the command runs on the requested executor.
 fn with_stats(
     args: &[String],
     command: fn(&[String]) -> Result<(), CliError>,
 ) -> Result<(), CliError> {
+    engine_arg(args)?;
     let stats = stats_request(args);
     command(args)?;
     stats.emit()
+}
+
+/// The `--engine row|columnar` flag: sets the process-wide default
+/// executor (the `VIEWPLAN_ENGINE` environment variable is the fallback,
+/// and the columnar engine the default).
+fn engine_arg(args: &[String]) -> Result<(), CliError> {
+    if let Some(v) = option(args, "--engine") {
+        let engine = Engine::from_name(v).ok_or_else(|| {
+            CliError::Input(format!("--engine expects `row` or `columnar`, got {v:?}"))
+        })?;
+        set_default_engine(engine);
+    }
+    Ok(())
 }
 
 fn print_help() {
@@ -196,13 +211,16 @@ fn print_help() {
          ground facts the default model is m1; --json emits a stable\n\
          machine-readable document (golden-tested).\n\
          \n\
-         `bench` runs the fixed star/chain/random sweep suites and a\n\
-         cold/warm serve loop, writing schema-versioned BENCH_core.json\n\
-         and BENCH_serve.json to --out DIR (--smoke shrinks them for CI).\n\
+         `bench` runs the fixed star/chain/random sweep suites, a\n\
+         cold/warm serve loop, and a row-vs-columnar engine comparison,\n\
+         writing schema-versioned BENCH_core.json, BENCH_serve.json, and\n\
+         BENCH_engine.json to --out DIR (--smoke shrinks them for CI).\n\
          --validate re-checks BENCH files; --validate-trace checks a\n\
          --trace-json export parses and balances.\n\
          \n\
-         Common flags: --stats (phase/counter report on stderr),\n\
+         Common flags: --engine row|columnar (pick the executor; both\n\
+         produce byte-identical answers and traces; default: columnar or\n\
+         VIEWPLAN_ENGINE), --stats (phase/counter report on stderr),\n\
          --stats-json FILE (dump the metrics registry as JSON),\n\
          --trace (render the request's span tree + typed events on\n\
          stderr), --trace-json FILE (Chrome trace-event export),\n\
@@ -332,16 +350,16 @@ fn load(path: &str) -> Result<Problem, CliError> {
     let views = ViewSet::from_views(rules.map(View::new));
     let mut base = Database::new();
     for f in source.facts {
-        base.insert(
-            f.predicate,
-            f.terms
-                .iter()
-                .map(|t| match t {
-                    Term::Const(c) => Value::from_constant(*c),
-                    Term::Var(_) => unreachable!("checked ground above"),
-                })
-                .collect(),
-        );
+        let tuple = f
+            .terms
+            .iter()
+            .map(|t| match t {
+                Term::Const(c) => Value::from_constant(*c),
+                Term::Var(_) => unreachable!("checked ground above"),
+            })
+            .collect();
+        base.try_insert(f.predicate, tuple)
+            .map_err(|e| CliError::Input(format!("{path}: bad fact {f}: {e}")))?;
     }
     Ok(Problem { query, views, base })
 }
@@ -382,6 +400,7 @@ fn use_color() -> bool {
 const VALUE_OPTIONS: &[&str] = &[
     "--model",
     "--baseline",
+    "--engine",
     "--stats-json",
     "--threads",
     "--timeout-ms",
@@ -557,6 +576,13 @@ impl StatsRequest {
     fn emit(&self) -> Result<(), CliError> {
         if self.report {
             viewplan::obs::report_to_stderr();
+            let skips = viewplan::obs::counter_value("engine.arity_mismatch_skips");
+            if skips > 0 {
+                eprintln!(
+                    "note: {skips} tuple(s) skipped where a subgoal's arity disagreed with \
+                     the stored relation (engine.arity_mismatch_skips)"
+                );
+            }
         }
         if let Some(path) = &self.json {
             viewplan::obs::write_json_report(std::path::Path::new(path))
@@ -705,7 +731,10 @@ fn plan(args: &[String]) -> Result<(), CliError> {
     println!("\nbest rewriting: {}", best.rewriting);
     println!("physical plan:  {}", best.plan);
     println!("cost:           {}", best.cost);
-    let trace = best.plan.execute(&best.rewriting.head, &vdb);
+    let trace = best
+        .plan
+        .try_execute(&best.rewriting.head, &vdb)
+        .map_err(PlanError::from)?;
     println!("intermediates:  {:?}", trace.intermediate_sizes);
     println!("\nanswer ({} tuple(s)):", trace.answer.len());
     print!("{}", trace.answer);
@@ -718,7 +747,8 @@ fn plan(args: &[String]) -> Result<(), CliError> {
 /// or (with `--validate`) check existing documents against the schema.
 fn bench(args: &[String]) -> Result<(), CliError> {
     use viewplan_bench::trajectory::{
-        core_trajectory, serve_trajectory, validate_core, validate_serve, TrajectoryConfig,
+        core_trajectory, engine_trajectory, serve_trajectory, validate_core, validate_engine,
+        validate_serve, TrajectoryConfig,
     };
     if flag(args, "--validate-trace") {
         let files = positional_args(args);
@@ -754,6 +784,7 @@ fn bench(args: &[String]) -> Result<(), CliError> {
             let result = match suite {
                 Some("core") => validate_core(&doc),
                 Some("serve") => validate_serve(&doc),
+                Some("engine") => validate_engine(&doc),
                 other => Err(format!("unknown suite tag {other:?}")),
             };
             result.map_err(|e| CliError::Input(format!("{path}: schema violation: {e}")))?;
@@ -778,6 +809,11 @@ fn bench(args: &[String]) -> Result<(), CliError> {
             "BENCH_serve.json",
             serve_trajectory(&config),
             validate_serve,
+        ),
+        (
+            "BENCH_engine.json",
+            engine_trajectory(&config),
+            validate_engine,
         ),
     ] {
         validate(&doc)
@@ -827,7 +863,8 @@ fn eval(args: &[String]) -> Result<(), CliError> {
     let problem = load(file_arg(args)?)?;
     let threads = threads_arg(args)?;
     let _budget = install_budget(budget_arg(args)?);
-    let direct = evaluate(&problem.query, &problem.base);
+    let direct =
+        try_evaluate(&problem.query, &problem.base).map_err(|e| CliError::Input(e.to_string()))?;
     println!("direct answer ({} tuple(s)):", direct.len());
     print!("{direct}");
     let config = CoreCoverConfig {
@@ -841,7 +878,7 @@ fn eval(args: &[String]) -> Result<(), CliError> {
         None => println!("\n(no equivalent rewriting over the views)"),
         Some(r) => {
             let vdb = materialize_views(&problem.views, &problem.base);
-            let via = evaluate(r, &vdb);
+            let via = try_evaluate(r, &vdb).map_err(|e| CliError::Input(e.to_string()))?;
             println!("\nvia rewriting {r} ({} tuple(s)):", via.len());
             print!("{via}");
             if via == direct {

@@ -135,9 +135,10 @@ fn measured_terms(
     plan: &PhysicalPlan,
     head: &viewplan_cq::Atom,
     vdb: &Database,
-) -> Vec<TermReport> {
-    let trace = plan.execute(head, vdb);
-    plan.steps
+) -> Result<Vec<TermReport>, PlanError> {
+    let trace = plan.try_execute(head, vdb)?;
+    Ok(plan
+        .steps
         .iter()
         .zip(trace.subgoal_sizes.iter().zip(&trace.intermediate_sizes))
         .map(|(step, (&gsize, &isize))| {
@@ -151,12 +152,13 @@ fn measured_terms(
                 cost: gsize as f64 + isize as f64,
             }
         })
-        .collect()
+        .collect())
 }
 
-/// Plans one accepted candidate under the model; `None` when the plan
+/// Plans one accepted candidate under the model; `Ok(None)` when the plan
 /// search could not produce a plan (too wide for the model's search, or
-/// the budget exhausted mid-search).
+/// the budget exhausted mid-search), `Err` when the engine rejected the
+/// chosen plan outright.
 fn plan_candidate(
     model: CostModel,
     query: &ConjunctiveQuery,
@@ -164,9 +166,9 @@ fn plan_candidate(
     candidate: usize,
     rewriting: &ConjunctiveQuery,
     vdb: &Database,
-) -> Option<PlanReport> {
+) -> Result<Option<PlanReport>, PlanError> {
     match model {
-        CostModel::M1 => Some(PlanReport {
+        CostModel::M1 => Ok(Some(PlanReport {
             candidate,
             rewriting: rewriting.to_string(),
             plan: m1_plan_string(rewriting),
@@ -182,35 +184,42 @@ fn plan_candidate(
                     cost: 1.0,
                 })
                 .collect(),
-        }),
+        })),
         CostModel::M2 => {
             let mut oracle = ExactOracle::new(vdb);
-            let (order, _, cost) = try_optimal_m2_order(&rewriting.body, &mut oracle)
+            let Some((order, _, cost)) = try_optimal_m2_order(&rewriting.body, &mut oracle)
                 .ok()
-                .flatten()?;
+                .flatten()
+            else {
+                return Ok(None);
+            };
             let atoms: Vec<viewplan_cq::Atom> =
                 order.iter().map(|&i| rewriting.body[i].clone()).collect();
             let plan = PhysicalPlan::ordered(atoms);
-            Some(PlanReport {
+            Ok(Some(PlanReport {
                 candidate,
                 rewriting: rewriting.to_string(),
                 plan: plan.to_string(),
                 cost,
-                terms: measured_terms(&plan, &rewriting.head, vdb),
-            })
+                terms: measured_terms(&plan, &rewriting.head, vdb)?,
+            }))
         }
         CostModel::M3(policy) => {
             let mut oracle = ExactOracle::new(vdb);
-            let (plan, cost) = try_optimal_m3_plan(query, views, rewriting, policy, &mut oracle)
-                .ok()
-                .flatten()?;
-            Some(PlanReport {
+            let Some((plan, cost)) =
+                try_optimal_m3_plan(query, views, rewriting, policy, &mut oracle)
+                    .ok()
+                    .flatten()
+            else {
+                return Ok(None);
+            };
+            Ok(Some(PlanReport {
                 candidate,
                 rewriting: rewriting.to_string(),
                 plan: plan.to_string(),
                 cost,
-                terms: measured_terms(&plan, &rewriting.head, vdb),
-            })
+                terms: measured_terms(&plan, &rewriting.head, vdb)?,
+            }))
         }
     }
 }
@@ -261,13 +270,17 @@ pub fn explain(
     // model; ties break on candidate order, so the report is stable.
     let (winner, runner_up) = {
         let vdb = materialize_views(views, base);
-        let mut planned: Vec<PlanReport> = provenance
+        let mut planned: Vec<PlanReport> = Vec::new();
+        for (i, c) in provenance
             .candidates
             .iter()
             .enumerate()
             .filter(|(_, c)| c.verdict == CandidateVerdict::Accepted)
-            .filter_map(|(i, c)| plan_candidate(model, query, views, i, &c.rewriting, &vdb))
-            .collect();
+        {
+            if let Some(report) = plan_candidate(model, query, views, i, &c.rewriting, &vdb)? {
+                planned.push(report);
+            }
+        }
         planned.sort_by(|a, b| {
             a.cost
                 .partial_cmp(&b.cost)

@@ -81,7 +81,8 @@ pub mod prelude {
     };
     pub use viewplan_engine::{
         canonical_database, evaluate, execute_annotated, execute_ordered, materialize_views,
-        Database, Relation, Value,
+        set_default_engine, try_evaluate, try_execute_annotated, try_execute_ordered, Database,
+        Engine, EngineError, Relation, Value,
     };
     pub use viewplan_serve::{BatchServer, ServeConfig, ServedAnswer};
     pub use viewplan_workload::{generate, random_database, Shape, Workload, WorkloadConfig};

@@ -126,7 +126,7 @@ fn planned_m3_execution_preserves_answers() {
             continue;
         };
         let direct = evaluate(&w.query, &base);
-        let trace = plan.execute(&r.head, &vdb);
+        let trace = plan.try_execute(&r.head, &vdb).unwrap();
         assert_eq!(direct, trace.answer, "M3 plan {plan} for {r}");
     }
 }

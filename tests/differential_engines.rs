@@ -1,0 +1,310 @@
+//! Differential testing of the columnar batch engine against the row
+//! engine — the PR's tentpole contract: for every query, database, thread
+//! count, and budget, the two engines must produce *byte-identical*
+//! results, including the answer's row order and the full
+//! [`viewplan::engine::ExecutionTrace`] (subgoal/IR/GSR sizes).
+//!
+//! The second half holds regression tests for the three error-path
+//! bugfixes that rode along:
+//!
+//! 1. an unsafe head query (head variable never bound by the body) is a
+//!    typed [`EngineError::UnboundHeadVariable`], and exits the CLI
+//!    with code 2 instead of panicking;
+//! 2. a subgoal whose arity disagrees with the stored relation counts
+//!    its skipped tuples in `engine.arity_mismatch_skips` instead of
+//!    silently returning an empty join;
+//! 3. re-registering a relation at a conflicting arity is a typed
+//!    [`EngineError::ArityConflict`] from `Database::try_get_or_create`
+//!    / `try_insert`, and a bad fact file exits the CLI with code 2.
+
+use proptest::prelude::*;
+use std::process::Command;
+use viewplan::engine::install;
+use viewplan::obs::BudgetSpec;
+use viewplan::prelude::*;
+
+/// Runs `f` under each engine and asserts the outputs are equal,
+/// including row order where the output is a relation slice.
+fn both_engines<T: PartialEq + std::fmt::Debug>(f: impl Fn() -> T) -> T {
+    let row = {
+        let _g = install(Engine::Row);
+        f()
+    };
+    let columnar = {
+        let _g = install(Engine::Columnar);
+        f()
+    };
+    assert_eq!(row, columnar, "row and columnar engines diverged");
+    columnar
+}
+
+// ---------------------------------------------------------------------
+// Random queries and databases (same shape as the engine crate's
+// nested-loop reference suite, but comparing the two engines).
+
+fn arb_query() -> impl Strategy<Value = ConjunctiveQuery> {
+    let term = prop_oneof![
+        5 => (0..4usize).prop_map(|i| Term::var(&format!("V{i}"))),
+        1 => (0..3i64).prop_map(Term::int),
+    ];
+    let atom = ((0..3usize), prop::collection::vec(term, 1..=3))
+        .prop_map(|(p, ts)| Atom::new(format!("rel{}_{}", p, ts.len()).as_str(), ts));
+    prop::collection::vec(atom, 1..=4).prop_map(|body| {
+        let mut vars: Vec<Symbol> = Vec::new();
+        for a in &body {
+            for v in a.variables() {
+                if !vars.contains(&v) {
+                    vars.push(v);
+                }
+            }
+        }
+        let head_terms: Vec<Term> = vars.into_iter().map(Term::Var).collect();
+        ConjunctiveQuery::new(Atom::new("out", head_terms), body)
+    })
+}
+
+fn arb_db(q: &ConjunctiveQuery) -> impl Strategy<Value = Database> {
+    let preds: Vec<(Symbol, usize)> = {
+        let mut seen = std::collections::HashSet::new();
+        q.body
+            .iter()
+            .filter(|a| seen.insert(a.predicate))
+            .map(|a| (a.predicate, a.arity()))
+            .collect()
+    };
+    let tables: Vec<_> = preds
+        .into_iter()
+        .map(|(name, arity)| {
+            prop::collection::vec(prop::collection::vec(0i64..4, arity), 0..8)
+                .prop_map(move |rows| (name, rows))
+        })
+        .collect();
+    tables.prop_map(|tables| {
+        let mut db = Database::new();
+        for (name, rows) in tables {
+            for row in rows {
+                db.insert(name, row.into_iter().map(Value::Int).collect());
+            }
+        }
+        db
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Random query + database: `evaluate` and `execute_ordered` agree
+    /// across engines, trace and answer order included.
+    #[test]
+    fn engines_agree_on_random_queries(
+        (q, db) in arb_query().prop_flat_map(|q| {
+            let db = arb_db(&q);
+            (Just(q), db)
+        })
+    ) {
+        both_engines(|| {
+            let answer = evaluate(&q, &db);
+            let trace = execute_ordered(&q.head, &q.body, &db);
+            assert_eq!(trace.answer, answer);
+            (
+                trace.subgoal_sizes.clone(),
+                trace.intermediate_sizes.clone(),
+                trace.answer.as_slice().to_vec(),
+            )
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Workload-scale differential: the full pipeline (CoreCover over
+// canonical databases, M1 planning, serving) under each engine, at
+// thread counts 1 and 8, with and without node budgets.
+
+fn served_renders(
+    views: &ViewSet,
+    stream: &[ConjunctiveQuery],
+    engine: Engine,
+    threads: usize,
+    budget: BudgetSpec,
+) -> Vec<String> {
+    let server = BatchServer::with_config(
+        views,
+        ServeConfig {
+            engine,
+            budget,
+            ..ServeConfig::default()
+        },
+    );
+    server
+        .serve_batch(stream, threads)
+        .into_iter()
+        .map(|r| match r {
+            Ok(a) => a.render(),
+            Err(e) => format!("error: {e}"),
+        })
+        .collect()
+}
+
+#[test]
+fn engines_agree_on_served_workloads() {
+    for (shape, seed) in [(0usize, 11u64), (1, 23), (2, 47)] {
+        let make = match shape {
+            0 => WorkloadConfig::star,
+            1 => WorkloadConfig::chain,
+            _ => WorkloadConfig::random,
+        };
+        let views = generate(&make(10, 1, seed)).views;
+        let stream: Vec<ConjunctiveQuery> = (0..4)
+            .map(|i| generate(&make(10, 1, seed + i as u64)).query)
+            .collect();
+        for budget in [BudgetSpec::new(), BudgetSpec::new().node_budget(500)] {
+            for threads in [1usize, 8] {
+                let row = served_renders(&views, &stream, Engine::Row, threads, budget);
+                let col = served_renders(&views, &stream, Engine::Columnar, threads, budget);
+                assert_eq!(
+                    row, col,
+                    "engines diverged (shape {shape}, seed {seed}, threads {threads})"
+                );
+            }
+        }
+    }
+}
+
+/// Optimizer-chosen plans execute byte-identically under both engines
+/// over a random view database (the M2/M3 ground-truth costing path).
+#[test]
+fn engines_agree_on_optimized_plan_traces() {
+    for seed in [3u64, 9, 27] {
+        let w = generate(&WorkloadConfig::chain(12, 0, seed));
+        let mut base = Database::new();
+        // Keep the chain joins small: the M2 exact oracle *executes*
+        // every DP subset, so intermediate sizes grow like
+        // rows·(rows/domain)^k.
+        for (name, rows) in random_database(&w.query, 12, 12, seed) {
+            for row in rows {
+                base.insert(name, row.into_iter().map(Value::Int).collect());
+            }
+        }
+        let vdb = both_engines(|| materialize_views(&w.views, &base));
+        let mut oracle = ExactOracle::new(&vdb);
+        let Some(best) = Optimizer::new(&w.query, &w.views).best_plan(CostModel::M2, &mut oracle)
+        else {
+            continue;
+        };
+        both_engines(|| {
+            let trace = best
+                .plan
+                .try_execute(&best.rewriting.head, &vdb)
+                .expect("optimizer plans never drop head variables");
+            (
+                trace.subgoal_sizes.clone(),
+                trace.intermediate_sizes.clone(),
+                trace.answer.as_slice().to_vec(),
+            )
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Regression tests for the three error-path bugfixes.
+
+/// Bugfix 1 (engine): a head variable the body never binds is a typed
+/// error from both engines, not an `expect` panic.
+#[test]
+fn unbound_head_variable_is_a_typed_error() {
+    let parsed = parse_query("q(A) :- r(A, B)").unwrap();
+    let unsafe_q = ConjunctiveQuery::new(Atom::new("q", vec![Term::var("Z")]), parsed.body);
+    let mut db = Database::new();
+    db.insert_int("r", &[&[1, 2]]);
+    for engine in [Engine::Row, Engine::Columnar] {
+        let _g = install(engine);
+        let err = try_evaluate(&unsafe_q, &db).unwrap_err();
+        assert!(
+            matches!(err, EngineError::UnboundHeadVariable { .. }),
+            "expected UnboundHeadVariable, got {err}"
+        );
+    }
+}
+
+/// Bugfix 1 (CLI): an unsafe head query is an input error — exit 2 with
+/// a diagnostic, never a panic (exit 101) or an internal error (exit 1).
+#[test]
+fn unsafe_head_query_exits_2() {
+    let path = std::env::temp_dir().join("viewplan_diff_unsafe.vp");
+    std::fs::write(&path, "q(X) :- r(A, B).\n").unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_viewplan"))
+        .args(["eval", path.to_str().unwrap()])
+        .output()
+        .expect("failed to spawn viewplan");
+    let _ = std::fs::remove_file(&path);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "stderr: {stderr}");
+    assert!(
+        stderr.contains("unsafe") || stderr.contains("head variable"),
+        "stderr should explain the unsafe head: {stderr}"
+    );
+}
+
+/// Bugfix 2: a subgoal whose arity disagrees with the stored relation
+/// counts every skipped tuple in `engine.arity_mismatch_skips` (and
+/// still evaluates to the empty answer) instead of skipping silently.
+#[test]
+fn arity_mismatch_increments_counter() {
+    viewplan::obs::set_enabled(true);
+    let q = parse_query("q(X) :- r(X, Y, Z)").unwrap();
+    let mut db = Database::new();
+    db.insert_int("r", &[&[1, 2], &[3, 4], &[5, 6]]); // stored arity 2, used with 3
+    let before = viewplan::obs::counter_value("engine.arity_mismatch_skips");
+    let answer = both_engines(|| evaluate(&q, &db));
+    assert!(answer.is_empty());
+    let after = viewplan::obs::counter_value("engine.arity_mismatch_skips");
+    // 3 skipped tuples per engine; `>=` because other tests share the
+    // process-global metrics registry.
+    assert!(
+        after >= before + 6,
+        "expected +6 skips, counter went {before} -> {after}"
+    );
+}
+
+/// Bugfix 3 (API): re-registering a relation at a different arity is a
+/// typed error, not a silently reused wrong-arity relation.
+#[test]
+fn arity_conflict_is_a_typed_error() {
+    let mut db = Database::new();
+    assert!(db
+        .try_insert("r", vec![Value::Int(1), Value::Int(2)])
+        .unwrap());
+    let err = db.try_insert("r", vec![Value::Int(1)]).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            EngineError::ArityConflict {
+                existing: 2,
+                requested: 1,
+                ..
+            }
+        ),
+        "expected ArityConflict, got {err}"
+    );
+    // The original relation is untouched.
+    assert_eq!(db.get("r".into()).map(|r| r.len()), Some(1));
+}
+
+/// Bugfix 3 (CLI): a fact file whose facts disagree on a predicate's
+/// arity exits 2 with a diagnostic naming the arity conflict.
+#[test]
+fn conflicting_fact_arity_exits_2() {
+    let path = std::env::temp_dir().join("viewplan_diff_arity.vp");
+    std::fs::write(&path, "q(X) :- r(X, Y).\nr(1, 2).\nr(1, 2, 3).\n").unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_viewplan"))
+        .args(["eval", path.to_str().unwrap()])
+        .output()
+        .expect("failed to spawn viewplan");
+    let _ = std::fs::remove_file(&path);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "stderr: {stderr}");
+    assert!(
+        stderr.contains("arity"),
+        "stderr should name the arity conflict: {stderr}"
+    );
+}

@@ -90,6 +90,10 @@ fn check_stats_counters(name: &str, problem: &str) {
         // VIEWPLAN_THREADS: parallel runs add scheduler counters
         // (parallel.batches/tasks) that are not part of this snapshot.
         .env("VIEWPLAN_THREADS", "1")
+        // Pin the execution engine too: the row and columnar engines
+        // register the same shared counters, but the columnar engine
+        // adds engine.batch_* counters this snapshot includes.
+        .env("VIEWPLAN_ENGINE", "columnar")
         .args([
             "rewrite",
             problem,

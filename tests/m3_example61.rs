@@ -124,7 +124,7 @@ fn all_plans_compute_the_answer() {
         for order in [[0usize, 1], [1, 0]] {
             let (plan, _, _) = plan_with_order(&q, &views, &p2, &order, policy, &mut oracle)
                 .expect("unbudgeted planning always completes");
-            let trace = plan.execute(&p2.head, &vdb);
+            let trace = plan.try_execute(&p2.head, &vdb).unwrap();
             assert_eq!(
                 trace.answer.as_slice(),
                 [vec![Value::Int(1)]],

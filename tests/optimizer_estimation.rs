@@ -36,7 +36,7 @@ fn estimated_plans_still_compute_correct_answers() {
         else {
             continue;
         };
-        let trace = plan.plan.execute(&plan.rewriting.head, &vdb);
+        let trace = plan.plan.try_execute(&plan.rewriting.head, &vdb).unwrap();
         let direct = evaluate(&w.query, &base);
         assert_eq!(direct, trace.answer, "seed {seed}");
     }
@@ -73,7 +73,10 @@ fn estimated_choice_is_close_to_exact_optimal_on_measured_catalogs() {
             continue;
         };
         // Re-cost the estimated plan exactly by executing it.
-        let est_trace = est_plan.plan.execute(&est_plan.rewriting.head, &vdb);
+        let est_trace = est_plan
+            .plan
+            .try_execute(&est_plan.rewriting.head, &vdb)
+            .unwrap();
         let est_exact_cost = est_trace.cost() as f64;
         assert!(
             est_exact_cost + 1e-9 >= exact_plan.cost,
