@@ -13,6 +13,7 @@ use viewplan_core::{default_threads, parallel_map, CoreCover, CoreCoverConfig};
 use viewplan_obs as obs;
 use viewplan_workload::{generate, WorkloadConfig};
 
+pub mod loadgen;
 pub mod trajectory;
 
 /// Which §7 workload family a sweep runs.

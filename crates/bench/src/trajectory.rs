@@ -86,12 +86,16 @@
 //! invariants cold-misses/warm-hits) is what validation pins.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
 
+use viewplan_cq::ViewSet;
 use viewplan_engine::{Database, Engine, Value};
 use viewplan_obs::{self as obs, Json};
-use viewplan_serve::{BatchServer, ServeConfig};
+use viewplan_serve::{BatchServer, LiveCatalog, NetConfig, NetServer, ServeConfig};
 use viewplan_workload::{generate, random_database, WorkloadConfig};
 
+use crate::loadgen::{ddl_churn, run_loadgen, LoadgenConfig, LoadgenReport};
 use crate::{run_sweep, Family, SweepConfig, SweepPoint};
 
 /// Schema version stamped into (and required from) both documents.
@@ -256,6 +260,7 @@ pub fn serve_trajectory(config: &TrajectoryConfig) -> Json {
     };
 
     let passes: BTreeMap<String, Json> = [run_pass("cold"), run_pass("warm")].into_iter().collect();
+    let query_srcs: Vec<String> = queries.iter().map(|q| q.to_string()).collect();
     let mut doc = BTreeMap::new();
     doc.insert("schema_version".into(), Json::num(BENCH_SCHEMA_VERSION));
     doc.insert("suite".into(), Json::str("serve"));
@@ -266,7 +271,135 @@ pub fn serve_trajectory(config: &TrajectoryConfig) -> Json {
     doc.insert("views".into(), Json::num(views_n as u64));
     doc.insert("queries".into(), Json::num(queries_n as u64));
     doc.insert("passes".into(), Json::Object(passes));
+    doc.insert(
+        "overload".into(),
+        overload_section(&views, &query_srcs, config.smoke),
+    );
+    doc.insert(
+        "ddl_churn".into(),
+        ddl_churn_section(&views, &query_srcs, config.smoke),
+    );
     Json::Object(doc)
+}
+
+/// One [`LoadgenReport`] rendered for the serve document.
+fn json_load_report(r: &LoadgenReport) -> Json {
+    let mut lat = BTreeMap::new();
+    lat.insert("p50".into(), Json::num(r.latency_percentile(0.5)));
+    lat.insert("p95".into(), Json::num(r.latency_percentile(0.95)));
+    lat.insert("p99".into(), Json::num(r.latency_percentile(0.99)));
+    let mut o = BTreeMap::new();
+    o.insert("offered".into(), Json::num(r.offered));
+    o.insert("ok".into(), Json::num(r.ok));
+    o.insert("shed".into(), Json::num(r.shed));
+    o.insert("errors".into(), Json::num(r.errors));
+    o.insert("retries".into(), Json::num(r.retries));
+    o.insert("silent_drops".into(), Json::num(r.failed_after_retries));
+    o.insert("stale_epoch".into(), Json::num(r.stale_epoch));
+    o.insert("cached".into(), Json::num(r.cached));
+    o.insert("throughput_rps".into(), Json::Number(r.throughput_rps()));
+    o.insert("latency_us".into(), Json::Object(lat));
+    Json::Object(o)
+}
+
+/// Overload comparison over the real network stack: the same offered
+/// load (closed-loop clients ≫ workers, each request carrying a
+/// deadline) against a server *with* admission control (bounded queue,
+/// deadline-aware rejection) and one *without* (a queue deep enough to
+/// never refuse — requests then miss their deadlines inside the queue
+/// instead of being shed at the door). The EXPERIMENTS table reads shed
+/// rate and p99 from here; validation pins only the structural
+/// invariants (accounting identity, zero silent drops, monotone
+/// percentiles).
+fn overload_section(views: &ViewSet, query_srcs: &[String], smoke: bool) -> Json {
+    let (clients, per_client, workers) = if smoke { (6, 6, 2) } else { (12, 20, 2) };
+    let deadline_ms = if smoke { 200 } else { 60 };
+    let run = |queue_capacity: usize, deadline: Option<u64>| -> Json {
+        let catalog = Arc::new(LiveCatalog::new(views, ServeConfig::default()));
+        let net = NetConfig {
+            workers,
+            queue_capacity,
+            ..NetConfig::default()
+        };
+        match NetServer::start(catalog, "127.0.0.1:0", net) {
+            Ok(mut server) => {
+                let report = run_loadgen(
+                    server.local_addr(),
+                    query_srcs,
+                    &LoadgenConfig {
+                        clients,
+                        requests_per_client: per_client,
+                        deadline_ms: deadline,
+                        ..LoadgenConfig::default()
+                    },
+                );
+                server.shutdown();
+                json_load_report(&report)
+            }
+            Err(e) => Json::str(format!("bind failed: {e}")),
+        }
+    };
+    let mut o = BTreeMap::new();
+    o.insert("clients".into(), Json::num(clients as u64));
+    o.insert("requests_per_client".into(), Json::num(per_client as u64));
+    o.insert("workers".into(), Json::num(workers as u64));
+    o.insert("deadline_ms".into(), Json::num(deadline_ms));
+    o.insert(
+        "with_admission".into(),
+        run(if smoke { 4 } else { 8 }, Some(deadline_ms)),
+    );
+    o.insert("without_admission".into(), run(4096, None));
+    Json::Object(o)
+}
+
+/// DDL churn under live traffic: closed-loop clients stream queries
+/// while a control connection alternates `add-view`/`drop-view` of a
+/// view sharing the workload's predicates (so swaps genuinely invalidate
+/// cache entries). Validation pins the robustness story: every swap
+/// acknowledged, zero silent drops, zero stale-epoch answers.
+fn ddl_churn_section(views: &ViewSet, query_srcs: &[String], smoke: bool) -> Json {
+    let (clients, per_client, swaps) = if smoke { (4, 8, 4) } else { (8, 25, 10) };
+    // The churned view reuses the first workload view's body under a
+    // fresh name, so its predicates overlap the cached queries'.
+    let first_def = views.as_slice()[0].definition.to_string();
+    let churn_src = match first_def.split_once('(') {
+        Some((_, rest)) => format!("vchurn({rest}"),
+        None => "vchurn(X) :- e(X, X)".to_string(),
+    };
+    let catalog = Arc::new(LiveCatalog::new(views, ServeConfig::default()));
+    let net = NetConfig {
+        workers: 2,
+        ..NetConfig::default()
+    };
+    let mut o = BTreeMap::new();
+    o.insert("clients".into(), Json::num(clients as u64));
+    o.insert("requests_per_client".into(), Json::num(per_client as u64));
+    match NetServer::start(catalog, "127.0.0.1:0", net) {
+        Ok(mut server) => {
+            let addr = server.local_addr();
+            let churn_every = Duration::from_millis(if smoke { 2 } else { 5 });
+            let churner = std::thread::spawn(move || {
+                ddl_churn(addr, &churn_src, "vchurn", swaps, churn_every).unwrap_or(0)
+            });
+            let report = run_loadgen(
+                addr,
+                query_srcs,
+                &LoadgenConfig {
+                    clients,
+                    requests_per_client: per_client,
+                    ..LoadgenConfig::default()
+                },
+            );
+            let acknowledged = churner.join().unwrap_or(0);
+            server.shutdown();
+            o.insert("epoch_swaps".into(), Json::num(acknowledged));
+            o.insert("report".into(), json_load_report(&report));
+        }
+        Err(e) => {
+            o.insert("error".into(), Json::str(format!("bind failed: {e}")));
+        }
+    }
+    Json::Object(o)
 }
 
 /// Runs the row-vs-columnar comparison and renders `BENCH_engine.json`:
@@ -476,6 +609,70 @@ pub fn validate_serve(doc: &Json) -> Result<(), String> {
             hit_rate["warm"], hit_rate["cold"]
         ));
     }
+    let overload = doc.get("overload").ok_or("missing \"overload\" object")?;
+    for key in ["clients", "requests_per_client", "workers", "deadline_ms"] {
+        expect_u64(overload, key)?;
+    }
+    for variant in ["with_admission", "without_admission"] {
+        let block = overload
+            .get(variant)
+            .ok_or_else(|| format!("overload missing {variant:?}"))?;
+        validate_load_block(block, variant)?;
+    }
+    let churn = doc.get("ddl_churn").ok_or("missing \"ddl_churn\" object")?;
+    expect_u64(churn, "clients")?;
+    expect_u64(churn, "requests_per_client")?;
+    let swaps = expect_u64(churn, "epoch_swaps")?;
+    if swaps == 0 {
+        return Err("ddl_churn acknowledged no epoch swaps".into());
+    }
+    validate_load_block(
+        churn.get("report").ok_or("ddl_churn missing \"report\"")?,
+        "ddl_churn.report",
+    )?;
+    Ok(())
+}
+
+/// Structural invariants of one load-generator block: the accounting
+/// identity holds, nothing was silently dropped, no stale-epoch answer
+/// was served, and the latency percentiles are monotone. Timing fields
+/// (throughput, absolute latency) vary run to run and are not pinned.
+fn validate_load_block(block: &Json, label: &str) -> Result<(), String> {
+    let offered = expect_u64(block, "offered")?;
+    if offered == 0 {
+        return Err(format!("{label}: offered no requests"));
+    }
+    let ok = expect_u64(block, "ok")?;
+    let shed = expect_u64(block, "shed")?;
+    let errors = expect_u64(block, "errors")?;
+    let silent = expect_u64(block, "silent_drops")?;
+    let stale = expect_u64(block, "stale_epoch")?;
+    expect_u64(block, "retries")?;
+    expect_u64(block, "cached")?;
+    expect_f64(block, "throughput_rps")?;
+    if ok + shed + errors + silent != offered {
+        return Err(format!(
+            "{label}: accounting broken — ok {ok} + shed {shed} + errors {errors} + \
+             silent {silent} != offered {offered}"
+        ));
+    }
+    if silent != 0 {
+        return Err(format!("{label}: {silent} request(s) silently dropped"));
+    }
+    if stale != 0 {
+        return Err(format!("{label}: {stale} stale-epoch answer(s) served"));
+    }
+    let lat = block
+        .get("latency_us")
+        .ok_or_else(|| format!("{label} missing \"latency_us\""))?;
+    let p50 = expect_f64(lat, "p50")?;
+    let p95 = expect_f64(lat, "p95")?;
+    let p99 = expect_f64(lat, "p99")?;
+    if !(p50 <= p95 && p95 <= p99) {
+        return Err(format!(
+            "{label}: percentiles are not monotone (p50={p50}, p95={p95}, p99={p99})"
+        ));
+    }
     Ok(())
 }
 
@@ -544,6 +741,16 @@ mod tests {
         let requests = warm.get("requests").unwrap().as_u64().unwrap();
         let hits = warm.get("cache_hits").unwrap().as_u64().unwrap();
         assert_eq!(hits, requests, "every warm request hits the cache");
+        // The overload run over a live socket must account for every
+        // request and the DDL churn must have swapped epochs.
+        let overload = doc.get("overload").unwrap();
+        for variant in ["with_admission", "without_admission"] {
+            let block = overload.get(variant).unwrap();
+            assert_eq!(block.get("silent_drops").unwrap().as_u64(), Some(0));
+            assert_eq!(block.get("stale_epoch").unwrap().as_u64(), Some(0));
+        }
+        let churn = doc.get("ddl_churn").unwrap();
+        assert!(churn.get("epoch_swaps").unwrap().as_u64().unwrap() >= 1);
     }
 
     #[test]
@@ -579,6 +786,27 @@ mod tests {
     fn validation_rejects_wrong_versions_and_broken_invariants() {
         let mut doc = serve_trajectory(&smoke());
         validate_serve(&doc).unwrap();
+        // Break the overload accounting identity: must be rejected.
+        let mut cooked = doc.clone();
+        if let Json::Object(map) = &mut cooked {
+            if let Some(Json::Object(over)) = map.get_mut("overload") {
+                if let Some(Json::Object(block)) = over.get_mut("with_admission") {
+                    block.insert("silent_drops".into(), Json::num(3));
+                }
+            }
+        }
+        assert!(validate_serve(&cooked).unwrap_err().contains("accounting"));
+        // A served stale-epoch answer must be rejected even when the
+        // accounting identity still balances.
+        let mut stale = doc.clone();
+        if let Json::Object(map) = &mut stale {
+            if let Some(Json::Object(churn)) = map.get_mut("ddl_churn") {
+                if let Some(Json::Object(block)) = churn.get_mut("report") {
+                    block.insert("stale_epoch".into(), Json::num(1));
+                }
+            }
+        }
+        assert!(validate_serve(&stale).unwrap_err().contains("stale-epoch"));
         // Bump the version: must be rejected.
         if let Json::Object(map) = &mut doc {
             map.insert("schema_version".into(), Json::num(99));

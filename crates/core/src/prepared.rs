@@ -24,17 +24,33 @@ use viewplan_obs as obs;
 /// A view set with its query-independent preprocessing done: view
 /// equivalence classes and the representative view per class. Immutable
 /// after construction; share by reference across threads.
+///
+/// Each snapshot carries an **epoch** — a monotone version number the
+/// live-catalog layer in `viewplan-serve` bumps on every online
+/// `add-view`/`drop-view` swap. A static deployment never touches it
+/// ([`PreparedViews::prepare`] stamps epoch 0), so existing callers are
+/// unaffected; a serving deployment uses the epoch to tell which catalog
+/// version computed an answer (and which cache entries are still valid).
 #[derive(Clone, Debug)]
 pub struct PreparedViews {
     views: ViewSet,
     classes: Vec<Vec<usize>>,
     representatives: ViewSet,
+    epoch: u64,
 }
 
 impl PreparedViews {
     /// Runs the per-view-set preprocessing (the §5.2 view-equivalence
-    /// grouping — the quadratic pass worth amortizing across queries).
+    /// grouping — the quadratic pass worth amortizing across queries) at
+    /// epoch 0.
     pub fn prepare(views: &ViewSet) -> PreparedViews {
+        PreparedViews::prepare_with_epoch(views, 0)
+    }
+
+    /// [`PreparedViews::prepare`], stamping the snapshot with an explicit
+    /// catalog epoch (used by online view DDL to version swapped
+    /// snapshots).
+    pub fn prepare_with_epoch(views: &ViewSet, epoch: u64) -> PreparedViews {
         let _span = obs::span("serve.prepare_views");
         let classes = view_equivalence_classes(views);
         let representatives =
@@ -44,7 +60,14 @@ impl PreparedViews {
             views: views.clone(),
             classes,
             representatives,
+            epoch,
         }
+    }
+
+    /// The catalog epoch this snapshot was prepared at (0 for static
+    /// deployments).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The full original view set.
@@ -95,6 +118,8 @@ mod tests {
         assert_eq!(prepared.classes()[0], vec![0, 4]);
         assert_eq!(prepared.representatives().len(), 4);
         assert_eq!(prepared.views().len(), 5);
+        assert_eq!(prepared.epoch(), 0);
+        assert_eq!(PreparedViews::prepare_with_epoch(&views, 7).epoch(), 7);
     }
 
     #[test]

@@ -133,6 +133,13 @@ impl std::fmt::Display for Completeness {
 }
 
 /// Where an injected fault fires.
+///
+/// The first four points live in the rewriting pipeline and are consumed
+/// by [`Meter`] through the ambient budget. The serving points
+/// (`Accept`/`Read`/`Write`/`Swap`) are consumed by the network layer in
+/// `viewplan-serve` instead — they share the `VIEWPLAN_FAULT` syntax and
+/// the fire-exactly-once countdown, but never trip a search meter (see
+/// [`FaultPoint::is_serving`]).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum FaultPoint {
     /// Exhaust the nth homomorphism search at its first node.
@@ -143,6 +150,27 @@ pub enum FaultPoint {
     Plan,
     /// Fire the deadline at the nth metered search (any phase).
     Deadline,
+    /// Drop the nth accepted network connection before reading a frame.
+    Accept,
+    /// Abort the connection after the nth successful frame read.
+    Read,
+    /// Abort the connection instead of writing the nth response frame.
+    Write,
+    /// Fail the nth catalog epoch swap (the DDL errors; traffic is
+    /// untouched and the old epoch keeps serving).
+    Swap,
+}
+
+impl FaultPoint {
+    /// True for the serving-layer points, which the budget meters must
+    /// ignore (they are injected by the network front-end, not by search
+    /// loops).
+    pub fn is_serving(self) -> bool {
+        matches!(
+            self,
+            FaultPoint::Accept | FaultPoint::Read | FaultPoint::Write | FaultPoint::Swap
+        )
+    }
 }
 
 /// A deterministic injected fault: at the `nth` (1-based) search of the
@@ -170,9 +198,14 @@ impl Fault {
             "cover" => FaultPoint::Cover,
             "plan" => FaultPoint::Plan,
             "deadline" => FaultPoint::Deadline,
+            "accept" => FaultPoint::Accept,
+            "read" => FaultPoint::Read,
+            "write" => FaultPoint::Write,
+            "swap" => FaultPoint::Swap,
             other => {
                 return Err(format!(
-                    "unknown fault point `{other}` (expected hom, cover, plan, or deadline)"
+                    "unknown fault point `{other}` (expected hom, cover, plan, deadline, \
+                     accept, read, write, or swap)"
                 ))
             }
         };
@@ -272,6 +305,16 @@ impl BudgetSpec {
     /// Sets the wall-clock timeout in milliseconds.
     pub fn timeout_ms(self, ms: u64) -> BudgetSpec {
         self.timeout(Duration::from_millis(ms))
+    }
+
+    /// Caps the timeout at `cap`: the resulting spec times out at the
+    /// smaller of its configured timeout and `cap`. The serving layer
+    /// clamps each request's budget to its remaining network deadline
+    /// this way, so a request never computes past the point where its
+    /// client stops listening.
+    pub fn clamp_timeout(mut self, cap: Duration) -> BudgetSpec {
+        self.timeout = Some(self.timeout.map_or(cap, |t| t.min(cap)));
+        self
     }
 
     /// Sets the same per-search node cap for all three phases.
@@ -428,6 +471,9 @@ impl Budget {
             FaultPoint::Cover => phase == Phase::Cover,
             FaultPoint::Plan => phase == Phase::Plan,
             FaultPoint::Deadline => true,
+            // Serving-layer points belong to the network front-end; a
+            // budget that happens to carry one never trips a meter.
+            FaultPoint::Accept | FaultPoint::Read | FaultPoint::Write | FaultPoint::Swap => false,
         };
         if !matches {
             return None;
@@ -757,6 +803,44 @@ mod tests {
         assert!(Fault::parse("hom:0").is_err());
         assert!(Fault::parse("hom:x").is_err());
         assert!(Fault::parse("warp:1").is_err());
+    }
+
+    #[test]
+    fn serving_fault_points_parse_but_never_trip_meters() {
+        no_budget();
+        for (src, point) in [
+            ("accept:2", FaultPoint::Accept),
+            ("read:1", FaultPoint::Read),
+            ("write:3", FaultPoint::Write),
+            ("swap:1", FaultPoint::Swap),
+        ] {
+            assert_eq!(
+                Fault::parse(src),
+                Ok(Fault {
+                    point,
+                    nth: src[src.len() - 1..].parse().unwrap()
+                })
+            );
+            assert!(point.is_serving());
+        }
+        assert!(!FaultPoint::Hom.is_serving());
+        assert!(!FaultPoint::Deadline.is_serving());
+        // A budget carrying a serving fault is inert for search meters.
+        let budget = BudgetSpec::new()
+            .fault(Fault {
+                point: FaultPoint::Accept,
+                nth: 1,
+            })
+            .build();
+        let _g = install(budget.clone());
+        for phase in [Phase::Hom, Phase::Cover, Phase::Plan] {
+            let mut m = Meter::start(phase);
+            for _ in 0..1000 {
+                assert!(m.tick());
+            }
+            assert!(!m.exhausted());
+        }
+        assert_eq!(budget.hits().node_hits, 0);
     }
 
     #[test]

@@ -1,0 +1,326 @@
+//! Bounded, deadline-aware admission control with honest load shedding.
+//!
+//! The network front-end does not hand requests straight to workers — it
+//! offers them to an [`AdmissionQueue`], which admits or *sheds* at
+//! arrival time. Shedding is never silent: every shed carries a
+//! [`ShedReason`], and the wire layer answers it with an explicit `shed`
+//! response whose completeness marker is the honest
+//! [`Completeness::DeadlineExceeded`](viewplan_obs::Completeness) — the
+//! client learns its request did no work, rather than timing out against
+//! a queue that was never going to reach it.
+//!
+//! Three admission verdicts:
+//!
+//! * **queue full** — the bounded queue is at capacity. Admitting more
+//!   would only move the failure from an instant, cheap rejection to a
+//!   slow, expensive timeout (and take every other request's latency
+//!   down with it).
+//! * **deadline unmeetable** — reject-on-arrival: the queue projects its
+//!   wait as `queue length × EWMA service time` and sheds any request
+//!   whose deadline falls inside that projection. This is the classic
+//!   overload stabilizer: work that would be dead on arrival is never
+//!   admitted, so the server's effort goes only to requests that can
+//!   still make their deadlines.
+//! * **shutting down** — the queue is closed; drain-in-progress.
+//!
+//! The service-time estimate is an exponentially weighted moving average
+//! (`new = old·7/8 + sample/8`) updated by workers on completion —
+//! cheap, lock-free, and deliberately coarse: admission needs the right
+//! order of magnitude, not a forecast.
+//!
+//! Shutdown semantics support graceful drain: after [`AdmissionQueue::
+//! close`], offers shed with [`ShedReason::ShuttingDown`] but
+//! [`AdmissionQueue::take`] keeps returning already-admitted work until
+//! the queue is empty — an admitted request is a promise.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+use viewplan_obs as obs;
+
+/// Why a request was refused at admission.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ShedReason {
+    /// The bounded queue is at capacity.
+    QueueFull,
+    /// Projected queue wait exceeds the request's deadline.
+    DeadlineUnmeetable,
+    /// The server is draining for shutdown.
+    ShuttingDown,
+}
+
+impl ShedReason {
+    /// Stable wire label for this reason.
+    pub fn label(self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "queue_full",
+            ShedReason::DeadlineUnmeetable => "deadline_unmeetable",
+            ShedReason::ShuttingDown => "shutting_down",
+        }
+    }
+}
+
+/// One admitted request, stamped with its arrival time and deadline.
+pub struct Admitted<T> {
+    /// The caller's payload.
+    pub item: T,
+    /// Absolute deadline, if the request carried one.
+    pub deadline: Option<Instant>,
+    enqueued: Instant,
+}
+
+impl<T> Admitted<T> {
+    /// Time this request spent queued so far.
+    pub fn queue_wait(&self) -> Duration {
+        self.enqueued.elapsed()
+    }
+
+    /// True when the deadline passed while the request sat in the queue
+    /// — the worker should answer with an honest shed instead of doing
+    /// work whose result nobody is waiting for.
+    pub fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Time remaining until the deadline (None = unbounded).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+}
+
+struct State<T> {
+    queue: VecDeque<Admitted<T>>,
+    closed: bool,
+}
+
+/// A bounded MPMC queue with deadline-aware admission (see the module
+/// docs). `offer` never blocks; `take` blocks until work arrives or the
+/// queue is closed and drained.
+pub struct AdmissionQueue<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+    capacity: usize,
+    /// EWMA of per-request service time, microseconds. Zero until the
+    /// first completion — projection starts optimistic, which only
+    /// means the first few requests are admitted on queue length alone.
+    service_ewma_us: AtomicU64,
+    shed: AtomicU64,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// A queue admitting at most `capacity` waiting requests (clamped to
+    /// at least 1).
+    pub fn new(capacity: usize) -> AdmissionQueue<T> {
+        AdmissionQueue {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+            service_ewma_us: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+        }
+    }
+
+    /// Offers a request. Returns the payload back with a [`ShedReason`]
+    /// when admission refuses it, so the caller can answer honestly.
+    pub fn offer(&self, item: T, deadline: Option<Instant>) -> Result<(), (T, ShedReason)> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let reason = if state.closed {
+            Some(ShedReason::ShuttingDown)
+        } else if state.queue.len() >= self.capacity {
+            Some(ShedReason::QueueFull)
+        } else if deadline
+            .is_some_and(|d| Instant::now() + self.projected_wait_for(state.queue.len()) >= d)
+        {
+            Some(ShedReason::DeadlineUnmeetable)
+        } else {
+            None
+        };
+        match reason {
+            Some(reason) => {
+                drop(state);
+                self.shed_with(item, reason)
+            }
+            None => {
+                state.queue.push_back(Admitted {
+                    item,
+                    deadline,
+                    enqueued: Instant::now(),
+                });
+                drop(state);
+                self.ready.notify_one();
+                Ok(())
+            }
+        }
+    }
+
+    fn shed_with(&self, item: T, reason: ShedReason) -> Result<(), (T, ShedReason)> {
+        self.record_shed();
+        Err((item, reason))
+    }
+
+    /// Records a shed that happened past admission (a deadline expiring
+    /// *inside* the queue), so `serve.shed` counts every shed request
+    /// regardless of where it was refused.
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+        obs::counter!("serve.shed").incr();
+    }
+
+    /// Blocks for the next admitted request; `None` once the queue is
+    /// closed *and* drained. Records the queue-wait histogram.
+    pub fn take(&self) -> Option<Admitted<T>> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(job) = state.queue.pop_front() {
+                drop(state);
+                obs::histogram!("serve.queue_wait_us").record(job.queue_wait().as_micros() as u64);
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .ready
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Worker-side completion report: folds one measured service time
+    /// into the EWMA the admission projection uses.
+    pub fn complete(&self, service: Duration) {
+        let sample = service.as_micros() as u64;
+        let old = self.service_ewma_us.load(Ordering::Relaxed);
+        let new = if old == 0 {
+            sample
+        } else {
+            old - old / 8 + sample / 8
+        };
+        self.service_ewma_us.store(new, Ordering::Relaxed);
+    }
+
+    /// The wait admission currently projects for a request arriving at
+    /// the given queue depth.
+    fn projected_wait_for(&self, depth: usize) -> Duration {
+        Duration::from_micros(self.service_ewma_us.load(Ordering::Relaxed) * depth as u64)
+    }
+
+    /// The wait admission currently projects for a request arriving now.
+    pub fn projected_wait(&self) -> Duration {
+        let depth = self
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .queue
+            .len();
+        self.projected_wait_for(depth)
+    }
+
+    /// Closes the queue: future offers shed with
+    /// [`ShedReason::ShuttingDown`]; already-admitted requests continue
+    /// to drain through [`AdmissionQueue::take`].
+    pub fn close(&self) {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Requests currently waiting.
+    pub fn len(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .queue
+            .len()
+    }
+
+    /// True when no request is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total requests shed since construction.
+    pub fn shed_count(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn full_queue_sheds_with_queue_full() {
+        let q = AdmissionQueue::new(2);
+        assert!(q.offer(1, None).is_ok());
+        assert!(q.offer(2, None).is_ok());
+        let (item, reason) = q.offer(3, None).unwrap_err();
+        assert_eq!((item, reason), (3, ShedReason::QueueFull));
+        assert_eq!(q.shed_count(), 1);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn unmeetable_deadlines_are_shed_on_arrival() {
+        let q = AdmissionQueue::new(64);
+        // Teach the EWMA that a request takes ~10ms.
+        q.complete(Duration::from_millis(10));
+        assert!(q.offer(0, None).is_ok());
+        assert!(q.offer(1, None).is_ok());
+        // Projected wait at depth 2 is ~20ms; a 5ms deadline is dead on
+        // arrival.
+        let (_, reason) = q
+            .offer(2, Some(Instant::now() + Duration::from_millis(5)))
+            .unwrap_err();
+        assert_eq!(reason, ShedReason::DeadlineUnmeetable);
+        // A roomy deadline is admitted.
+        assert!(q
+            .offer(3, Some(Instant::now() + Duration::from_secs(5)))
+            .is_ok());
+    }
+
+    #[test]
+    fn close_drains_admitted_work_then_returns_none() {
+        let q = Arc::new(AdmissionQueue::new(8));
+        assert!(q.offer("a", None).is_ok());
+        assert!(q.offer("b", None).is_ok());
+        q.close();
+        let (_, reason) = q.offer("c", None).unwrap_err();
+        assert_eq!(reason, ShedReason::ShuttingDown);
+        assert_eq!(q.take().map(|j| j.item), Some("a"));
+        assert_eq!(q.take().map(|j| j.item), Some("b"));
+        assert!(q.take().is_none(), "closed + drained");
+
+        // A parked taker wakes up on close instead of hanging.
+        let q2: Arc<AdmissionQueue<u32>> = Arc::new(AdmissionQueue::new(8));
+        let taker = {
+            let q2 = q2.clone();
+            thread::spawn(move || q2.take().map(|j| j.item))
+        };
+        thread::sleep(Duration::from_millis(20));
+        q2.close();
+        assert_eq!(taker.join().ok().flatten(), None);
+    }
+
+    #[test]
+    fn queue_wait_and_expiry_are_observable() {
+        let q = AdmissionQueue::new(8);
+        assert!(q
+            .offer((), Some(Instant::now() + Duration::from_millis(1)))
+            .is_ok());
+        thread::sleep(Duration::from_millis(5));
+        let job = q.take().expect("admitted");
+        assert!(job.expired(), "deadline passed while queued");
+        assert!(job.queue_wait() >= Duration::from_millis(5));
+        assert_eq!(job.remaining(), Some(Duration::ZERO));
+    }
+}

@@ -103,6 +103,12 @@ pub struct ServedAnswer {
     /// under concurrency two workers can race the same miss, so it is
     /// not deterministic, unlike everything else here.
     pub from_cache: bool,
+    /// The catalog epoch of the snapshot that answered this request
+    /// (0 for static deployments). Excluded from [`ServedAnswer::render`]
+    /// like `from_cache`: under a live catalog the serving epoch depends
+    /// on request/DDL interleaving, but the rendered answer for a given
+    /// catalog *state* does not.
+    pub epoch: u64,
 }
 
 impl ServedAnswer {
@@ -150,9 +156,9 @@ impl SizeOracle for NullOracle {
 /// a whole stream; the server is `Sync` and shares its prepared views
 /// and cache across the worker pool by reference.
 pub struct BatchServer {
-    prepared: PreparedViews,
+    prepared: Arc<PreparedViews>,
     config: ServeConfig,
-    cache: Option<RewritingCache>,
+    cache: Option<Arc<RewritingCache>>,
 }
 
 impl BatchServer {
@@ -165,8 +171,27 @@ impl BatchServer {
     /// preprocessing runs here, once.
     pub fn with_config(views: &ViewSet, config: ServeConfig) -> BatchServer {
         let _engine = viewplan_engine::install(config.engine);
-        let prepared = PreparedViews::prepare(views);
-        let cache = (config.cache_capacity > 0).then(|| RewritingCache::new(config.cache_capacity));
+        let prepared = Arc::new(PreparedViews::prepare(views));
+        let cache = (config.cache_capacity > 0)
+            .then(|| Arc::new(RewritingCache::new(config.cache_capacity)));
+        BatchServer {
+            prepared,
+            config,
+            cache,
+        }
+    }
+
+    /// Assembles a server from an already-prepared snapshot and an
+    /// (optionally shared) cache. This is the live catalog's swap
+    /// constructor: on `add-view`/`drop-view` it prepares the new view
+    /// set off the hot path, then builds the next server around the
+    /// *same* cache so revalidated entries keep paying off across the
+    /// epoch boundary.
+    pub fn from_parts(
+        prepared: Arc<PreparedViews>,
+        config: ServeConfig,
+        cache: Option<Arc<RewritingCache>>,
+    ) -> BatchServer {
         BatchServer {
             prepared,
             config,
@@ -179,9 +204,30 @@ impl BatchServer {
         self.prepared.views()
     }
 
+    /// The prepared snapshot this server answers from.
+    pub fn prepared(&self) -> &Arc<PreparedViews> {
+        &self.prepared
+    }
+
+    /// This server's configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The catalog epoch of this server's snapshot (0 unless constructed
+    /// by the live catalog).
+    pub fn epoch(&self) -> u64 {
+        self.prepared.epoch()
+    }
+
     /// The rewriting cache, when caching is enabled.
     pub fn cache(&self) -> Option<&RewritingCache> {
-        self.cache.as_ref()
+        self.cache.as_deref()
+    }
+
+    /// A shareable handle to the cache, for the live catalog's swap path.
+    pub fn cache_handle(&self) -> Option<Arc<RewritingCache>> {
+        self.cache.clone()
     }
 
     /// Rejects queries that are ill-typed against this server's view
@@ -197,10 +243,21 @@ impl BatchServer {
     /// Answers one query: canonicalize, hit the cache or run the
     /// pipeline over the prepared views, denormalize.
     pub fn serve(&self, query: &ConjunctiveQuery) -> Result<ServedAnswer, PlanError> {
+        self.serve_with_spec(query, &self.config.budget)
+    }
+
+    /// [`BatchServer::serve`] under an explicit per-request budget spec —
+    /// the admission layer's entry point, where each request's budget is
+    /// the configured default clamped to its remaining network deadline.
+    pub fn serve_with_spec(
+        &self,
+        query: &ConjunctiveQuery,
+        spec: &BudgetSpec,
+    ) -> Result<ServedAnswer, PlanError> {
         let _span = obs::span("serve.request");
         obs::counter!("serve.requests").incr();
         let started = obs::enabled().then(std::time::Instant::now);
-        let out = self.serve_inner(query);
+        let out = self.serve_inner(query, spec);
         if let Some(started) = started {
             obs::histogram!("serve.request_latency_us")
                 .record(started.elapsed().as_micros() as u64);
@@ -208,24 +265,29 @@ impl BatchServer {
         out
     }
 
-    fn serve_inner(&self, query: &ConjunctiveQuery) -> Result<ServedAnswer, PlanError> {
+    fn serve_inner(
+        &self,
+        query: &ConjunctiveQuery,
+        spec: &BudgetSpec,
+    ) -> Result<ServedAnswer, PlanError> {
         // Installed per request (not once at construction) because
         // `serve_batch` fans requests out across pool threads and the
         // engine override is thread-local.
         let _engine = viewplan_engine::install(self.config.engine);
+        let epoch = self.epoch();
         let c = canonicalize(query);
         if let Some(cache) = &self.cache {
-            if let Some(hit) = cache.get(&c.key) {
-                return Ok(denormalize(&hit, &c.from_canonical, true));
+            if let Some(hit) = cache.get(&c.key, epoch) {
+                return Ok(denormalize(&hit, &c.from_canonical, true, epoch));
             }
         }
-        let computed = Arc::new(self.compute(&c.canonical)?);
+        let computed = Arc::new(self.compute(&c.canonical, spec)?);
         if let Some(cache) = &self.cache {
             // The cache itself refuses incomplete answers (poisoning
             // rule), so a truncated compute is served but not stored.
-            cache.insert(c.key, computed.clone());
+            cache.insert(c.key, c.canonical, computed.clone(), epoch);
         }
-        Ok(denormalize(&computed, &c.from_canonical, false))
+        Ok(denormalize(&computed, &c.from_canonical, false, epoch))
     }
 
     /// Answers a stream of queries on up to `threads` workers (the PR 2
@@ -243,10 +305,13 @@ impl BatchServer {
     /// The cache-miss path: generation over prepared views + M1
     /// planning, all in canonical variable space, under this request's
     /// own budget.
-    fn compute(&self, canonical: &ConjunctiveQuery) -> Result<CachedAnswer, PlanError> {
+    fn compute(
+        &self,
+        canonical: &ConjunctiveQuery,
+        spec: &BudgetSpec,
+    ) -> Result<CachedAnswer, PlanError> {
         let _span = obs::span("serve.compute");
-        let _budget = (!self.config.budget.is_unlimited())
-            .then(|| obs::budget::install(self.config.budget.build()));
+        let _budget = (!spec.is_unlimited()).then(|| obs::budget::install(spec.build()));
         let generator = CoreCover::with_prepared_views(canonical, &self.prepared)
             .with_config(self.config.corecover.clone());
         let result = if self.config.all_minimal {
@@ -271,7 +336,12 @@ impl BatchServer {
 /// Renames a canonical-space answer into the request's variable names —
 /// a pure function of the stored value and the request's inverse
 /// substitution, identical whether the value was computed or cached.
-fn denormalize(answer: &CachedAnswer, back: &Substitution, from_cache: bool) -> ServedAnswer {
+fn denormalize(
+    answer: &CachedAnswer,
+    back: &Substitution,
+    from_cache: bool,
+    epoch: u64,
+) -> ServedAnswer {
     let rename_var = |v: Symbol| match back.get(v) {
         Some(Term::Var(w)) => w,
         _ => v,
@@ -295,6 +365,7 @@ fn denormalize(answer: &CachedAnswer, back: &Substitution, from_cache: bool) -> 
         }),
         completeness: answer.completeness,
         from_cache,
+        epoch,
     }
 }
 
@@ -323,6 +394,8 @@ mod tests {
         assert_eq!(a.best.as_ref().unwrap().cost, 2.0);
         assert_eq!(a.completeness, Completeness::Complete);
         assert!(!a.from_cache);
+        assert_eq!(a.epoch, 0, "static deployments stay at epoch 0");
+        assert_eq!(server.epoch(), 0);
     }
 
     #[test]

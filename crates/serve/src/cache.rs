@@ -1,5 +1,5 @@
 //! The rewriting cache: bounded, sharded, LRU, keyed on canonical
-//! queries.
+//! queries, versioned by catalog epoch.
 //!
 //! A serving workload repeats itself — the same query template arrives
 //! again and again with freshly generated variable names. The cache key
@@ -17,6 +17,22 @@
 //! This mirrors the containment cache's rule of never memoizing
 //! truncated verdicts. Rejections are counted, not silent.
 //!
+//! **Epochs and online DDL.** Under a live catalog (`add-view` /
+//! `drop-view` without draining traffic) an answer is only valid for the
+//! view set that computed it. Every entry therefore carries the epoch it
+//! is known valid for, and [`RewritingCache::get`] only hits when the
+//! entry's epoch equals the *reader's snapshot* epoch. On a catalog swap
+//! the single DDL writer calls [`RewritingCache::retarget`]: entries the
+//! change cannot affect are revalidated in place (their epoch is bumped
+//! to the new one — the principled part: only entries whose cached
+//! rewriting touches a changed view are evicted), affected entries are
+//! removed, and entries left behind by races (inserted under an epoch
+//! older than the swap's source) are dropped — they can never hit again.
+//! An insert racing the swap lands tagged with the *computing* snapshot's
+//! epoch, so a new-epoch reader treats it as a miss rather than a stale
+//! answer; the next swap sweeps it out. Static deployments stay at epoch
+//! 0 throughout and never pay any of this.
+//!
 //! **Eviction.** The cache is sharded (key-hash → shard, each an
 //! independent mutex) to keep worker threads from contending on one
 //! lock. Each shard holds at most `capacity / SHARDS` entries and evicts
@@ -27,9 +43,10 @@
 //!
 //! Counters (when stats collection is on): `serve.cache_hits`,
 //! `serve.cache_misses`, `serve.cache_evictions`,
-//! `serve.cache_rejected_incomplete`. The same numbers are always
-//! available programmatically through [`RewritingCache::stats`],
-//! independent of whether obs collection is enabled.
+//! `serve.cache_rejected_incomplete`, `serve.cache_invalidated`. The
+//! same numbers are always available programmatically through
+//! [`RewritingCache::stats`], independent of whether obs collection is
+//! enabled.
 
 use parking_lot::Mutex;
 use std::collections::hash_map::DefaultHasher;
@@ -38,6 +55,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use viewplan_containment::CanonicalQuery;
+use viewplan_cq::ConjunctiveQuery;
 use viewplan_obs as obs;
 
 use crate::batch::CachedAnswer;
@@ -45,9 +63,13 @@ use crate::batch::CachedAnswer;
 /// Number of independent lock shards (power of two).
 const SHARDS: usize = 8;
 
-/// One cached entry: the canonical-space answer plus its LRU stamp.
+/// One cached entry: the canonical query it answers (kept for
+/// invalidation predicates and the differential oracle), the epoch it is
+/// known valid for, its LRU stamp, and the canonical-space answer.
 struct Entry {
     stamp: u64,
+    epoch: u64,
+    canonical: ConjunctiveQuery,
     value: Arc<CachedAnswer>,
 }
 
@@ -60,19 +82,33 @@ struct Shard {
 /// Point-in-time cache statistics (see [`RewritingCache::stats`]).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct CacheStats {
-    /// Probes that found an entry.
+    /// Probes that found a current-epoch entry.
     pub hits: u64,
-    /// Probes that found nothing.
+    /// Probes that found nothing (or only a wrong-epoch entry).
     pub misses: u64,
     /// Entries displaced by the LRU policy.
     pub evictions: u64,
     /// Insert attempts refused because the answer was not `Complete`.
     pub rejected_incomplete: u64,
+    /// Entries evicted by DDL because the change could affect them.
+    pub invalidated: u64,
     /// Entries currently resident.
     pub entries: usize,
 }
 
-/// A bounded, sharded, LRU map from canonical queries to served answers.
+/// What one [`RewritingCache::retarget`] pass did.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct RetargetOutcome {
+    /// Entries removed because the catalog change could affect them.
+    pub invalidated: u64,
+    /// Entries the change cannot affect, revalidated to the new epoch.
+    pub revalidated: u64,
+    /// Race leftovers (epoch older than the swap's source) removed.
+    pub stale_dropped: u64,
+}
+
+/// A bounded, sharded, LRU map from canonical queries to served answers,
+/// versioned by catalog epoch.
 pub struct RewritingCache {
     shards: Vec<Mutex<Shard>>,
     shard_capacity: usize,
@@ -80,6 +116,7 @@ pub struct RewritingCache {
     misses: AtomicU64,
     evictions: AtomicU64,
     rejected_incomplete: AtomicU64,
+    invalidated: AtomicU64,
 }
 
 impl RewritingCache {
@@ -100,6 +137,7 @@ impl RewritingCache {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             rejected_incomplete: AtomicU64::new(0),
+            invalidated: AtomicU64::new(0),
         }
     }
 
@@ -109,13 +147,16 @@ impl RewritingCache {
         &self.shards[(h.finish() as usize) % SHARDS]
     }
 
-    /// Probes the cache, refreshing the entry's recency on a hit.
-    pub fn get(&self, key: &CanonicalQuery) -> Option<Arc<CachedAnswer>> {
+    /// Probes the cache for an answer valid at `epoch` (the reader's
+    /// catalog-snapshot epoch), refreshing the entry's recency on a hit.
+    /// An entry tagged with any other epoch is a miss — never a stale
+    /// answer — and is left for [`RewritingCache::retarget`] to settle.
+    pub fn get(&self, key: &CanonicalQuery, epoch: u64) -> Option<Arc<CachedAnswer>> {
         let mut shard = self.shard(key).lock();
         shard.tick += 1;
         let now = shard.tick;
         match shard.map.get_mut(key) {
-            Some(entry) => {
+            Some(entry) if entry.epoch == epoch => {
                 entry.stamp = now;
                 let value = entry.value.clone();
                 drop(shard);
@@ -124,7 +165,7 @@ impl RewritingCache {
                 obs::trace_event!("serve.cache_hit");
                 Some(value)
             }
-            None => {
+            _ => {
                 drop(shard);
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 obs::counter!("serve.cache_misses").incr();
@@ -134,10 +175,20 @@ impl RewritingCache {
         }
     }
 
-    /// Stores an answer — unless it is incomplete (the poisoning rule;
-    /// see the module docs), in which case the attempt is counted and
-    /// dropped. Evicts the shard's LRU entry on overflow.
-    pub fn insert(&self, key: CanonicalQuery, value: Arc<CachedAnswer>) {
+    /// Stores an answer computed at `epoch` for `canonical` — unless it
+    /// is incomplete (the poisoning rule; see the module docs), in which
+    /// case the attempt is counted and dropped. Evicts the shard's LRU
+    /// entry on overflow. An existing entry tagged with a *newer* epoch
+    /// wins over the incoming one (a racing insert from a pre-swap
+    /// compute must not clobber a revalidated or freshly computed
+    /// answer).
+    pub fn insert(
+        &self,
+        key: CanonicalQuery,
+        canonical: ConjunctiveQuery,
+        value: Arc<CachedAnswer>,
+        epoch: u64,
+    ) {
         if value.completeness.is_incomplete() {
             self.rejected_incomplete.fetch_add(1, Ordering::Relaxed);
             obs::counter!("serve.cache_rejected_incomplete").incr();
@@ -146,19 +197,96 @@ impl RewritingCache {
         let mut shard = self.shard(&key).lock();
         shard.tick += 1;
         let now = shard.tick;
-        if !shard.map.contains_key(&key) && shard.map.len() >= self.shard_capacity {
-            if let Some(victim) = shard
-                .map
-                .iter()
-                .min_by_key(|(_, e)| e.stamp)
-                .map(|(k, _)| k.clone())
-            {
-                shard.map.remove(&victim);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
-                obs::counter!("serve.cache_evictions").incr();
+        match shard.map.get(&key) {
+            Some(existing) => {
+                if existing.epoch > epoch {
+                    return;
+                }
+            }
+            None => {
+                if shard.map.len() >= self.shard_capacity {
+                    if let Some(victim) = shard
+                        .map
+                        .iter()
+                        .min_by_key(|(_, e)| e.stamp)
+                        .map(|(k, _)| k.clone())
+                    {
+                        shard.map.remove(&victim);
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                        obs::counter!("serve.cache_evictions").incr();
+                    }
+                }
             }
         }
-        shard.map.insert(key, Entry { stamp: now, value });
+        shard.map.insert(
+            key,
+            Entry {
+                stamp: now,
+                epoch,
+                canonical,
+                value,
+            },
+        );
+    }
+
+    /// The DDL writer's swap-time pass: settle every entry for the move
+    /// from `old_epoch` to `new_epoch`. Entries at `old_epoch` for which
+    /// `affected` returns false are revalidated in place (epoch bumped —
+    /// the answer provably cannot change, so evicting it would be
+    /// wasteful, not wrong); affected entries are removed and counted as
+    /// invalidated. Entries older than `old_epoch` are race leftovers
+    /// (inserted by a compute that straddled an earlier swap) and are
+    /// dropped — they could never hit again.
+    ///
+    /// Call this *after* publishing the new snapshot: readers between the
+    /// publish and this pass see plain misses (their epoch is new, the
+    /// entries are still old), never stale answers.
+    pub fn retarget(
+        &self,
+        old_epoch: u64,
+        new_epoch: u64,
+        affected: impl Fn(&ConjunctiveQuery, &CachedAnswer) -> bool,
+    ) -> RetargetOutcome {
+        let mut outcome = RetargetOutcome::default();
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            shard.map.retain(|_, entry| {
+                if entry.epoch < old_epoch {
+                    outcome.stale_dropped += 1;
+                    return false;
+                }
+                if entry.epoch == old_epoch {
+                    if affected(&entry.canonical, &entry.value) {
+                        outcome.invalidated += 1;
+                        return false;
+                    }
+                    entry.epoch = new_epoch;
+                    outcome.revalidated += 1;
+                }
+                true
+            });
+        }
+        self.invalidated
+            .fetch_add(outcome.invalidated, Ordering::Relaxed);
+        obs::counter!("serve.cache_invalidated").add(outcome.invalidated);
+        outcome
+    }
+
+    /// Every resident entry: `(canonical query, epoch, answer)`. Order is
+    /// unspecified. This is the differential oracle's window: after any
+    /// DDL sequence, each current-epoch entry must render byte-identical
+    /// to a cold recompute under the current catalog.
+    pub fn entries(&self) -> Vec<(ConjunctiveQuery, u64, Arc<CachedAnswer>)> {
+        self.shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .map
+                    .values()
+                    .map(|e| (e.canonical.clone(), e.epoch, e.value.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
     }
 
     /// Number of resident entries across all shards.
@@ -178,6 +306,7 @@ impl RewritingCache {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             rejected_incomplete: self.rejected_incomplete.load(Ordering::Relaxed),
+            invalidated: self.invalidated.load(Ordering::Relaxed),
             entries: self.len(),
         }
     }
@@ -198,16 +327,26 @@ mod tests {
         })
     }
 
+    fn keyed(src: &str) -> (CanonicalQuery, ConjunctiveQuery) {
+        let c = canonicalize(&parse_query(src).unwrap());
+        (c.key, c.canonical)
+    }
+
     fn key(src: &str) -> CanonicalQuery {
-        canonicalize(&parse_query(src).unwrap()).key
+        keyed(src).0
+    }
+
+    fn put(cache: &RewritingCache, src: &str, completeness: Completeness, epoch: u64) {
+        let (k, canonical) = keyed(src);
+        cache.insert(k, canonical, answer(completeness), epoch);
     }
 
     #[test]
     fn hit_after_insert_and_variant_keys_collide() {
         let cache = RewritingCache::new(16);
-        cache.insert(key("q(X) :- e(X, Y)"), answer(Completeness::Complete));
-        assert!(cache.get(&key("q(A) :- e(A, B)")).is_some());
-        assert!(cache.get(&key("q(X) :- e(Y, X)")).is_none());
+        put(&cache, "q(X) :- e(X, Y)", Completeness::Complete, 0);
+        assert!(cache.get(&key("q(A) :- e(A, B)"), 0).is_some());
+        assert!(cache.get(&key("q(X) :- e(Y, X)"), 0).is_none());
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
     }
@@ -215,11 +354,8 @@ mod tests {
     #[test]
     fn incomplete_answers_are_never_cached() {
         let cache = RewritingCache::new(16);
-        cache.insert(key("q(X) :- e(X, Y)"), answer(Completeness::Truncated));
-        cache.insert(
-            key("q(X) :- f(X, Y)"),
-            answer(Completeness::DeadlineExceeded),
-        );
+        put(&cache, "q(X) :- e(X, Y)", Completeness::Truncated, 0);
+        put(&cache, "q(X) :- f(X, Y)", Completeness::DeadlineExceeded, 0);
         assert!(cache.is_empty());
         assert_eq!(cache.stats().rejected_incomplete, 2);
     }
@@ -229,15 +365,72 @@ mod tests {
         // Capacity 8 over 8 shards = 1 entry per shard: inserting two
         // keys that land in the same shard must evict the stale one.
         let cache = RewritingCache::new(8);
-        let keys: Vec<CanonicalQuery> = (0..64)
-            .map(|i| key(&format!("q(X) :- p{i}(X, Y)")))
-            .collect();
-        for k in &keys {
-            cache.insert(k.clone(), answer(Completeness::Complete));
+        let sources: Vec<String> = (0..64).map(|i| format!("q(X) :- p{i}(X, Y)")).collect();
+        for src in &sources {
+            put(&cache, src, Completeness::Complete, 0);
         }
         assert!(cache.len() <= 8);
         assert!(cache.stats().evictions >= 56);
         // The most recent insert in some shard is still resident.
-        assert!(cache.get(keys.last().unwrap()).is_some());
+        assert!(cache.get(&key(sources.last().unwrap()), 0).is_some());
+    }
+
+    #[test]
+    fn wrong_epoch_entries_miss_instead_of_serving_stale() {
+        let cache = RewritingCache::new(16);
+        put(&cache, "q(X) :- e(X, Y)", Completeness::Complete, 0);
+        // A reader on a newer (or older) snapshot must not see it.
+        assert!(cache.get(&key("q(X) :- e(X, Y)"), 1).is_none());
+        assert!(cache.get(&key("q(X) :- e(X, Y)"), 0).is_some());
+    }
+
+    #[test]
+    fn retarget_revalidates_unaffected_and_evicts_affected() {
+        let cache = RewritingCache::new(64);
+        put(&cache, "q(X) :- e(X, Y)", Completeness::Complete, 0);
+        put(&cache, "q(X) :- f(X, Y)", Completeness::Complete, 0);
+        let outcome = cache.retarget(0, 1, |canonical, _| {
+            canonical.body.iter().any(|a| a.predicate.as_str() == "e")
+        });
+        assert_eq!(
+            outcome,
+            RetargetOutcome {
+                invalidated: 1,
+                revalidated: 1,
+                stale_dropped: 0
+            }
+        );
+        assert_eq!(cache.stats().invalidated, 1);
+        // The survivor now answers at the new epoch, not the old one.
+        assert!(cache.get(&key("q(X) :- f(X, Y)"), 1).is_some());
+        assert!(cache.get(&key("q(X) :- f(X, Y)"), 0).is_none());
+        assert!(cache.get(&key("q(X) :- e(X, Y)"), 1).is_none());
+    }
+
+    #[test]
+    fn retarget_drops_race_leftovers_and_newer_epoch_wins_on_insert() {
+        let cache = RewritingCache::new(64);
+        // A pre-swap compute's insert (epoch 0) arriving after the
+        // catalog already moved 0 → 1 → 2: the 0-tagged entry is a race
+        // leftover for the 1 → 2 retarget and must be dropped.
+        put(&cache, "q(X) :- e(X, Y)", Completeness::Complete, 0);
+        let outcome = cache.retarget(1, 2, |_, _| false);
+        assert_eq!(outcome.stale_dropped, 1);
+        assert!(cache.is_empty());
+        // An old-epoch insert must not clobber a newer-epoch entry.
+        put(&cache, "q(X) :- f(X, Y)", Completeness::Complete, 2);
+        put(&cache, "q(X) :- f(X, Y)", Completeness::Complete, 1);
+        assert!(cache.get(&key("q(X) :- f(X, Y)"), 2).is_some());
+    }
+
+    #[test]
+    fn entries_exposes_canonical_queries_for_the_oracle() {
+        let cache = RewritingCache::new(16);
+        put(&cache, "q(A, B) :- e(A, B)", Completeness::Complete, 3);
+        let entries = cache.entries();
+        assert_eq!(entries.len(), 1);
+        let (canonical, epoch, _) = &entries[0];
+        assert_eq!(*epoch, 3);
+        assert_eq!(canonical.to_string(), "q(__c0, __c1) :- e(__c0, __c1)");
     }
 }

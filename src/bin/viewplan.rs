@@ -8,7 +8,8 @@
 //! viewplan eval    FILE
 //! viewplan batch   FILE [--no-cache] [--cache-capacity N] [--csv FILE] [--all-minimal]
 //! viewplan batch   --workload {star,chain,random} [--queries N] [--views N] [--seed S] [--repeat K]
-//! viewplan serve   VIEWSFILE   (queries on stdin, one per line)
+//! viewplan serve   VIEWSFILE [--listen ADDR] [--workers N] [--queue-capacity N] [--deadline-ms MS]
+//! viewplan loadgen FILE --connect HOST:PORT [--clients N] [--requests N] [--deadline-ms MS]
 //! viewplan soak    [--queries N] [--views N] [--seed S]
 //! viewplan bench   [--smoke] [--out DIR] | --validate FILE... | --validate-trace FILE...
 //! viewplan help
@@ -22,8 +23,15 @@
 //! `--workload` the stream is generated instead. Per-query stdout is
 //! byte-identical at any thread count and cache setting; cache/latency
 //! observability goes to stderr and the optional `--csv` file.
-//! `serve` is the interactive form: views from a file, queries on stdin,
-//! one answer block per line.
+//! `serve` is the interactive form: views from a file, requests on stdin
+//! (or over TCP with `--listen ADDR`, speaking a length-prefixed frame
+//! protocol with admission control and load shedding). Both front-ends
+//! accept `add-view <rule>` / `drop-view <name>` DDL: the catalog swaps
+//! to a new epoch without stopping traffic, invalidating exactly the
+//! cached answers the change can touch. `loadgen` is the matching
+//! closed-loop client: it hammers a `--listen` endpoint, retries shed
+//! responses with jittered exponential backoff, and fails loudly if any
+//! request goes unaccounted or an answer regresses to an older epoch.
 //!
 //! `explain` replays a rewrite/plan with full provenance: which views the
 //! VP006 pre-pass pruned, every candidate cover with its accept/reject
@@ -140,6 +148,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "eval" => with_stats(&args[1..], eval),
         "batch" => with_stats(&args[1..], batch),
         "serve" => with_stats(&args[1..], serve),
+        "loadgen" => with_stats(&args[1..], loadgen),
         "soak" => with_stats(&args[1..], soak),
         "check" => check(&args[1..]),
         other => Err(CliError::Input(format!("unknown command {other:?}"))),
@@ -183,7 +192,8 @@ fn print_help() {
          viewplan eval    FILE\n\
          viewplan batch   FILE [--no-cache] [--cache-capacity N] [--csv FILE] [--all-minimal]\n\
          viewplan batch   --workload star|chain|random [--queries N] [--views N] [--seed S] [--repeat K]\n\
-         viewplan serve   VIEWSFILE   (queries on stdin, one per line)\n\
+         viewplan serve   VIEWSFILE [--listen ADDR] [--workers N] [--queue-capacity N]\n\
+         viewplan loadgen FILE --connect HOST:PORT [--clients N] [--requests N]\n\
          viewplan soak    [--queries N] [--views N] [--seed S]\n\
          viewplan bench   [--smoke] [--out DIR] | --validate FILE... | --validate-trace FILE...\n\
          viewplan check   FILE [--json]\n\
@@ -203,6 +213,21 @@ fn print_help() {
          batch FILE = view rules, a `---` line, then one query per line.\n\
          Per-query stdout is byte-identical at any thread count and cache\n\
          setting; cache hit/miss and latency columns go to stderr / --csv.\n\
+         \n\
+         `serve --listen ADDR` turns the interactive server into a TCP\n\
+         endpoint (length-prefixed frames; `127.0.0.1:0` picks a port,\n\
+         printed to stderr). Requests pass admission control: a bounded\n\
+         queue (--queue-capacity) feeding --workers threads, shedding\n\
+         on overflow or when the projected wait exceeds the request's\n\
+         deadline (`query deadline-ms=N <rule>` or --deadline-ms).\n\
+         `add-view <rule>` / `drop-view <name>` — on either front-end —\n\
+         swap the catalog to a new epoch without stopping traffic.\n\
+         `loadgen` drives a listening server closed-loop: --clients\n\
+         connections each offering --requests queries from FILE,\n\
+         retrying shed responses with jittered exponential backoff\n\
+         (--max-retries), reporting throughput and latency percentiles.\n\
+         VIEWPLAN_FAULT=accept|read|write|swap:nth injects one serving\n\
+         fault at the nth probe of that point, for chaos testing.\n\
          \n\
          `explain` replays a rewrite/plan with provenance: views pruned\n\
          by the VP006 pre-pass, every candidate cover with its verdict\n\
@@ -415,6 +440,18 @@ const VALUE_OPTIONS: &[&str] = &[
     "--trace-json",
     "--metrics-out",
     "--out",
+    "--listen",
+    "--connect",
+    "--clients",
+    "--requests",
+    "--workers",
+    "--accept-threads",
+    "--queue-capacity",
+    "--deadline-ms",
+    "--max-retries",
+    "--idle-timeout-ms",
+    "--read-timeout-ms",
+    "--write-timeout-ms",
 ];
 
 fn flag(args: &[String], name: &str) -> bool {
@@ -1107,11 +1144,8 @@ fn write_batch_csv(
     std::fs::write(path, out).map_err(|e| CliError::Input(format!("cannot write {path}: {e}")))
 }
 
-/// Interactive serving: views from a file, one query per stdin line, one
-/// answer block per query on stdout.
-fn serve(args: &[String]) -> Result<(), CliError> {
-    let path = file_arg(args)?;
-    let config = serve_config(args)?;
+/// Loads and VP-gates a views-only file for `serve`.
+fn load_views_file(path: &str) -> Result<ViewSet, CliError> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| CliError::Input(format!("cannot read {path}: {e}")))?;
     let program = parse_rules_program(&text, "view")?;
@@ -1128,10 +1162,73 @@ fn serve(args: &[String]) -> Result<(), CliError> {
             .collect();
         return Err(CliError::Input(findings.join("\n")));
     }
-    let views = ViewSet::from_views(program.rules.into_iter().map(View::new));
-    let server = BatchServer::with_config(&views, config);
+    Ok(ViewSet::from_views(
+        program.rules.into_iter().map(View::new),
+    ))
+}
+
+/// A `--name MS` option holding a duration in milliseconds.
+fn duration_arg(
+    args: &[String],
+    name: &str,
+    default: std::time::Duration,
+) -> Result<std::time::Duration, CliError> {
+    match option(args, name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse::<u64>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .map(std::time::Duration::from_millis)
+            .ok_or_else(|| {
+                CliError::Input(format!("{name} expects a positive integer, got {v:?}"))
+            }),
+    }
+}
+
+/// The network front-end flags, collected into a [`NetConfig`].
+fn net_config(args: &[String]) -> Result<viewplan::serve::NetConfig, CliError> {
+    let defaults = viewplan::serve::NetConfig::default();
+    Ok(viewplan::serve::NetConfig {
+        accept_threads: u64_arg(args, "--accept-threads", defaults.accept_threads as u64)? as usize,
+        workers: u64_arg(args, "--workers", defaults.workers as u64)? as usize,
+        queue_capacity: u64_arg(args, "--queue-capacity", defaults.queue_capacity as u64)? as usize,
+        read_timeout: duration_arg(args, "--read-timeout-ms", defaults.read_timeout)?,
+        write_timeout: duration_arg(args, "--write-timeout-ms", defaults.write_timeout)?,
+        idle_timeout: duration_arg(args, "--idle-timeout-ms", defaults.idle_timeout)?,
+        default_deadline: option(args, "--deadline-ms")
+            .map(|_| duration_arg(args, "--deadline-ms", defaults.read_timeout))
+            .transpose()?,
+        max_frame: defaults.max_frame,
+    })
+}
+
+/// Interactive serving: views from a file, requests on stdin (or, with
+/// `--listen ADDR`, over TCP). Both paths run the same [`LiveCatalog`],
+/// so `add-view` / `drop-view` swap the serving snapshot without
+/// stopping traffic, with identical response lines.
+fn serve(args: &[String]) -> Result<(), CliError> {
+    use viewplan::serve::{LiveCatalog, NetServer, ServeFaults};
+    let path = file_arg(args)?;
+    let config = serve_config(args)?;
+    let views = load_views_file(path)?;
+    let faults = std::sync::Arc::new(ServeFaults::new(
+        Fault::from_env().map_err(CliError::Input)?,
+    ));
+    let catalog = std::sync::Arc::new(LiveCatalog::with_faults(&views, config, faults));
+    if let Some(addr) = option(args, "--listen") {
+        let mut server = NetServer::start(catalog, addr, net_config(args)?)
+            .map_err(|e| CliError::Input(format!("cannot listen on {addr}: {e}")))?;
+        // The resolved address (`:0` picks a port) goes to stderr so
+        // scripts — and the integration tests — can find the socket.
+        eprintln!("listening on {}", server.local_addr());
+        server.wait();
+        eprintln!("server stopped");
+        return Ok(());
+    }
     eprintln!(
-        "serving over {} view(s); one query per line, Ctrl-D to finish",
+        "serving over {} view(s); one request per line (rule, `add-view <rule>`, \
+         or `drop-view <name>`), Ctrl-D to finish",
         views.len()
     );
     let stdin = std::io::stdin();
@@ -1143,6 +1240,34 @@ fn serve(args: &[String]) -> Result<(), CliError> {
         if src.is_empty() {
             continue;
         }
+        // DDL lines print the same `ok epoch=…` acknowledgement as the
+        // socket protocol, so the two front-ends stay script-compatible.
+        if let Some(rule) = src.strip_prefix("add-view ") {
+            match parse_query(rule.trim()) {
+                Err(e) => eprintln!("error: bad view {rule:?}: {e}"),
+                Ok(definition) => match catalog.add_view(View { definition }) {
+                    Err(e) => eprintln!("error: {e}"),
+                    Ok(o) => println!(
+                        "ok epoch={} views={} invalidated={} revalidated={}",
+                        o.epoch, o.views, o.invalidated, o.revalidated
+                    ),
+                },
+            }
+            continue;
+        }
+        if let Some(name) = src.strip_prefix("drop-view ") {
+            match catalog.drop_view(Symbol::new(name.trim())) {
+                Err(e) => eprintln!("error: {e}"),
+                Ok(o) => println!(
+                    "ok epoch={} views={} invalidated={} revalidated={}",
+                    o.epoch, o.views, o.invalidated, o.revalidated
+                ),
+            }
+            continue;
+        }
+        // Pin this request's snapshot: a concurrent swap (impossible on
+        // stdin, routine over TCP) never changes an in-flight answer.
+        let server = catalog.server();
         match parse_query(src) {
             Err(e) => eprintln!("error: bad query {src:?}: {e}"),
             // Reject ill-typed queries *before* the cache sees them: an
@@ -1161,11 +1286,89 @@ fn serve(args: &[String]) -> Result<(), CliError> {
             },
         }
     }
-    let stats = server.cache().map(|c| c.stats()).unwrap_or_default();
+    let stats = catalog
+        .server()
+        .cache()
+        .map(|c| c.stats())
+        .unwrap_or_default();
     eprintln!(
-        "served {answered} quer(ies); cache: {} hit(s), {} miss(es)",
-        stats.hits, stats.misses
+        "served {answered} quer(ies); cache: {} hit(s), {} miss(es); epoch {}",
+        stats.hits,
+        stats.misses,
+        catalog.epoch()
     );
+    Ok(())
+}
+
+/// Closed-loop load generator against a running `serve --listen`
+/// endpoint: `--clients` threads each offer `--requests` queries (from
+/// FILE, one rule per line), retrying shed responses with jittered
+/// exponential backoff. The report must account for every offered
+/// request; a stale-epoch answer or an unaccounted request is a server
+/// bug (exit 1).
+fn loadgen(args: &[String]) -> Result<(), CliError> {
+    use viewplan_bench::loadgen::{run_loadgen, LoadgenConfig};
+    let addr = option(args, "--connect")
+        .ok_or_else(|| CliError::input("loadgen needs --connect HOST:PORT"))?;
+    let addr: std::net::SocketAddr = addr
+        .parse()
+        .map_err(|e| CliError::Input(format!("bad --connect address {addr:?}: {e}")))?;
+    let path = file_arg(args)?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Input(format!("cannot read {path}: {e}")))?;
+    let program = parse_rules_program(&text, "query")?;
+    if program.rules.is_empty() {
+        return Err(CliError::Input(format!("{path} contains no query rules")));
+    }
+    let queries: Vec<String> = program.rules.iter().map(|q| q.to_string()).collect();
+    let config = LoadgenConfig {
+        clients: u64_arg(args, "--clients", 4)? as usize,
+        requests_per_client: u64_arg(args, "--requests", 25)? as usize,
+        deadline_ms: option(args, "--deadline-ms")
+            .map(|_| u64_arg(args, "--deadline-ms", 1))
+            .transpose()?,
+        max_retries: u64_arg(args, "--max-retries", 8)? as u32,
+        seed: u64_arg(args, "--seed", 20_010_521)?,
+        ..LoadgenConfig::default()
+    };
+    let report = run_loadgen(addr, &queries, &config);
+    println!(
+        "loadgen: {} offered on {} client(s) in {:.1} ms — {} ok ({} cached), \
+         {} shed, {} error(s), {} retries",
+        report.offered,
+        config.clients,
+        report.elapsed.as_secs_f64() * 1e3,
+        report.ok,
+        report.cached,
+        report.shed,
+        report.errors,
+        report.retries,
+    );
+    println!(
+        "latency: p50 {} us, p95 {} us, p99 {} us; throughput {:.0} rps",
+        report.latency_percentile(0.50),
+        report.latency_percentile(0.95),
+        report.latency_percentile(0.99),
+        report.throughput_rps()
+    );
+    if report.failed_after_retries > 0 {
+        println!(
+            "note: {} request(s) failed after exhausting retries",
+            report.failed_after_retries
+        );
+    }
+    if report.stale_epoch > 0 {
+        return Err(CliError::Internal(format!(
+            "{} answer(s) regressed to an older epoch — snapshot swap bug",
+            report.stale_epoch
+        )));
+    }
+    if !report.accounted() {
+        return Err(CliError::Internal(format!(
+            "accounting broken: ok {} + shed {} + errors {} + failed {} != offered {}",
+            report.ok, report.shed, report.errors, report.failed_after_retries, report.offered
+        )));
+    }
     Ok(())
 }
 

@@ -264,6 +264,10 @@ fn metrics_out_writes_prometheus_exposition() {
     let path_str = path.to_str().unwrap();
     let _ = std::fs::remove_file(&path);
 
+    // Pinned to one worker: at higher thread counts the repeat pass can
+    // race its duplicates (both miss in flight before either inserts),
+    // leaving the cache-hit counter untouched — and an untouched counter
+    // never registers, so it would be absent from the exposition.
     let out = viewplan(&[
         "batch",
         "--workload",
@@ -272,6 +276,8 @@ fn metrics_out_writes_prometheus_exposition() {
         "3",
         "--repeat",
         "2",
+        "--threads",
+        "1",
         "--metrics-out",
         path_str,
     ]);

@@ -1,7 +1,7 @@
 //! Repo-level lints for the `viewplan` workspace, run as
 //! `cargo run -p xtask -- lint` (and in CI).
 //!
-//! Five checks, all offline and purely textual:
+//! Six checks, all offline and purely textual:
 //!
 //! 1. **Panic ban** — no `.unwrap()` / `.expect(` / `panic!(` in library
 //!    crates (`crates/*/src`) outside `#[cfg(test)]` code. Audited
@@ -12,14 +12,17 @@
 //! 2. **Counter uniqueness** — every `obs::counter!("name")` name is
 //!    registered at exactly one non-test source site, so a counter's
 //!    meaning has a single owner (`crates/*/src` + the CLI in `src/`).
-//! 3. **Trace-event uniqueness** — same single-owner rule for every
+//! 3. **Histogram uniqueness** — the same single-owner rule for every
+//!    `obs::histogram!("name")` site, so a distribution's samples (and
+//!    their unit) cannot fork across recorders.
+//! 4. **Trace-event uniqueness** — same single-owner rule for every
 //!    `obs::trace_event!("name", …)` site, so a trace event's meaning
 //!    (and its attribute schema) cannot silently fork across emitters.
-//! 4. **Golden pairing** — every `tests/golden/*.vp` fixture is
+//! 5. **Golden pairing** — every `tests/golden/*.vp` fixture is
 //!    exercised by `tests/golden_corpus.rs`, and every snapshot under
 //!    `tests/golden/expected/` corresponds to a test there (no orphaned
 //!    fixtures, no dead snapshots).
-//! 5. **Justified allows** — every `#[allow(...)]` carries a
+//! 6. **Justified allows** — every `#[allow(...)]` carries a
 //!    justification comment on the same line or the line above.
 //!
 //! The scans work on a *stripped* view of each file: comment and string
@@ -389,6 +392,54 @@ fn check_counter_uniqueness(root: &Path, report: &mut LintReport) {
     }
 }
 
+/// Check 2b: each `histogram!("name")` name has exactly one non-test
+/// registration site — same ownership rule as counters, so a latency
+/// distribution is never split across call sites with different units.
+fn check_histogram_uniqueness(root: &Path, report: &mut LintReport) {
+    let mut sites: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    let mut roots = library_roots(root);
+    roots.push(root.join("src"));
+    for src_root in roots {
+        for file in rust_files(&src_root) {
+            let Ok(text) = std::fs::read_to_string(&file) else {
+                continue;
+            };
+            let stripped = strip_code(&text);
+            let mask = test_region_mask(&stripped);
+            for ((line_no, original), (stripped_line, &in_test)) in
+                text.lines().enumerate().zip(stripped.lines().zip(&mask))
+            {
+                if in_test || !stripped_line.contains("histogram!(") {
+                    continue;
+                }
+                let mut rest = original;
+                while let Some(at) = rest.find("histogram!(\"") {
+                    let name_start = &rest[at + "histogram!(\"".len()..];
+                    if let Some(end) = name_start.find('"') {
+                        sites
+                            .entry(name_start[..end].to_string())
+                            .or_default()
+                            .push(format!("{}:{}", rel(root, &file), line_no + 1));
+                        rest = &name_start[end..];
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    for (name, at) in sites {
+        if at.len() > 1 {
+            report.violations.push(format!(
+                "histogram {name:?} is recorded at {} sites ({}) — funnel all samples \
+                 through one helper so the name (and its unit) has a single owner",
+                at.len(),
+                at.join(", ")
+            ));
+        }
+    }
+}
+
 /// Check 3: each `trace_event!("name", …)` name has exactly one non-test
 /// emission site. Unlike counters, trace events routinely span lines
 /// (`trace_event!(` then the name on the next line), so the name may be
@@ -531,6 +582,7 @@ pub fn run_lint(root: &Path) -> LintReport {
     let mut report = LintReport::default();
     check_panics(root, &mut report);
     check_counter_uniqueness(root, &mut report);
+    check_histogram_uniqueness(root, &mut report);
     check_trace_event_uniqueness(root, &mut report);
     check_golden_pairing(root, &mut report);
     check_justified_allows(root, &mut report);
@@ -649,6 +701,22 @@ real.unwrap();"##;
         let report = run_lint(&repo.root);
         assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
         assert!(report.violations[0].contains("demo.hits"));
+        assert!(report.violations[0].contains("2 sites"));
+    }
+
+    #[test]
+    fn lint_flags_duplicate_histogram_registrations() {
+        let repo = TempRepo::new("dup-histogram");
+        repo.write(
+            "crates/demo/src/lib.rs",
+            "fn a() { histogram!(\"demo.lat_us\").record(1); }\n\
+             fn b() { histogram!(\"demo.lat_us\").record(2); }\n\
+             #[cfg(test)]\n\
+             mod tests { fn t() { histogram!(\"demo.lat_us\"); } }\n",
+        );
+        let report = run_lint(&repo.root);
+        assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+        assert!(report.violations[0].contains("demo.lat_us"));
         assert!(report.violations[0].contains("2 sites"));
     }
 
