@@ -22,7 +22,10 @@ use crate::diagnostics::{Analysis, Diagnostic};
 use std::collections::{HashMap, HashSet};
 use viewplan_containment::minimize;
 use viewplan_core::{body_signature, view_is_unusable, MAX_SUBGOALS};
-use viewplan_cq::{Atom, ConjunctiveQuery, Program, RuleSpans, Span, Symbol, Term, View, ViewSet};
+use viewplan_cq::{
+    hypertree_width_estimate, Atom, ConjunctiveQuery, Program, RuleSpans, Span, Symbol, Term, View,
+    ViewSet,
+};
 
 /// How the rules of a program divide into queries and views.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -545,13 +548,25 @@ fn check_blowup(
         })
         .sum();
     if estimate > BLOWUP_THRESHOLD {
+        // The hypergraph structure tempers the prediction: width 1 means
+        // the query is acyclic, so containment checks take the semijoin
+        // fast path and evaluation can semijoin-reduce (intermediates
+        // stay linear); only cyclic queries face the exponential search.
+        let width = hypertree_width_estimate(&query.body);
+        let structure = if width <= 1 {
+            "hypertree width 1 — acyclic, so the semijoin fast path keeps \
+             containment checks and intermediates polynomial"
+                .to_string()
+        } else {
+            format!("hypertree width ~{width} — cyclic, search may be exponential")
+        };
         out.push(Diagnostic::warning(
             "VP007",
             spans.head,
             format!(
                 "predicted search-space blowup for '{}': ~{estimate:.0} candidate \
-                 homomorphisms from {} views into the query; consider running with \
-                 --deadline or --node-budget",
+                 homomorphisms from {} views into the query ({structure}); consider \
+                 running with --deadline or --node-budget",
                 query.head.predicate,
                 views.len()
             ),
@@ -732,7 +747,29 @@ mod tests {
         assert!(codes(&a).contains(&"VP007"), "{:?}", a.diagnostics);
         let d = a.diagnostics.iter().find(|d| d.code == "VP007").unwrap();
         assert!(d.message.contains("32768"));
+        // The disconnected e(Xi, Yi) pairs are acyclic — the finding
+        // reports that the blowup is tempered by the fast path.
+        assert!(d.message.contains("hypertree width 1"), "{}", d.message);
+        assert!(d.message.contains("acyclic"), "{}", d.message);
         assert_eq!(d.span.slice(&src), "q(X0)");
+    }
+
+    #[test]
+    fn vp007_reports_width_of_cyclic_queries() {
+        // A triangle of e-atoms padded with enough matching subgoals to
+        // cross the threshold: 6 e-subgoals, view with 5 → 6^5 = 7776…
+        // pad to 7 subgoals: 7^5 = 16807 > 10000.
+        let query_body = "e(A, B), e(B, C), e(C, A), e(D, E), e(E, F), e(F, G), e(G, H)";
+        let view_body: Vec<String> = (0..5).map(|i| format!("e(P{i}, R{i})")).collect();
+        let src = format!("q(A) :- {query_body}.\nv(P0) :- {}.", view_body.join(", "));
+        let a = run(&src, Layout::Problem);
+        let d = a
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "VP007")
+            .expect("blowup should fire");
+        assert!(d.message.contains("hypertree width ~2"), "{}", d.message);
+        assert!(d.message.contains("cyclic"), "{}", d.message);
     }
 
     #[test]

@@ -28,9 +28,26 @@
 //!           "completeness": 1.0 }
 //!       ]
 //!     }
-//!   ]
+//!   ],
+//!   "acyclic": {
+//!     "iters": 3,
+//!     "points": [
+//!       { "family": "chain", "size": 12, "pattern_atoms": 13,
+//!         "target_atoms": 48, "fast_path_ms": 0.02, "fallback_ms": 4.1,
+//!         "speedup": 205.0, "fast_path_hom_nodes": 0,
+//!         "fallback_hom_nodes": 16384, "checks": 2, "verdicts_agree": 2 }
+//!     ]
+//!   }
 //! }
 //! ```
+//!
+//! The `acyclic` section is the containment half of the acyclicity
+//! story: star (spider) and chain patterns at Figure 6 scale, decided
+//! by both the semijoin fast path and the homomorphism DFS on the same
+//! instances. The hard instances are built so the routes diverge —
+//! "diamond" targets whose branching walks force the DFS to backtrack
+//! exponentially while semijoins stay polynomial — and [`validate_core`]
+//! pins `verdicts_agree == checks` and `speedup >= 1` on every point.
 //!
 //! # `BENCH_serve.json` (schema version 1)
 //!
@@ -89,7 +106,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Duration;
 
-use viewplan_cq::ViewSet;
+use viewplan_cq::{Atom, ConjunctiveQuery, Term, ViewSet};
 use viewplan_engine::{Database, Engine, Value};
 use viewplan_obs::{self as obs, Json};
 use viewplan_serve::{BatchServer, LiveCatalog, NetConfig, NetServer, ServeConfig};
@@ -191,7 +208,217 @@ pub fn core_trajectory(config: &TrajectoryConfig) -> Json {
     );
     doc.insert("threads".into(), Json::num(config.threads as u64));
     doc.insert("sweeps".into(), Json::Array(sweeps));
+    doc.insert("acyclic".into(), acyclic_section(config));
     Json::Object(doc)
+}
+
+// ---------------------------------------------------------------------
+// The acyclic containment section of `BENCH_core.json`: the semijoin
+// fast path vs the homomorphism DFS on star/chain patterns at Figure 6
+// scale, on instances constructed so the two routes genuinely diverge
+// in cost.
+
+/// A Boolean chain pattern: `q() :- e(X0, X1), …, e(Xk, Xk+1)` — a
+/// directed walk of length `k + 1`, acyclic (every end atom is an ear).
+fn chain_pattern(k: usize) -> ConjunctiveQuery {
+    let body = (0..=k)
+        .map(|i| {
+            Atom::new(
+                "e",
+                vec![
+                    Term::var(&format!("X{i}")),
+                    Term::var(&format!("X{}", i + 1)),
+                ],
+            )
+        })
+        .collect();
+    ConjunctiveQuery::new(Atom::new("q", vec![]), body)
+}
+
+/// A "diamond chain" target of depth `k`: two parallel nodes per level,
+/// all four edges between consecutive levels. Its longest directed walk
+/// has length `k`, but a walk prefix can be extended in two ways at
+/// every level — the worst case for the backtracking DFS (2^k failing
+/// partial walks per start node) and a polynomial case for semijoins.
+fn diamond_target(k: usize) -> ConjunctiveQuery {
+    let mut body = Vec::new();
+    for i in 0..k {
+        for from in ["a", "b"] {
+            for to in ["a", "b"] {
+                body.push(Atom::new(
+                    "e",
+                    vec![
+                        Term::var(&format!("D{i}{from}")),
+                        Term::var(&format!("D{}{to}", i + 1)),
+                    ],
+                ));
+            }
+        }
+    }
+    ConjunctiveQuery::new(Atom::new("q", vec![]), body)
+}
+
+/// A Boolean spider (star of paths) pattern: three legs of length `k`
+/// hanging off one hub — a tree, so acyclic for any `k`.
+fn spider_pattern(k: usize) -> ConjunctiveQuery {
+    let mut body = Vec::new();
+    for leg in 0..3 {
+        let mut prev = Term::var("H");
+        for i in 0..k {
+            let next = Term::var(&format!("P{leg}x{i}"));
+            body.push(Atom::new("e", vec![prev, next]));
+            prev = next;
+        }
+    }
+    ConjunctiveQuery::new(Atom::new("q", vec![]), body)
+}
+
+/// A spider target whose legs are diamond chains of depth `k - 1`: no
+/// node reaches a directed walk of length `k`, so a `k`-leg spider
+/// pattern cannot map in — but the DFS only learns that after
+/// backtracking through every branching walk.
+fn spider_target(k: usize) -> ConjunctiveQuery {
+    let mut body = Vec::new();
+    for leg in 0..3 {
+        for to in ["a", "b"] {
+            body.push(Atom::new(
+                "e",
+                vec![Term::var("H"), Term::var(&format!("T{leg}x0{to}"))],
+            ));
+        }
+        for i in 0..k.saturating_sub(2) {
+            for from in ["a", "b"] {
+                for to in ["a", "b"] {
+                    body.push(Atom::new(
+                        "e",
+                        vec![
+                            Term::var(&format!("T{leg}x{i}{from}")),
+                            Term::var(&format!("T{leg}x{}{to}", i + 1)),
+                        ],
+                    ));
+                }
+            }
+        }
+    }
+    ConjunctiveQuery::new(Atom::new("q", vec![]), body)
+}
+
+/// One acyclic containment point: the same checks decided by both
+/// routes, timed. Each point pairs a hard *false* instance (pattern one
+/// hop too long for the target, exponential for the DFS) with an easy
+/// *true* instance (the same pattern into a longer same-family target),
+/// so agreement is asserted over both verdicts; only the hard instance
+/// is timed. The containment memo cache is disabled by the caller, so
+/// every iteration really runs its route.
+fn acyclic_point(
+    family: &'static str,
+    size: usize,
+    pattern: &ConjunctiveQuery,
+    hard_target: &ConjunctiveQuery,
+    easy_target: &ConjunctiveQuery,
+    iters: u32,
+) -> Json {
+    use viewplan_containment::is_contained_in;
+
+    // `is_contained_in(target, pattern)` maps `pattern` into `target`,
+    // and routing is decided by the *pattern*'s hypergraph.
+    let run = |on: bool| -> ((bool, bool), f64, u64) {
+        let _g = viewplan_cq::install_acyclic(on);
+        let verdicts = (
+            is_contained_in(hard_target, pattern),
+            is_contained_in(easy_target, pattern),
+        );
+        let before = obs::metrics_snapshot();
+        let start = std::time::Instant::now();
+        for _ in 0..iters {
+            is_contained_in(hard_target, pattern);
+        }
+        let ms = start.elapsed().as_secs_f64() * 1000.0 / f64::from(iters);
+        let delta = obs::metrics_snapshot().delta_since(&before);
+        let nodes = delta.counter("containment.hom_nodes") / u64::from(iters);
+        (verdicts, ms, nodes)
+    };
+    let (fast_verdicts, fast_ms, fast_nodes) = run(true);
+    let (slow_verdicts, fallback_ms, fallback_nodes) = run(false);
+
+    let checks = 2u64;
+    let mut agree = 0u64;
+    if fast_verdicts.0 == slow_verdicts.0 {
+        agree += 1;
+    }
+    if fast_verdicts.1 == slow_verdicts.1 {
+        agree += 1;
+    }
+
+    let mut o = BTreeMap::new();
+    o.insert("family".into(), Json::str(family));
+    o.insert("size".into(), Json::num(size as u64));
+    o.insert("pattern_atoms".into(), Json::num(pattern.body.len() as u64));
+    o.insert(
+        "target_atoms".into(),
+        Json::num(hard_target.body.len() as u64),
+    );
+    o.insert("fast_path_ms".into(), Json::Number(fast_ms));
+    o.insert("fallback_ms".into(), Json::Number(fallback_ms));
+    o.insert(
+        "speedup".into(),
+        Json::Number(if fast_ms > 0.0 {
+            fallback_ms / fast_ms
+        } else {
+            0.0
+        }),
+    );
+    o.insert("fast_path_hom_nodes".into(), Json::num(fast_nodes));
+    o.insert("fallback_hom_nodes".into(), Json::num(fallback_nodes));
+    o.insert("checks".into(), Json::num(checks));
+    o.insert("verdicts_agree".into(), Json::num(agree));
+    Json::Object(o)
+}
+
+/// Runs the acyclic star/chain containment points and renders the
+/// `acyclic` section: per point, fast-path vs fallback latency on the
+/// same instances, with the differential verdict agreement recorded
+/// for [`validate_core`] to pin (`verdicts_agree == checks`, and the
+/// polynomial route is never slower: `speedup >= 1`).
+fn acyclic_section(config: &TrajectoryConfig) -> Json {
+    let (chain_sizes, spider_sizes): (&[usize], &[usize]) = if config.smoke {
+        (&[10, 12], &[8, 10])
+    } else {
+        (&[12, 16, 20], &[10, 12, 14])
+    };
+    let iters: u32 = if config.smoke { 3 } else { 5 };
+
+    // Every iteration must *run* its route: memoized verdicts would
+    // time the cache, not the semijoin/DFS divergence.
+    let cache_was_enabled = viewplan_containment::cache_enabled();
+    viewplan_containment::set_cache_enabled(false);
+    let mut points = Vec::new();
+    for &k in chain_sizes {
+        points.push(acyclic_point(
+            "chain",
+            k,
+            &chain_pattern(k),
+            &diamond_target(k),
+            &chain_pattern(k + 1),
+            iters,
+        ));
+    }
+    for &k in spider_sizes {
+        points.push(acyclic_point(
+            "star",
+            k,
+            &spider_pattern(k),
+            &spider_target(k),
+            &spider_pattern(k + 1),
+            iters,
+        ));
+    }
+    viewplan_containment::set_cache_enabled(cache_was_enabled);
+
+    let mut o = BTreeMap::new();
+    o.insert("iters".into(), Json::num(u64::from(iters)));
+    o.insert("points".into(), Json::Array(points));
+    Json::Object(o)
 }
 
 /// One warm/cold pass summary, in JSON form.
@@ -564,6 +791,69 @@ pub fn validate_core(doc: &Json) -> Result<(), String> {
             }
         }
     }
+    validate_acyclic(doc.get("acyclic").ok_or("missing \"acyclic\" object")?)
+}
+
+/// Validates the `acyclic` section of `BENCH_core.json`: per point, the
+/// differential-oracle invariant (the semijoin and DFS verdicts agreed
+/// on every check) and the performance invariant (the polynomial route
+/// was never slower than the exponential one on its hard instances).
+fn validate_acyclic(section: &Json) -> Result<(), String> {
+    expect_u64(section, "iters")?;
+    let points = section
+        .get("points")
+        .and_then(Json::as_array)
+        .ok_or("acyclic section missing \"points\" array")?;
+    if points.is_empty() {
+        return Err("acyclic \"points\" is empty".into());
+    }
+    for p in points {
+        let family = expect_str(p, "family")?;
+        if !matches!(family, "star" | "chain") {
+            return Err(format!("unknown acyclic family {family:?}"));
+        }
+        let size = expect_u64(p, "size")?;
+        if size == 0 {
+            return Err(format!("acyclic {family:?} point has size 0"));
+        }
+        expect_u64(p, "pattern_atoms")?;
+        expect_u64(p, "target_atoms")?;
+        for key in ["fast_path_ms", "fallback_ms"] {
+            let v = expect_f64(p, key)?;
+            if v < 0.0 {
+                return Err(format!("negative {key} in an acyclic {family:?} point"));
+            }
+        }
+        let speedup = expect_f64(p, "speedup")?;
+        if speedup < 1.0 {
+            return Err(format!(
+                "acyclic {family:?} at size {size}: fast path slower than fallback \
+                 (speedup {speedup})"
+            ));
+        }
+        // The fast path must have decided without the DFS; the fallback
+        // must really have searched.
+        let fast_nodes = expect_u64(p, "fast_path_hom_nodes")?;
+        if fast_nodes != 0 {
+            return Err(format!(
+                "acyclic {family:?} at size {size}: fast path expanded {fast_nodes} \
+                 DFS node(s) — it did not take the semijoin route"
+            ));
+        }
+        let fallback_nodes = expect_u64(p, "fallback_hom_nodes")?;
+        if fallback_nodes == 0 {
+            return Err(format!(
+                "acyclic {family:?} at size {size}: fallback expanded no DFS nodes"
+            ));
+        }
+        let checks = expect_u64(p, "checks")?;
+        let agree = expect_u64(p, "verdicts_agree")?;
+        if checks == 0 || agree != checks {
+            return Err(format!(
+                "acyclic {family:?} at size {size}: verdict agreement {agree}/{checks}"
+            ));
+        }
+    }
     Ok(())
 }
 
@@ -761,6 +1051,49 @@ mod tests {
         let parsed = obs::parse_json(&rendered).unwrap();
         validate_core(&parsed).unwrap();
         assert_eq!(parsed, doc);
+        // Flip one differential-oracle bit in the acyclic section: the
+        // document must be rejected.
+        let mut broken = doc;
+        if let Json::Object(map) = &mut broken {
+            if let Some(Json::Object(acyclic)) = map.get_mut("acyclic") {
+                if let Some(Json::Array(points)) = acyclic.get_mut("points") {
+                    if let Some(Json::Object(p)) = points.first_mut() {
+                        p.insert("verdicts_agree".into(), Json::num(1));
+                    }
+                }
+            }
+        }
+        assert!(validate_core(&broken)
+            .unwrap_err()
+            .contains("verdict agreement"));
+    }
+
+    #[test]
+    fn acyclic_hard_instances_really_diverge() {
+        // The constructions underlying the acyclic section: a k-walk
+        // pattern cannot map into a depth-k diamond (hard false), but
+        // can into a (k+1)-walk of its own family (easy true) — and
+        // both routes must say so. The memo cache is cleared between
+        // routes (not disabled — the enable switch is process-global
+        // and other tests in this binary time uncached runs) so the
+        // second route really recomputes its verdict.
+        for (pattern, hard, easy) in [
+            (chain_pattern(6), diamond_target(6), chain_pattern(7)),
+            (spider_pattern(5), spider_target(5), spider_pattern(6)),
+        ] {
+            for on in [true, false] {
+                let _g = viewplan_cq::install_acyclic(on);
+                viewplan_containment::clear_containment_cache();
+                assert!(
+                    !viewplan_containment::is_contained_in(&hard, &pattern),
+                    "hard instance unexpectedly mapped (acyclic={on})"
+                );
+                assert!(
+                    viewplan_containment::is_contained_in(&easy, &pattern),
+                    "easy instance failed to map (acyclic={on})"
+                );
+            }
+        }
     }
 
     #[test]

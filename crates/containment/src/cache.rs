@@ -393,6 +393,10 @@ mod tests {
         set_cache_enabled(true);
         let q1 = parse_query(&chain("X", 8)).unwrap();
         let q2 = parse_query(&chain("Y", 6)).unwrap();
+        // Chains are acyclic, so the semijoin fast path would decide
+        // them completely regardless of budget — force the DFS here to
+        // exercise the truncation path this test is about.
+        let _acyclic_off = viewplan_cq::install_acyclic(false);
         // Under a 1-node hom budget the check truncates: conservative
         // `false`, and nothing may be written to the cache.
         let truncated = {
@@ -408,6 +412,32 @@ mod tests {
         // The same check without a budget is complete, correct, cached.
         assert!(is_contained_in(&q1, &q2));
         assert!(containment_cache_len() > 0);
+    }
+
+    #[test]
+    fn acyclic_fast_path_verdicts_are_complete_under_budget_and_cached() {
+        let _guard = state_lock();
+        clear_containment_cache();
+        set_cache_enabled(true);
+        let q1 = parse_query(&chain("X", 8)).unwrap();
+        let q2 = parse_query(&chain("Y", 6)).unwrap();
+        // Truncation is impossible on the semijoin route: even a 1-node
+        // hom budget leaves the verdict complete — correct, and written
+        // to the cache (unlike the truncated DFS above).
+        let _acyclic_on = viewplan_cq::install_acyclic(true);
+        let _b = obs::budget::install(
+            obs::budget::BudgetSpec::new()
+                .phase_nodes(obs::Phase::Hom, 1)
+                .build(),
+        );
+        assert!(
+            is_contained_in(&q1, &q2),
+            "fast path must ignore the budget"
+        );
+        assert!(
+            containment_cache_len() > 0,
+            "complete verdict must be cached"
+        );
     }
 
     #[test]

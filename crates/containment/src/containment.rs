@@ -1,8 +1,14 @@
 //! Query containment and equivalence (Definition 2.1).
 
 use crate::homomorphism::HomomorphismSearch;
-use viewplan_cq::{ConjunctiveQuery, Substitution, Term};
+use viewplan_cq::{acyclic_enabled, ConjunctiveQuery, Substitution, Term};
 use viewplan_obs as obs;
+
+// Single registration site for `containment.checks` (the xtask lint):
+// both the homomorphism DFS and the acyclic semijoin route count here.
+fn note_check() {
+    obs::counter!("containment.checks").incr();
+}
 
 /// Builds the initial bindings that pin the head of `from` onto the head of
 /// `onto` (a containment mapping must map head to head). Returns `None` if
@@ -52,11 +58,34 @@ pub fn containment_mapping_complete(
     from: &ConjunctiveQuery,
     onto: &ConjunctiveQuery,
 ) -> (Option<Substitution>, bool) {
-    obs::counter!("containment.checks").incr();
+    note_check();
     let Some(initial) = head_bindings(from, onto) else {
         return (None, true);
     };
     HomomorphismSearch::with_initial(&from.body, &onto.body, initial).find_complete()
+}
+
+/// The boolean verdict for `onto ⊑ from`, with completeness. Routes
+/// acyclic patterns (after head pinning) through the polynomial
+/// semijoin decision of [`crate::acyclic`] when the `VIEWPLAN_ACYCLIC`
+/// switch is on; the fast path never consumes budget, so its verdicts
+/// are always complete. Cyclic patterns (and disabled switch) take the
+/// homomorphism DFS.
+fn contains_complete(from: &ConjunctiveQuery, onto: &ConjunctiveQuery) -> (bool, bool) {
+    note_check();
+    let Some(initial) = head_bindings(from, onto) else {
+        return (false, true);
+    };
+    if acyclic_enabled() {
+        if let Some(verdict) =
+            crate::acyclic::semijoin_mapping_exists(&from.body, &onto.body, &initial)
+        {
+            return (verdict, true);
+        }
+    }
+    let (mapping, complete) =
+        HomomorphismSearch::with_initial(&from.body, &onto.body, initial).find_complete();
+    (mapping.is_some(), complete)
 }
 
 /// True iff `q1 ⊑ q2`: for every database, `q1`'s answer is a subset of
@@ -66,12 +95,11 @@ pub fn containment_mapping_complete(
 /// variable renaming, so the cache keys on canonicalized pairs).
 /// Verdicts from budget-truncated searches are conservative (`false` =
 /// "not proven") and are **not** written to the cache, so a budgeted
-/// run can never poison an unbudgeted one.
+/// run can never poison an unbudgeted one. Acyclic patterns skip the
+/// search entirely: the semijoin fast path decides them in polynomial
+/// time with a verdict that is complete by construction.
 pub fn is_contained_in(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> bool {
-    crate::cache::cached_verdict_complete(q1, q2, || {
-        let (mapping, complete) = containment_mapping_complete(q2, q1);
-        (mapping.is_some(), complete)
-    })
+    crate::cache::cached_verdict_complete(q1, q2, || contains_complete(q2, q1))
 }
 
 /// True iff the queries are equivalent (contained in each other).

@@ -17,6 +17,10 @@
 //!   ([`is_variant`]), the identification the paper adopts ("we assume two
 //!   rewritings are the same if the only difference between them is
 //!   variable renamings", §3.3).
+//! * **Acyclic fast path** — a containment check whose pattern is
+//!   acyclic after head pinning is decided by polynomial semijoins over
+//!   its GYO join forest ([`acyclic`]) instead of the exponential DFS,
+//!   gated by the `VIEWPLAN_ACYCLIC` switch.
 //! * **Memoization** — a process-global, lock-sharded cache of containment
 //!   verdicts keyed on canonicalized query pairs ([`cache`]), shared by
 //!   containment, minimization, view-class grouping, and the M3 dropping
@@ -38,6 +42,7 @@
 //! assert!(are_equivalent(&redundant, &q2));
 //! ```
 
+pub mod acyclic;
 pub mod cache;
 pub mod containment;
 pub mod expansion;

@@ -31,6 +31,7 @@
 
 pub mod atom;
 pub mod error;
+pub mod hypergraph;
 pub mod parser;
 pub mod query;
 pub mod span;
@@ -41,6 +42,10 @@ pub mod view;
 
 pub use atom::Atom;
 pub use error::ParseError;
+pub use hypergraph::{
+    acyclic_default, acyclic_enabled, hypertree_width_estimate, install_acyclic, is_acyclic,
+    join_forest, set_acyclic_default, AcyclicGuard, JoinForest,
+};
 pub use parser::{parse_atom, parse_program, parse_query, parse_views, Program, RuleSpans};
 pub use query::ConjunctiveQuery;
 pub use span::Span;

@@ -27,6 +27,11 @@ pub enum Engine {
     /// Struct-of-arrays batch execution: selection vectors, columnar
     /// hash join build/probe, column-wise gathers.
     Columnar,
+    /// Yannakakis evaluation for acyclic queries: semijoin-reduce the
+    /// stored relations along the GYO join forest, then join with no
+    /// intermediate blowup. Cyclic queries fall back to the columnar
+    /// executor.
+    Yannakakis,
 }
 
 impl Engine {
@@ -35,15 +40,17 @@ impl Engine {
         match name {
             "row" => Some(Engine::Row),
             "columnar" => Some(Engine::Columnar),
+            "yannakakis" => Some(Engine::Yannakakis),
             _ => None,
         }
     }
 
-    /// The CLI-facing name (`"row"` / `"columnar"`).
+    /// The CLI-facing name (`"row"` / `"columnar"` / `"yannakakis"`).
     pub fn name(self) -> &'static str {
         match self {
             Engine::Row => "row",
             Engine::Columnar => "columnar",
+            Engine::Yannakakis => "yannakakis",
         }
     }
 }
@@ -54,7 +61,8 @@ impl std::fmt::Display for Engine {
     }
 }
 
-/// 0 = unset (consult `VIEWPLAN_ENGINE`), 1 = row, 2 = columnar.
+/// 0 = unset (consult `VIEWPLAN_ENGINE`), 1 = row, 2 = columnar,
+/// 3 = yannakakis.
 static DEFAULT_ENGINE: AtomicU8 = AtomicU8::new(0);
 
 thread_local! {
@@ -67,17 +75,19 @@ pub fn set_default_engine(engine: Engine) {
     let code = match engine {
         Engine::Row => 1,
         Engine::Columnar => 2,
+        Engine::Yannakakis => 3,
     };
     DEFAULT_ENGINE.store(code, Ordering::Relaxed);
 }
 
 /// The process-wide default engine: the value of [`set_default_engine`]
-/// if called, else `VIEWPLAN_ENGINE` (`row` | `columnar`), else
-/// [`Engine::Columnar`].
+/// if called, else `VIEWPLAN_ENGINE` (`row` | `columnar` | `yannakakis`),
+/// else [`Engine::Columnar`].
 pub fn default_engine() -> Engine {
     match DEFAULT_ENGINE.load(Ordering::Relaxed) {
         1 => Engine::Row,
         2 => Engine::Columnar,
+        3 => Engine::Yannakakis,
         _ => std::env::var("VIEWPLAN_ENGINE")
             .ok()
             .and_then(|s| Engine::from_name(&s))
@@ -116,7 +126,7 @@ mod tests {
 
     #[test]
     fn names_round_trip() {
-        for e in [Engine::Row, Engine::Columnar] {
+        for e in [Engine::Row, Engine::Columnar, Engine::Yannakakis] {
             assert_eq!(Engine::from_name(e.name()), Some(e));
         }
         assert_eq!(Engine::from_name("vectorised"), None);

@@ -258,6 +258,9 @@ pub fn try_evaluate(q: &ConjunctiveQuery, db: &Database) -> Result<Relation, Eng
     match current_engine() {
         Engine::Row => evaluate_with::<Bindings>(q, db),
         Engine::Columnar => evaluate_with::<crate::batch::ColumnarBindings>(q, db),
+        Engine::Yannakakis => {
+            crate::yannakakis::evaluate_reduced::<crate::batch::ColumnarBindings>(q, db)
+        }
     }
 }
 
@@ -273,23 +276,40 @@ pub fn evaluate(q: &ConjunctiveQuery, db: &Database) -> Relation {
     }
 }
 
-fn evaluate_with<T: Table>(q: &ConjunctiveQuery, db: &Database) -> Result<Relation, EngineError> {
+pub(crate) fn evaluate_with<T: Table>(
+    q: &ConjunctiveQuery,
+    db: &Database,
+) -> Result<Relation, EngineError> {
     let order = greedy_order(&q.body, db);
+    evaluate_in_order_with::<T>(&q.head, &q.body, &order, db)
+}
+
+/// The core join loop: fold the subgoals in exactly `order`, early-exit on
+/// an empty table, project the head. Shared by the greedy-order path above
+/// and the Yannakakis executor (which joins semijoin-reduced relations in
+/// the order the *original* relations dictate, keeping answers
+/// byte-identical across engines).
+pub(crate) fn evaluate_in_order_with<T: Table>(
+    head: &Atom,
+    body: &[Atom],
+    order: &[usize],
+    db: &Database,
+) -> Result<Relation, EngineError> {
     let mut table = T::unit();
-    for idx in order {
-        table = table.join(&q.body[idx], db);
+    for &idx in order {
+        table = table.join(&body[idx], db);
         if table.row_count() == 0 {
             break;
         }
     }
-    table.project_head(&q.head)
+    table.project_head(head)
 }
 
 /// Greedy join order: start from the smallest relation; repeatedly take the
 /// subgoal sharing a variable with the bound set (smallest relation on
 /// ties), falling back to the smallest unconnected subgoal (Cartesian
 /// product) when the query is disconnected.
-fn greedy_order(body: &[Atom], db: &Database) -> Vec<usize> {
+pub(crate) fn greedy_order(body: &[Atom], db: &Database) -> Vec<usize> {
     let size = |a: &Atom| db.get(a.predicate).map_or(0, Relation::len);
     let mut remaining: Vec<usize> = (0..body.len()).collect();
     let mut order = Vec::with_capacity(body.len());
@@ -394,7 +414,11 @@ pub fn try_execute_annotated(
     let _span = obs::span("engine.execute_plan");
     match current_engine() {
         Engine::Row => execute_annotated_with::<Bindings>(head, steps, db),
-        Engine::Columnar => {
+        // Annotated plans encode their own join order and attribute drops
+        // (the cost models' ground truth), so Yannakakis — whose whole
+        // point is choosing the semijoin schedule itself — delegates to
+        // the columnar driver: traces stay byte-identical by construction.
+        Engine::Columnar | Engine::Yannakakis => {
             execute_annotated_with::<crate::batch::ColumnarBindings>(head, steps, db)
         }
     }

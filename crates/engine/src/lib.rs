@@ -43,6 +43,7 @@ pub mod eval;
 pub mod materialize;
 pub mod relation;
 pub mod value;
+pub mod yannakakis;
 
 pub use canonical::{canonical_database, freeze_term, unfreeze_value};
 pub use columnar::{Column, ColumnarRelation};
@@ -58,3 +59,4 @@ pub use eval::{
 pub use materialize::materialize_views;
 pub use relation::{Relation, Tuple};
 pub use value::Value;
+pub use yannakakis::reduced_tuple_count;

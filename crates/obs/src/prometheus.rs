@@ -24,13 +24,20 @@ fn mangle(name: &str) -> String {
 }
 
 /// Renders the whole registry in the Prometheus text exposition format.
-/// Metrics that never fired are omitted, matching the human report.
+///
+/// Every *registered* counter is rendered, zeros included. Registration
+/// is lazy (a name only exists once some site touched it), so a
+/// zero-valued counter means "this code path ran and the outcome never
+/// happened" — exactly the series a scraper needs to compute ratios
+/// like hit rates. Skipping zeros would also make the set of exposed
+/// series depend on scheduling: paired outcome counters (cache hits vs
+/// misses) register together on every probe, but which of them is
+/// nonzero after a short run is a race. Histograms that never recorded
+/// an observation are still omitted — an empty histogram has no
+/// buckets, and no site touches one without recording.
 pub fn prometheus_text() -> String {
     let mut out = String::new();
     for (name, value) in counters() {
-        if value == 0 {
-            continue;
-        }
         let m = mangle(name);
         let _ = writeln!(out, "# HELP viewplan_{m}_total {name}");
         let _ = writeln!(out, "# TYPE viewplan_{m}_total counter");
@@ -90,6 +97,21 @@ mod tests {
         // Bucket series are cumulative: the last finite bucket holds
         // every observation at or below its bound.
         assert!(text.contains("viewplan_promtest_latency_us_bucket{le=\"511\"} 2"));
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn zero_valued_counters_are_exposed_once_registered() {
+        let _serial = crate::testlock::serial();
+        crate::set_enabled(true);
+        // A paired-outcome funnel registers both names on every probe;
+        // the one that never fired must still appear (value 0), or the
+        // set of exposed series would depend on which outcome a short
+        // run happened to see first.
+        crate::counter!("promtest.zero_outcome").add(0);
+        let text = prometheus_text();
+        assert!(text.contains("# TYPE viewplan_promtest_zero_outcome_total counter"));
+        assert!(text.contains("viewplan_promtest_zero_outcome_total 0"));
         crate::set_enabled(false);
     }
 }

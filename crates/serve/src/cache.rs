@@ -107,6 +107,30 @@ pub struct RetargetOutcome {
     pub stale_dropped: u64,
 }
 
+/// Counter funnel for one cache lookup — the single registration site
+/// for `serve.cache_hits` / `serve.cache_misses` (the xtask lint).
+/// Both names are touched on *every* lookup (`add(0)` on the outcome
+/// that did not happen): metric registration is lazy, and a workload of
+/// racing concurrent misses used to leave `serve.cache_hits`
+/// unregistered — and therefore absent from Prometheus/stats snapshots —
+/// until the first hit landed, which made exposition output
+/// thread-count-dependent. The exposition side holds up the other end
+/// of the bargain by rendering registered counters even at zero, so
+/// both series appear from the very first probe.
+fn note_lookup(hit: bool) {
+    let hits = obs::counter!("serve.cache_hits");
+    let misses = obs::counter!("serve.cache_misses");
+    if hit {
+        hits.incr();
+        misses.add(0);
+        obs::trace_event!("serve.cache_hit");
+    } else {
+        misses.incr();
+        hits.add(0);
+        obs::trace_event!("serve.cache_miss");
+    }
+}
+
 /// A bounded, sharded, LRU map from canonical queries to served answers,
 /// versioned by catalog epoch.
 pub struct RewritingCache {
@@ -161,15 +185,13 @@ impl RewritingCache {
                 let value = entry.value.clone();
                 drop(shard);
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                obs::counter!("serve.cache_hits").incr();
-                obs::trace_event!("serve.cache_hit");
+                note_lookup(true);
                 Some(value)
             }
             _ => {
                 drop(shard);
                 self.misses.fetch_add(1, Ordering::Relaxed);
-                obs::counter!("serve.cache_misses").incr();
-                obs::trace_event!("serve.cache_miss");
+                note_lookup(false);
                 None
             }
         }

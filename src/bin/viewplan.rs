@@ -168,13 +168,15 @@ fn with_stats(
     stats.emit()
 }
 
-/// The `--engine row|columnar` flag: sets the process-wide default
-/// executor (the `VIEWPLAN_ENGINE` environment variable is the fallback,
-/// and the columnar engine the default).
+/// The `--engine row|columnar|yannakakis` flag: sets the process-wide
+/// default executor (the `VIEWPLAN_ENGINE` environment variable is the
+/// fallback, and the columnar engine the default).
 fn engine_arg(args: &[String]) -> Result<(), CliError> {
     if let Some(v) = option(args, "--engine") {
         let engine = Engine::from_name(v).ok_or_else(|| {
-            CliError::Input(format!("--engine expects `row` or `columnar`, got {v:?}"))
+            CliError::Input(format!(
+                "--engine expects `row`, `columnar`, or `yannakakis`, got {v:?}"
+            ))
         })?;
         set_default_engine(engine);
     }
@@ -243,8 +245,10 @@ fn print_help() {
          --validate re-checks BENCH files; --validate-trace checks a\n\
          --trace-json export parses and balances.\n\
          \n\
-         Common flags: --engine row|columnar (pick the executor; both\n\
-         produce byte-identical answers and traces; default: columnar or\n\
+         Common flags: --engine row|columnar|yannakakis (pick the\n\
+         executor; all produce byte-identical answers; yannakakis\n\
+         semijoin-reduces acyclic queries first, falling back to\n\
+         columnar on cyclic ones; default: columnar or\n\
          VIEWPLAN_ENGINE), --stats (phase/counter report on stderr),\n\
          --stats-json FILE (dump the metrics registry as JSON),\n\
          --trace (render the request's span tree + typed events on\n\

@@ -83,6 +83,13 @@ pub struct Explanation {
     pub query: String,
     /// The minimized query the search actually ran on.
     pub minimized_query: String,
+    /// Whether the minimized query's hypergraph is acyclic (GYO reduces
+    /// it fully) — when true, containment checks against it are
+    /// fast-path eligible and Yannakakis evaluation applies. Structural:
+    /// independent of the `VIEWPLAN_ACYCLIC` switch.
+    pub acyclic: bool,
+    /// Hypertree-width estimate of the minimized query (1 iff acyclic).
+    pub hypertree_width: usize,
     /// Cost model tag: `m1`, `m2`, or `m3`.
     pub model: &'static str,
     /// Whether all minimal covers were enumerated (vs. globally minimal).
@@ -295,6 +302,8 @@ pub fn explain(
     Ok(Explanation {
         query: query.to_string(),
         minimized_query: result.minimized_query.to_string(),
+        acyclic: viewplan_cq::is_acyclic(&result.minimized_query.body),
+        hypertree_width: viewplan_cq::hypertree_width_estimate(&result.minimized_query.body),
         model: match model {
             CostModel::M1 => "m1",
             CostModel::M2 => "m2",
@@ -372,6 +381,13 @@ impl Explanation {
         o.insert("schema_version".into(), Json::num(1));
         o.insert("query".into(), Json::str(&self.query));
         o.insert("minimized_query".into(), Json::str(&self.minimized_query));
+        let mut structure = BTreeMap::new();
+        structure.insert("acyclic".into(), Json::Bool(self.acyclic));
+        structure.insert(
+            "hypertree_width".into(),
+            Json::num(self.hypertree_width as u64),
+        );
+        o.insert("structure".into(), Json::Object(structure));
         o.insert("model".into(), Json::str(self.model));
         o.insert("all_minimal".into(), Json::Bool(self.all_minimal));
 
@@ -431,6 +447,19 @@ impl Explanation {
         let mut out = String::new();
         let _ = writeln!(out, "query:           {}", self.query);
         let _ = writeln!(out, "minimized query: {}", self.minimized_query);
+        if self.acyclic {
+            let _ = writeln!(
+                out,
+                "structure:       acyclic (hypertree width 1) — semijoin \
+                 fast path eligible"
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "structure:       cyclic (hypertree width ~{}) — homomorphism search",
+                self.hypertree_width
+            );
+        }
         let _ = writeln!(
             out,
             "model: {}   covers: {}",
@@ -589,6 +618,10 @@ mod tests {
         assert_eq!(parsed.get("schema_version").unwrap().as_u64(), Some(1));
         assert_eq!(parsed.get("model").unwrap().as_str(), Some("m1"));
         assert!(parsed.get("winner").unwrap().get("cost").is_some());
+        // Structural acyclicity provenance (independent of the
+        // VIEWPLAN_ACYCLIC switch, so goldens hold under both settings).
+        let structure = parsed.get("structure").unwrap();
+        assert_eq!(structure.get("hypertree_width").unwrap().as_u64(), Some(1));
         // Deterministic: a second run renders the identical document.
         let e2 = explain(&query, &views, &Database::new(), CostModel::M1, false, 1).unwrap();
         assert_eq!(e2.to_json().render(), doc);

@@ -76,8 +76,9 @@ pub mod prelude {
         ExactOracle, Optimizer, OptimizerConfig, PhysicalPlan, SizeOracle,
     };
     pub use viewplan_cq::{
-        parse_atom, parse_query, parse_views, Atom, ConjunctiveQuery, Substitution, Symbol, Term,
-        View, ViewSet,
+        acyclic_enabled, hypertree_width_estimate, install_acyclic, is_acyclic, join_forest,
+        parse_atom, parse_query, parse_views, set_acyclic_default, Atom, ConjunctiveQuery,
+        Substitution, Symbol, Term, View, ViewSet,
     };
     pub use viewplan_engine::{
         canonical_database, evaluate, execute_annotated, execute_ordered, materialize_views,

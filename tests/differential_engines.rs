@@ -4,6 +4,11 @@
 //! results, including the answer's row order and the full
 //! [`viewplan::engine::ExecutionTrace`] (subgoal/IR/GSR sizes).
 //!
+//! The Yannakakis engine joins the same contract: acyclic queries run
+//! the semijoin full reduction before joining, cyclic ones fall back,
+//! and either way every answer, trace, and served render below must be
+//! byte-identical to the row and columnar engines.
+//!
 //! The second half holds regression tests for the three error-path
 //! bugfixes that rode along:
 //!
@@ -36,6 +41,21 @@ fn both_engines<T: PartialEq + std::fmt::Debug>(f: impl Fn() -> T) -> T {
     };
     assert_eq!(row, columnar, "row and columnar engines diverged");
     columnar
+}
+
+/// [`both_engines`] plus the Yannakakis engine: all three must agree
+/// byte-for-byte.
+fn all_engines<T: PartialEq + std::fmt::Debug>(f: impl Fn() -> T) -> T {
+    let baseline = both_engines(&f);
+    let yannakakis = {
+        let _g = install(Engine::Yannakakis);
+        f()
+    };
+    assert_eq!(
+        baseline, yannakakis,
+        "yannakakis engine diverged from row/columnar"
+    );
+    yannakakis
 }
 
 // ---------------------------------------------------------------------
@@ -94,7 +114,10 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
     /// Random query + database: `evaluate` and `execute_ordered` agree
-    /// across engines, trace and answer order included.
+    /// across all three engines, trace and answer order included. The
+    /// generator's mix of chains, stars, cycles, self-joins, and
+    /// disconnected bodies exercises both the Yannakakis reduction and
+    /// its cyclic fallback.
     #[test]
     fn engines_agree_on_random_queries(
         (q, db) in arb_query().prop_flat_map(|q| {
@@ -102,7 +125,7 @@ proptest! {
             (Just(q), db)
         })
     ) {
-        both_engines(|| {
+        all_engines(|| {
             let answer = evaluate(&q, &db);
             let trace = execute_ordered(&q.head, &q.body, &db);
             assert_eq!(trace.answer, answer);
@@ -160,18 +183,25 @@ fn engines_agree_on_served_workloads() {
         for budget in [BudgetSpec::new(), BudgetSpec::new().node_budget(500)] {
             for threads in [1usize, 8] {
                 let row = served_renders(&views, &stream, Engine::Row, threads, budget);
-                let col = served_renders(&views, &stream, Engine::Columnar, threads, budget);
-                assert_eq!(
-                    row, col,
-                    "engines diverged (shape {shape}, seed {seed}, threads {threads})"
-                );
+                for engine in [Engine::Columnar, Engine::Yannakakis] {
+                    let other = served_renders(&views, &stream, engine, threads, budget);
+                    assert_eq!(
+                        row,
+                        other,
+                        "{} diverged from row (shape {shape}, seed {seed}, threads {threads})",
+                        engine.name()
+                    );
+                }
             }
         }
     }
 }
 
-/// Optimizer-chosen plans execute byte-identically under both engines
-/// over a random view database (the M2/M3 ground-truth costing path).
+/// Optimizer-chosen plans execute byte-identically under all three
+/// engines over a random view database (the M2/M3 ground-truth costing
+/// path). Annotated plans encode their own join order and drops, so the
+/// Yannakakis engine executes them through the shared columnar driver —
+/// the trace equality below is the proof that delegation stays exact.
 #[test]
 fn engines_agree_on_optimized_plan_traces() {
     for seed in [3u64, 9, 27] {
@@ -185,13 +215,13 @@ fn engines_agree_on_optimized_plan_traces() {
                 base.insert(name, row.into_iter().map(Value::Int).collect());
             }
         }
-        let vdb = both_engines(|| materialize_views(&w.views, &base));
+        let vdb = all_engines(|| materialize_views(&w.views, &base));
         let mut oracle = ExactOracle::new(&vdb);
         let Some(best) = Optimizer::new(&w.query, &w.views).best_plan(CostModel::M2, &mut oracle)
         else {
             continue;
         };
-        both_engines(|| {
+        all_engines(|| {
             let trace = best
                 .plan
                 .try_execute(&best.rewriting.head, &vdb)
@@ -202,6 +232,105 @@ fn engines_agree_on_optimized_plan_traces() {
                 trace.answer.as_slice().to_vec(),
             )
         });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Yannakakis edge cases: the reduction must not change any answer even
+// when a relation is empty, missing, or joined against itself.
+
+/// An empty (or entirely absent) relation empties the acyclic join; the
+/// reduction short-circuits, and the answer stays byte-identical.
+#[test]
+fn engines_agree_with_empty_and_missing_relations() {
+    let q = parse_query("q(X, Z) :- e(X, Y), f(Y, Z)").unwrap();
+    // `f` registered but empty.
+    let mut db = Database::new();
+    db.insert_int("e", &[&[1, 2], &[3, 4]]);
+    db.set("f".into(), viewplan::engine::Relation::new(2));
+    let answer = all_engines(|| evaluate(&q, &db));
+    assert!(answer.is_empty());
+    // `f` missing entirely.
+    let mut db = Database::new();
+    db.insert_int("e", &[&[1, 2]]);
+    let answer = all_engines(|| evaluate(&q, &db));
+    assert!(answer.is_empty());
+}
+
+/// Self-joins: both atoms read the same stored relation, but the
+/// reduction filters each *occurrence* independently (private per-atom
+/// names), so dangling tuples drop from one side without corrupting the
+/// other.
+#[test]
+fn engines_agree_on_self_joins() {
+    let q = parse_query("q(X, Z) :- e(X, Y), e(Y, Z)").unwrap();
+    let mut db = Database::new();
+    // 1→2→3 chains; 7→8 dangles (no successor, no predecessor).
+    db.insert_int("e", &[&[1, 2], &[2, 3], &[7, 8]]);
+    let answer = all_engines(|| {
+        let a = evaluate(&q, &db);
+        let trace = execute_ordered(&q.head, &q.body, &db);
+        assert_eq!(trace.answer, a);
+        a.as_slice().to_vec()
+    });
+    assert_eq!(answer.len(), 1, "only 1→2→3 completes the 2-chain");
+}
+
+/// Routing counters: acyclic bodies run the reduction, cyclic bodies
+/// take the fallback. Deltas use `>=` (shared registry).
+#[test]
+fn yannakakis_routing_counters_fire() {
+    viewplan::obs::set_enabled(true);
+    let _g = install(Engine::Yannakakis);
+    let mut db = Database::new();
+    db.insert_int("e", &[&[1, 2], &[2, 3]]);
+
+    let chain = parse_query("q(X, Z) :- e(X, Y), e(Y, Z)").unwrap();
+    let before = viewplan::obs::counter_value("engine.yannakakis_reductions");
+    evaluate(&chain, &db);
+    let after = viewplan::obs::counter_value("engine.yannakakis_reductions");
+    assert!(after > before, "acyclic chain did not run the reduction");
+
+    let triangle = parse_query("q(X) :- e(X, Y), e(Y, Z), e(Z, X)").unwrap();
+    let before = viewplan::obs::counter_value("engine.yannakakis_fallbacks");
+    evaluate(&triangle, &db);
+    let after = viewplan::obs::counter_value("engine.yannakakis_fallbacks");
+    assert!(after > before, "cyclic triangle did not fall back");
+}
+
+/// CLI: `eval --engine yannakakis` produces byte-identical stdout to
+/// the row and columnar engines on the bundled example problem (the
+/// served-answer agreement line included).
+#[test]
+fn cli_eval_is_byte_identical_across_engines() {
+    let outputs: Vec<(String, String)> = ["row", "columnar", "yannakakis"]
+        .iter()
+        .map(|engine| {
+            let out = Command::new(env!("CARGO_BIN_EXE_viewplan"))
+                .args([
+                    "eval",
+                    "examples/problems/carlocpart.vp",
+                    "--engine",
+                    engine,
+                ])
+                .output()
+                .expect("failed to spawn viewplan");
+            assert!(
+                out.status.success(),
+                "--engine {engine} failed: {}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+            (
+                engine.to_string(),
+                String::from_utf8_lossy(&out.stdout).into_owned(),
+            )
+        })
+        .collect();
+    for (engine, stdout) in &outputs[1..] {
+        assert_eq!(
+            stdout, &outputs[0].1,
+            "--engine {engine} stdout diverged from row"
+        );
     }
 }
 
@@ -255,14 +384,15 @@ fn arity_mismatch_increments_counter() {
     let mut db = Database::new();
     db.insert_int("r", &[&[1, 2], &[3, 4], &[5, 6]]); // stored arity 2, used with 3
     let before = viewplan::obs::counter_value("engine.arity_mismatch_skips");
-    let answer = both_engines(|| evaluate(&q, &db));
+    let answer = all_engines(|| evaluate(&q, &db));
     assert!(answer.is_empty());
     let after = viewplan::obs::counter_value("engine.arity_mismatch_skips");
-    // 3 skipped tuples per engine; `>=` because other tests share the
-    // process-global metrics registry.
+    // 3 skipped tuples per engine (the Yannakakis reducer mirrors the
+    // join driver's per-atom accounting); `>=` because other tests
+    // share the process-global metrics registry.
     assert!(
-        after >= before + 6,
-        "expected +6 skips, counter went {before} -> {after}"
+        after >= before + 9,
+        "expected +9 skips, counter went {before} -> {after}"
     );
 }
 

@@ -94,6 +94,11 @@ fn check_stats_counters(name: &str, problem: &str) {
         // register the same shared counters, but the columnar engine
         // adds engine.batch_* counters this snapshot includes.
         .env("VIEWPLAN_ENGINE", "columnar")
+        // And pin the acyclic fast path on: routing decides whether
+        // containment bumps `containment.acyclic_fast_path` or the
+        // homomorphism-search counters, so the snapshot must not float
+        // with the ambient VIEWPLAN_ACYCLIC matrix dimension.
+        .env("VIEWPLAN_ACYCLIC", "on")
         .args([
             "rewrite",
             problem,
@@ -163,6 +168,14 @@ fn example_4_1_stats_counters() {
     );
 }
 
+#[test]
+fn acyclic_chain_stats_counters() {
+    check_stats_counters(
+        "acyclic_chain_stats_counters",
+        "examples/problems/acyclic_chain.vp",
+    );
+}
+
 macro_rules! golden {
     ($($name:ident => [$($arg:expr),+ $(,)?];)+) => {$(
         #[test]
@@ -218,6 +231,21 @@ golden! {
     // and one with a deliberate VP005 warning (warnings exit 0).
     check_json_example_1_1 => ["check", "tests/golden/example_1_1_carlocpart.vp", "--json"];
     check_json_unanswerable => ["check", "tests/golden/unanswerable.vp", "--json"];
+
+    // The acyclic fixtures: structural provenance (the `structure` line
+    // and VP007's hypertree-width annotation) is a property of the
+    // hypergraph, not of the routing switch, so these snapshots are
+    // byte-identical under VIEWPLAN_ACYCLIC=on and =off — CI runs both.
+    // The star's winner is a single bundled-view access; the chain's
+    // twelve hops tile into exactly three v4 accesses, and its VP007
+    // candidate estimate crosses the blowup threshold with the width
+    // annotation explaining why the blowup is benign.
+    acyclic_star_rewrite => ["rewrite", "examples/problems/acyclic_star.vp"];
+    acyclic_chain_rewrite => ["rewrite", "examples/problems/acyclic_chain.vp"];
+    explain_acyclic_star => ["explain", "examples/problems/acyclic_star.vp"];
+    explain_json_acyclic_chain => ["explain", "examples/problems/acyclic_chain.vp", "--json"];
+    check_json_acyclic_star => ["check", "examples/problems/acyclic_star.vp", "--json"];
+    check_json_acyclic_chain => ["check", "examples/problems/acyclic_chain.vp", "--json"];
 
     // Generator-derived streams (deterministic in the seed).
     batch_workload_star =>
