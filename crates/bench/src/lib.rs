@@ -301,7 +301,11 @@ mod tests {
         assert_eq!(points.len(), 1);
         assert!(points[0].queries >= 1);
         assert!(points[0].view_tuples >= points[0].representative_tuples);
-        assert!(points[0].hom_nodes > 0.0);
+        // Chain queries are acyclic, so containment runs through the
+        // semijoin fast path and the homomorphism counter can stay 0;
+        // the set-cover search still does per-query work.
+        assert!(points[0].hom_nodes >= 0.0);
+        assert!(points[0].set_cover_nodes > 0.0);
         // No budget installed → every run is complete by definition.
         assert_eq!(points[0].completeness, 1.0);
     }

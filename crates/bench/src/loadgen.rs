@@ -27,10 +27,10 @@
 
 use std::io::{self, Write as _};
 use std::net::{SocketAddr, TcpStream};
-use std::thread;
 use std::time::{Duration, Instant};
 use viewplan_obs as obs;
 use viewplan_serve::net::{read_frame, write_frame};
+use viewplan_sync::thread;
 
 /// Load-generator knobs.
 #[derive(Clone, Debug)]

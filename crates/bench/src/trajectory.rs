@@ -605,7 +605,7 @@ fn ddl_churn_section(views: &ViewSet, query_srcs: &[String], smoke: bool) -> Jso
         Ok(mut server) => {
             let addr = server.local_addr();
             let churn_every = Duration::from_millis(if smoke { 2 } else { 5 });
-            let churner = std::thread::spawn(move || {
+            let churner = viewplan_sync::thread::spawn(move || {
                 ddl_churn(addr, &churn_src, "vchurn", swaps, churn_every).unwrap_or(0)
             });
             let report = run_loadgen(

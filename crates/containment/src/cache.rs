@@ -12,7 +12,7 @@
 //! the same entry.
 //!
 //! The cache is process-global and sharded: each shard is an independent
-//! `parking_lot::RwLock<HashMap>`, picked by key hash, so concurrent
+//! `viewplan_sync::RwLock<HashMap>`, picked by key hash, so concurrent
 //! workers rarely contend on the same lock. Reads take the shard's read
 //! lock; only a miss upgrades to a write. Only checks of at least
 //! [`MIN_CACHED_SUBGOALS`] combined body subgoals are memoized: below
@@ -28,14 +28,13 @@
 //! `containment.cache_hits` / `containment.cache_misses` /
 //! `containment.cache_evictions` counters when stats collection is on.
 
-use parking_lot::RwLock;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
 use viewplan_cq::{Atom, ConjunctiveQuery, Constant, Substitution, Symbol, Term};
 use viewplan_obs as obs;
+use viewplan_sync::{AtomicBool, Ordering, RwLock};
 
 /// Number of independent lock shards (power of two).
 const SHARDS: usize = 16;
@@ -191,11 +190,14 @@ static CACHE_ENABLED: AtomicBool = AtomicBool::new(true);
 /// Disabling does not clear existing entries; use
 /// [`clear_containment_cache`] for that.
 pub fn set_cache_enabled(enabled: bool) {
+    // ordering: standalone switch; probes that see it late merely hit or
+    // skip the cache one more time, both of which are correct.
     CACHE_ENABLED.store(enabled, Ordering::Relaxed);
 }
 
 /// Whether memoization is currently on.
 pub fn cache_enabled() -> bool {
+    // ordering: standalone switch read; see set_cache_enabled.
     CACHE_ENABLED.load(Ordering::Relaxed)
 }
 
@@ -229,6 +231,9 @@ fn shard_of(key: &(CanonicalQuery, CanonicalQuery)) -> &'static Shard {
 /// under a budget are safe in the other direction: a cached verdict is
 /// always from a complete search, i.e. at least as accurate as the
 /// truncated search it replaces.
+// lock-order: one shard lock, taken twice sequentially (read probe, then
+// write insert) — the read guard is dropped before `compute` runs, so no
+// two locks are ever held together and `compute` may recurse freely.
 pub(crate) fn cached_verdict_complete(
     q1: &ConjunctiveQuery,
     q2: &ConjunctiveQuery,
@@ -317,8 +322,8 @@ mod tests {
 
     /// Serializes tests that observe or toggle the process-global cache
     /// (the default test harness runs tests concurrently).
-    fn state_lock() -> parking_lot::MutexGuard<'static, ()> {
-        static LOCK: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
+    fn state_lock() -> viewplan_sync::MutexGuard<'static, ()> {
+        static LOCK: viewplan_sync::Mutex<()> = viewplan_sync::Mutex::new(());
         LOCK.lock()
     }
 

@@ -30,9 +30,8 @@
 //! byte-identical-to-serial guarantee; only wall-clock deadlines are
 //! nondeterministic.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use viewplan_obs as obs;
+use viewplan_sync::{thread, AtomicUsize, Mutex, Ordering};
 
 /// The default thread count: the `VIEWPLAN_THREADS` environment variable
 /// when set to a positive integer, otherwise 1 (serial). The CLI's
@@ -52,6 +51,9 @@ pub fn default_threads() -> usize {
 ///
 /// Panics in `f` propagate to the caller when the scope joins, matching
 /// the serial behavior of a panicking closure.
+// lock-order: `panicked` then `collected` are only ever taken one at a
+// time (never while holding the other), so no acquisition order exists to
+// violate.
 pub fn parallel_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -72,7 +74,7 @@ where
     // Workers catch panics from `f` so the original payload (not the
     // scope's generic "a scoped thread panicked") reaches the caller.
     let panicked: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
-    std::thread::scope(|scope| {
+    thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
                 let _phase = obs::attach_path(&parent_path);
@@ -80,6 +82,8 @@ where
                 let _trace = obs::trace::attach(parent_trace.as_ref());
                 let mut local: Vec<(usize, R)> = Vec::new();
                 loop {
+                    // ordering: work-stealing index; only atomicity of
+                    // the claim matters, results sync via `collected`.
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= items.len() {
                         break;
@@ -87,22 +91,19 @@ where
                     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&items[i]))) {
                         Ok(r) => local.push((i, r)),
                         Err(payload) => {
-                            *panicked.lock().unwrap_or_else(|e| e.into_inner()) = Some(payload);
+                            *panicked.lock() = Some(payload);
                             break;
                         }
                     }
                 }
-                collected
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .extend(local);
+                collected.lock().extend(local);
             });
         }
     });
-    if let Some(payload) = panicked.into_inner().unwrap_or_else(|e| e.into_inner()) {
+    if let Some(payload) = panicked.into_inner() {
         std::panic::resume_unwind(payload);
     }
-    let mut tagged = collected.into_inner().unwrap_or_else(|e| e.into_inner());
+    let mut tagged = collected.into_inner();
     tagged.sort_unstable_by_key(|&(i, _)| i);
     debug_assert_eq!(tagged.len(), items.len());
     tagged.into_iter().map(|(_, r)| r).collect()
@@ -135,7 +136,7 @@ mod tests {
         let items: Vec<u64> = (0..32).collect();
         let out = parallel_map(4, &items, |&x| {
             if x < 4 {
-                std::thread::sleep(std::time::Duration::from_millis(5));
+                thread::sleep(std::time::Duration::from_millis(5));
             }
             x
         });

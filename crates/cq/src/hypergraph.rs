@@ -30,7 +30,7 @@ use crate::atom::Atom;
 use crate::symbol::Symbol;
 use std::cell::Cell;
 use std::collections::BTreeSet;
-use std::sync::atomic::{AtomicU8, Ordering};
+use viewplan_sync::{AtomicU8, Ordering};
 
 /// The witness structure GYO leaves behind on an acyclic hypergraph.
 ///
@@ -200,12 +200,14 @@ thread_local! {
 /// Sets the process-wide default for the acyclic containment fast path
 /// (overridden per-thread by [`install_acyclic`]).
 pub fn set_acyclic_default(on: bool) {
+    // ordering: standalone flag, no other memory published alongside it.
     DEFAULT_ACYCLIC.store(if on { 1 } else { 2 }, Ordering::Relaxed);
 }
 
 /// The process-wide default: an explicit [`set_acyclic_default`] wins,
 /// then `VIEWPLAN_ACYCLIC` (`off`/`0`/`false` disable), then on.
 pub fn acyclic_default() -> bool {
+    // ordering: standalone flag; racing initializers write the same value.
     match DEFAULT_ACYCLIC.load(Ordering::Relaxed) {
         1 => true,
         2 => false,
@@ -218,6 +220,7 @@ pub fn acyclic_default() -> bool {
                 Err(_) => true,
             };
             // Cache so the env var is consulted once per process.
+            // ordering: standalone flag, idempotent write.
             DEFAULT_ACYCLIC.store(if on { 1 } else { 2 }, Ordering::Relaxed);
             on
         }

@@ -7,10 +7,10 @@
 //! interning keeps that loop free of string traffic, per the perf-book
 //! guidance on avoiding allocation in hot paths.
 
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::OnceLock;
+use viewplan_sync::RwLock;
 
 /// An interned string. Two symbols are equal iff their source strings are
 /// equal. Resolution back to the string is only needed for display.
@@ -34,6 +34,9 @@ fn interner() -> &'static RwLock<Interner> {
 
 impl Symbol {
     /// Interns `s`, returning its stable handle.
+    // lock-order: the single interner lock, read then write, strictly
+    // sequentially — the read guard's scope closes before the write
+    // acquisition, so the two are never held together.
     pub fn new(s: &str) -> Symbol {
         // Fast path: already interned.
         {
@@ -65,6 +68,9 @@ impl Symbol {
 
     /// A symbol guaranteed distinct from every symbol interned so far,
     /// derived from `base` (used for fresh-variable generation).
+    // lock-order: interner read guards only, each dropped before the next
+    // acquisition (`drop(rd)` precedes the `Symbol::new` write path), so
+    // the lock is never held re-entrantly.
     pub fn fresh(base: &str) -> Symbol {
         // Candidate names `base#k`; `#` cannot appear in parsed identifiers,
         // so a fresh symbol can never collide with user input, only with

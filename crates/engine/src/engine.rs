@@ -16,7 +16,7 @@
 //!   the differential tests use it to run both engines side by side.
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicU8, Ordering};
+use viewplan_sync::{AtomicU8, Ordering};
 
 /// Which executor [`crate::evaluate`] and the `execute_*` entry points
 /// run on.
@@ -77,6 +77,7 @@ pub fn set_default_engine(engine: Engine) {
         Engine::Columnar => 2,
         Engine::Yannakakis => 3,
     };
+    // ordering: standalone configuration flag set before workers spawn.
     DEFAULT_ENGINE.store(code, Ordering::Relaxed);
 }
 
@@ -84,6 +85,8 @@ pub fn set_default_engine(engine: Engine) {
 /// if called, else `VIEWPLAN_ENGINE` (`row` | `columnar` | `yannakakis`),
 /// else [`Engine::Columnar`].
 pub fn default_engine() -> Engine {
+    // ordering: standalone configuration flag; stale reads only see the
+    // previous default, never a torn value.
     match DEFAULT_ENGINE.load(Ordering::Relaxed) {
         1 => Engine::Row,
         2 => Engine::Columnar,

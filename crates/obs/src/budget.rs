@@ -47,9 +47,9 @@
 //! stats collection is on.
 
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use viewplan_sync::{AtomicBool, AtomicU64, Ordering};
 
 /// How many `Meter::tick`s pass between wall-clock / cancellation polls.
 /// Node caps are still exact; only deadline detection is amortized.
@@ -257,8 +257,11 @@ struct Inner {
 /// completeness of one run when a budget handle outlives it.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct HitSnapshot {
-    deadline_hits: u64,
-    node_hits: u64,
+    /// Searches abandoned because the deadline fired or the budget was
+    /// cancelled.
+    pub deadline_hits: u64,
+    /// Searches abandoned because a per-search node cap ran out.
+    pub node_hits: u64,
 }
 
 /// A cheap, clonable budget handle. Create with [`BudgetSpec::build`],
@@ -383,6 +386,8 @@ impl Budget {
     /// True once the deadline fired or [`Budget::cancel`] was called.
     /// Polls the clock (and latches the flag) if a deadline is set.
     pub fn cancelled(&self) -> bool {
+        // ordering: latched one-way flag; a late observation only delays
+        // the stop, it cannot un-cancel.
         if self.inner.cancelled.load(Ordering::Relaxed) {
             return true;
         }
@@ -403,6 +408,10 @@ impl Budget {
     }
 
     fn fire_deadline(&self) {
+        // ordering: deadline_fired is written before cancelled so a
+        // cancelled_by_deadline observer under SC sees the cause with the
+        // effect; both flags are one-way latches, so relaxed suffices for
+        // the stop itself (a miss only delays it).
         self.inner.deadline_fired.store(true, Ordering::Relaxed);
         self.inner.cancelled.store(true, Ordering::Relaxed);
     }
@@ -411,13 +420,17 @@ impl Budget {
     /// wall clock vs. by node caps.
     pub fn hits(&self) -> HitSnapshot {
         HitSnapshot {
+            // ordering: monotone tallies; completeness_since compares
+            // before/after snapshots of the same counters.
             deadline_hits: self.inner.deadline_hits.load(Ordering::Relaxed),
+            // ordering: as above.
             node_hits: self.inner.node_hits.load(Ordering::Relaxed),
         }
     }
 
     /// Searches abandoned in `phase` (either cause).
     pub fn abandoned(&self, phase: Phase) -> u64 {
+        // ordering: monotone tally read.
         self.inner.abandoned[phase.idx()].load(Ordering::Relaxed)
     }
 
@@ -436,17 +449,25 @@ impl Budget {
     }
 
     fn cancelled_by_deadline(&self) -> bool {
+        // ordering: one-way latch written in fire_deadline before
+        // cancelled; see the note there.
         self.cancelled() && self.inner.deadline_fired.load(Ordering::Relaxed)
     }
 
     /// Records one abandoned search. `by_deadline` selects which hit
     /// counter (and obs counter) it lands in.
     fn note_abandoned(&self, phase: Phase, by_deadline: bool) {
+        // ordering: the per-phase tally is bumped before the cause
+        // counter, so hits() never exceeds the abandoned total under SC
+        // (pinned by the model_budget interleaving test); each counter is
+        // monotone, so relaxed suffices per site.
         self.inner.abandoned[phase.idx()].fetch_add(1, Ordering::Relaxed);
         if by_deadline {
+            // ordering: monotone tally; see above.
             self.inner.deadline_hits.fetch_add(1, Ordering::Relaxed);
             crate::counter!("budget.deadline_hits").incr();
         } else {
+            // ordering: monotone tally; see above.
             self.inner.node_hits.fetch_add(1, Ordering::Relaxed);
             crate::counter!("budget.node_budget_hits").incr();
         }
@@ -482,6 +503,8 @@ impl Budget {
         let fired = self
             .inner
             .fault_countdown
+            // ordering: the RMW itself is atomic, which is all the
+            // exactly-once 1 -> 0 transition needs.
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
             .is_ok_and(|prev| prev == 1);
         fired.then_some(fault.point)

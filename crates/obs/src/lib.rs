@@ -61,19 +61,23 @@ pub use report::{json_report, render_report, report_to_stderr, write_json_report
 pub use span::{attach_path, current_path, span, span_tree, Span, SpanNode, SpanPathGuard};
 pub use trace::{validate_chrome_trace, AttrValue, Trace, TraceContext, TraceGuard, TraceNode};
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use viewplan_sync::{AtomicBool, Ordering};
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
 /// Turns metric collection on or off process-wide. Off (the default)
 /// makes every instrumentation point a single relaxed load + branch.
 pub fn set_enabled(enabled: bool) {
+    // ordering: standalone switch; collection points tolerate observing
+    // it late, and counters carry their own synchronization.
     ENABLED.store(enabled, Ordering::Relaxed);
 }
 
 /// Whether collection is currently on.
 #[inline(always)]
 pub fn enabled() -> bool {
+    // ordering: standalone switch read on the hot path; stale reads only
+    // delay when collection turns on/off.
     ENABLED.load(Ordering::Relaxed)
 }
 
@@ -90,12 +94,12 @@ pub fn reset() {
 /// [`set_enabled`] or calls [`reset`] serializes on this lock.
 #[cfg(test)]
 pub(crate) mod testlock {
-    use std::sync::{Mutex, MutexGuard};
+    use viewplan_sync::{Mutex, MutexGuard};
 
     static GUARD: Mutex<()> = Mutex::new(());
 
     pub(crate) fn serial() -> MutexGuard<'static, ()> {
-        GUARD.lock().unwrap_or_else(|e| e.into_inner())
+        GUARD.lock()
     }
 }
 

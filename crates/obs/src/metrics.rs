@@ -7,9 +7,8 @@
 //! a `OnceLock`, keeping the steady-state cost of a bump at one enabled
 //! check plus one relaxed `fetch_add`.
 
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
+use viewplan_sync::{AtomicU64, Mutex, Ordering};
 
 /// Buckets per histogram: one per power of two of a `u64`, plus bucket 0
 /// for the value 0.
@@ -74,6 +73,8 @@ impl Counter {
     #[inline]
     pub fn add(&self, n: u64) {
         if crate::enabled() {
+            // ordering: monotone counter bump; readers only need totals,
+            // never cross-counter ordering.
             self.cell().fetch_add(n, Ordering::Relaxed);
         }
     }
@@ -86,6 +87,7 @@ impl Counter {
 
     /// Current value (0 if never resolved).
     pub fn get(&self) -> u64 {
+        // ordering: monotone counter read; staleness only undercounts.
         self.cell().load(Ordering::Relaxed)
     }
 }
@@ -125,6 +127,9 @@ impl HistogramCell {
             0 => 0,
             v => 64 - v.leading_zeros() as usize,
         };
+        // ordering: independent monotone statistics; snapshots tolerate
+        // observing a partially-applied record (count/sum/bucket may skew
+        // by in-flight observations, never corrupt).
         self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
@@ -133,9 +138,14 @@ impl HistogramCell {
     }
 
     fn reset(&self) {
+        // ordering: callers quiesce recorders before reset (testlock /
+        // request boundaries); no ordering needed between the zeroing
+        // stores themselves.
         for b in &self.buckets {
+            // ordering: quiesced zeroing store; see the note above.
             b.store(0, Ordering::Relaxed);
         }
+        // ordering: quiesced zeroing stores; see the note above.
         self.count.store(0, Ordering::Relaxed);
         self.sum.store(0, Ordering::Relaxed);
         self.min.store(u64::MAX, Ordering::Relaxed);
@@ -143,21 +153,28 @@ impl HistogramCell {
     }
 
     fn snapshot(&self) -> HistogramSnapshot {
+        // ordering: statistics are each monotone, so a concurrent record
+        // can skew a snapshot by at most the in-flight observation;
+        // delta_since documents this tolerance.
         let count = self.count.load(Ordering::Relaxed);
         HistogramSnapshot {
             count,
+            // ordering: see the snapshot-wide note above.
             sum: self.sum.load(Ordering::Relaxed),
             min: if count == 0 {
                 0
             } else {
+                // ordering: see the snapshot-wide note above.
                 self.min.load(Ordering::Relaxed)
             },
+            // ordering: see the snapshot-wide note above.
             max: self.max.load(Ordering::Relaxed),
             buckets: self
                 .buckets
                 .iter()
                 .enumerate()
                 .filter_map(|(i, b)| {
+                    // ordering: see the snapshot-wide note above.
                     let n = b.load(Ordering::Relaxed);
                     (n > 0).then(|| (bucket_bounds(i), n))
                 })
@@ -403,6 +420,7 @@ pub fn counters() -> Vec<(&'static str, u64)> {
     let mut out: Vec<(&'static str, u64)> = reg
         .counters
         .iter()
+        // ordering: monotone counter reads; staleness only undercounts.
         .map(|(name, cell)| (*name, cell.load(Ordering::Relaxed)))
         .collect();
     out.sort_unstable_by_key(|(name, _)| *name);
@@ -415,6 +433,7 @@ pub fn counter_value(name: &str) -> u64 {
     reg.counters
         .iter()
         .find(|(n, _)| *n == name)
+        // ordering: monotone counter read; staleness only undercounts.
         .map_or(0, |(_, cell)| cell.load(Ordering::Relaxed))
 }
 
@@ -443,6 +462,7 @@ pub fn histogram_snapshot(name: &str) -> Option<HistogramSnapshot> {
 pub(crate) fn reset() {
     let reg = registry().lock();
     for (_, cell) in &reg.counters {
+        // ordering: callers quiesce recorders before reset.
         cell.store(0, Ordering::Relaxed);
     }
     for (_, cell) in &reg.histograms {

@@ -17,11 +17,11 @@
 //! global lock. When a [`crate::trace::Trace`] is installed, each span
 //! additionally records start/end into the trace's per-thread buffers.
 
-use parking_lot::Mutex;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+use viewplan_sync::Mutex;
 
 #[derive(Clone, Copy, Default)]
 struct SpanStat {
@@ -184,8 +184,8 @@ fn insert(nodes: &mut Vec<SpanNode>, path: &[&'static str], stat: SpanStat) {
         [] => return,
         [head, rest @ ..] => (*head, rest),
     };
-    let node = match nodes.iter_mut().find(|n| n.name == head) {
-        Some(node) => node,
+    let idx = match nodes.iter().position(|n| n.name == head) {
+        Some(idx) => idx,
         None => {
             nodes.push(SpanNode {
                 name: head,
@@ -193,9 +193,10 @@ fn insert(nodes: &mut Vec<SpanNode>, path: &[&'static str], stat: SpanStat) {
                 total: Duration::ZERO,
                 children: Vec::new(),
             });
-            nodes.last_mut().expect("just pushed")
+            nodes.len() - 1
         }
     };
+    let node = &mut nodes[idx];
     if rest.is_empty() {
         node.count += stat.count;
         node.total += stat.total;

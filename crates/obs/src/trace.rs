@@ -27,13 +27,12 @@
 //! off, an installed trace records nothing.
 
 use crate::json::Json;
-use parking_lot::Mutex;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+use viewplan_sync::{AtomicU64, Mutex, Ordering};
 
 /// One typed attribute value on a trace event.
 #[derive(Clone, Debug, PartialEq)]
@@ -158,6 +157,7 @@ impl Trace {
 
     fn register_thread(&self) -> Arc<Buffer> {
         let buffer = Arc::new(Buffer {
+            // ordering: unique-id allocation; only atomicity matters.
             tid: self.inner.next_tid.fetch_add(1, Ordering::Relaxed),
             records: Mutex::new(Vec::new()),
         });
@@ -170,6 +170,9 @@ impl Trace {
     }
 
     /// Number of spans recorded so far (started, whether or not ended).
+    // lock-order: buffer registry, then each per-thread record buffer
+    // inside it — the order every reader uses; writers only ever hold
+    // their own record buffer, so the nesting cannot invert.
     pub fn span_count(&self) -> usize {
         self.inner
             .buffers
@@ -186,6 +189,7 @@ impl Trace {
     }
 
     /// Number of events recorded so far.
+    // lock-order: buffer registry, then each record buffer; see span_count.
     pub fn event_count(&self) -> usize {
         self.inner
             .buffers
@@ -205,6 +209,7 @@ impl Trace {
     /// Children are ordered by start time (ties by id, i.e. allocation
     /// order); a span whose `End` was never recorded (trace exported
     /// while it was still open) reports a zero duration.
+    // lock-order: buffer registry, then each record buffer; see span_count.
     pub fn tree(&self) -> Vec<TraceNode> {
         let mut spans: BTreeMap<u64, TraceNode> = BTreeMap::new();
         let mut parents: BTreeMap<u64, u64> = BTreeMap::new();
@@ -286,6 +291,7 @@ impl Trace {
     /// tracing` / Perfetto interchange format): `B`/`E` duration pairs
     /// per span and `i` instant events, timestamps in microseconds,
     /// one `tid` per participating thread.
+    // lock-order: buffer registry, then each record buffer; see span_count.
     pub fn chrome_json(&self) -> String {
         let mut entries: Vec<Json> = Vec::new();
         let buffers = self.inner.buffers.lock();
@@ -607,6 +613,7 @@ pub(crate) fn on_span_start(name: &'static str) -> bool {
         let Some(state) = active.as_mut() else {
             return false;
         };
+        // ordering: unique-id allocation; only atomicity matters.
         let id = state.trace.inner.next_span.fetch_add(1, Ordering::Relaxed);
         let parent = state.stack.last().copied().unwrap_or(state.base_parent);
         let t_ns = state.trace.now_ns();

@@ -1,0 +1,175 @@
+//! Interleaving regression test for budget-meter propagation, pinned by
+//! the `viewplan-sync` model checker: two workers ticking meters against
+//! one shared budget while a third thread cancels it.
+//!
+//! Invariants, across every explored schedule:
+//!
+//! * every worker's search is abandoned exactly once (node cap or
+//!   cancellation — never zero, never double-counted);
+//! * `deadline_hits + node_hits` equals the abandoned total once the
+//!   workers join (each abandonment lands in exactly one cause bucket);
+//! * mid-flight, an observer never sees the cause counters exceed the
+//!   per-phase abandoned tallies (`note_abandoned` bumps the phase tally
+//!   *before* the cause counter — the ordering this test pins);
+//! * a worker that starts after the cancel classifies as a deadline
+//!   abandonment, so cancellation is never silently swallowed.
+
+use viewplan_obs::budget::{install, Budget, BudgetSpec, Meter, Phase};
+use viewplan_sync::model;
+
+/// Warm global lazy state (obs counter registration inside
+/// `note_abandoned`) so model executions are a pure function of the
+/// schedule.
+fn warm() -> Budget {
+    let budget = BudgetSpec::new().node_budget(2).build();
+    {
+        let _g = install(budget.clone());
+        let mut m = Meter::start(Phase::Hom);
+        while m.tick() {}
+        budget.cancel();
+        let mut n = Meter::start(Phase::Cover);
+        n.tick();
+    }
+    budget
+}
+
+#[test]
+fn meter_propagation_counts_every_abandonment_exactly_once() {
+    let _ = warm();
+    // Four model threads: bound 1 keeps the exhaustive DFS around a
+    // thousand schedules (~1s); bound 2 explores ~88k and is left to
+    // the seeded random pass below.
+    let report = model::check(&model::Config::dfs(1), || {
+        let budget = BudgetSpec::new().node_budget(2).build();
+        let workers: Vec<_> = [Phase::Hom, Phase::Cover]
+            .into_iter()
+            .map(|phase| {
+                let budget = budget.clone();
+                model::spawn(move || {
+                    // Ambient state is thread-local: each model thread
+                    // installs the shared budget exactly as a pool
+                    // worker does.
+                    let _g = install(budget.clone());
+                    let mut meter = Meter::start(phase);
+                    let mut ticks = 0u64;
+                    while meter.tick() {
+                        ticks += 1;
+                    }
+                    assert!(meter.exhausted(), "refused tick marks exhaustion");
+                    assert!(ticks <= 2, "node cap is never overrun");
+                    ticks
+                })
+            })
+            .collect();
+        let canceller = {
+            let budget = budget.clone();
+            model::spawn(move || budget.cancel())
+        };
+        let observer = {
+            let budget = budget.clone();
+            model::spawn(move || {
+                // The cause counters trail the per-phase tallies:
+                // note_abandoned bumps `abandoned` first, so this sum
+                // can never be observed exceeding that one.
+                for _ in 0..2 {
+                    let hits = budget.hits();
+                    let abandoned = budget.abandoned(Phase::Hom)
+                        + budget.abandoned(Phase::Cover)
+                        + budget.abandoned(Phase::Plan);
+                    assert!(
+                        hits.deadline_hits + hits.node_hits <= abandoned,
+                        "cause counters ({} + {}) overtook the abandoned total ({abandoned})",
+                        hits.deadline_hits,
+                        hits.node_hits,
+                    );
+                }
+            })
+        };
+        for worker in workers {
+            worker.join();
+        }
+        canceller.join();
+        observer.join();
+        assert!(budget.cancelled(), "cancel latched");
+        let hits = budget.hits();
+        assert_eq!(
+            budget.abandoned(Phase::Hom) + budget.abandoned(Phase::Cover),
+            2,
+            "each worker abandons exactly once"
+        );
+        assert_eq!(
+            hits.deadline_hits + hits.node_hits,
+            2,
+            "every abandonment lands in exactly one cause bucket"
+        );
+    });
+    eprintln!("model budget_meters: {}", report.summary());
+    assert!(report.ok(), "{}", report.summary());
+    assert!(report.exhaustive, "DFS must exhaust the bounded schedules");
+}
+
+/// A seeded random slice of the higher-preemption schedules the DFS
+/// bound above excludes.
+#[test]
+fn meter_propagation_random_walk() {
+    let _ = warm();
+    let report = model::check(&model::Config::random(300, 0xB0D6E7), || {
+        let budget = BudgetSpec::new().node_budget(2).build();
+        let workers: Vec<_> = [Phase::Hom, Phase::Cover]
+            .into_iter()
+            .map(|phase| {
+                let budget = budget.clone();
+                model::spawn(move || {
+                    let _g = install(budget.clone());
+                    let mut meter = Meter::start(phase);
+                    while meter.tick() {}
+                })
+            })
+            .collect();
+        let canceller = {
+            let budget = budget.clone();
+            model::spawn(move || budget.cancel())
+        };
+        for worker in workers {
+            worker.join();
+        }
+        canceller.join();
+        let hits = budget.hits();
+        assert_eq!(
+            budget.abandoned(Phase::Hom) + budget.abandoned(Phase::Cover),
+            2
+        );
+        assert_eq!(hits.deadline_hits + hits.node_hits, 2);
+    });
+    eprintln!("model budget_random: {}", report.summary());
+    assert!(report.ok(), "{}", report.summary());
+}
+
+#[test]
+fn post_cancel_meters_always_classify_as_deadline() {
+    let _ = warm();
+    let report = model::check(&model::Config::dfs(2), || {
+        let budget = Budget::unlimited();
+        let canceller = {
+            let budget = budget.clone();
+            model::spawn(move || budget.cancel())
+        };
+        canceller.join();
+        let worker = {
+            let budget = budget.clone();
+            model::spawn(move || {
+                let _g = install(budget.clone());
+                let mut meter = Meter::start(Phase::Plan);
+                assert!(!meter.tick(), "a cancelled budget refuses immediately");
+            })
+        };
+        worker.join();
+        let hits = budget.hits();
+        assert_eq!(hits.deadline_hits, 1, "classified as a deadline stop");
+        assert_eq!(hits.node_hits, 0);
+        assert_eq!(budget.abandoned(Phase::Plan), 1);
+    });
+    eprintln!("model budget_cancel: {}", report.summary());
+    assert!(report.ok(), "{}", report.summary());
+    assert!(report.exhaustive, "DFS must exhaust the bounded schedules");
+}

@@ -34,10 +34,9 @@
 //! the queue is empty — an admitted request is a promise.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 use viewplan_obs as obs;
+use viewplan_sync::{AtomicU64, Condvar, Mutex, Ordering};
 
 /// Why a request was refused at admission.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -128,7 +127,7 @@ impl<T> AdmissionQueue<T> {
     /// Offers a request. Returns the payload back with a [`ShedReason`]
     /// when admission refuses it, so the caller can answer honestly.
     pub fn offer(&self, item: T, deadline: Option<Instant>) -> Result<(), (T, ShedReason)> {
-        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut state = self.state.lock();
         let reason = if state.closed {
             Some(ShedReason::ShuttingDown)
         } else if state.queue.len() >= self.capacity {
@@ -167,6 +166,8 @@ impl<T> AdmissionQueue<T> {
     /// *inside* the queue), so `serve.shed` counts every shed request
     /// regardless of where it was refused.
     pub fn record_shed(&self) {
+        // ordering: monotone tally; readers only want a recent count,
+        // not synchronization with the shed request itself.
         self.shed.fetch_add(1, Ordering::Relaxed);
         obs::counter!("serve.shed").incr();
     }
@@ -174,7 +175,7 @@ impl<T> AdmissionQueue<T> {
     /// Blocks for the next admitted request; `None` once the queue is
     /// closed *and* drained. Records the queue-wait histogram.
     pub fn take(&self) -> Option<Admitted<T>> {
-        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut state = self.state.lock();
         loop {
             if let Some(job) = state.queue.pop_front() {
                 drop(state);
@@ -184,10 +185,7 @@ impl<T> AdmissionQueue<T> {
             if state.closed {
                 return None;
             }
-            state = self
-                .ready
-                .wait(state)
-                .unwrap_or_else(PoisonError::into_inner);
+            state = self.ready.wait(state);
         }
     }
 
@@ -195,29 +193,30 @@ impl<T> AdmissionQueue<T> {
     /// into the EWMA the admission projection uses.
     pub fn complete(&self, service: Duration) {
         let sample = service.as_micros() as u64;
+        // ordering: deliberately racy read-modify-write — concurrent
+        // completions may drop a sample, which only coarsens an estimate
+        // that is already an order-of-magnitude heuristic.
         let old = self.service_ewma_us.load(Ordering::Relaxed);
         let new = if old == 0 {
             sample
         } else {
             old - old / 8 + sample / 8
         };
+        // ordering: see the load above; admission tolerates stale EWMAs.
         self.service_ewma_us.store(new, Ordering::Relaxed);
     }
 
     /// The wait admission currently projects for a request arriving at
     /// the given queue depth.
     fn projected_wait_for(&self, depth: usize) -> Duration {
+        // ordering: heuristic estimate; a stale EWMA only shifts the
+        // admission projection by one sample.
         Duration::from_micros(self.service_ewma_us.load(Ordering::Relaxed) * depth as u64)
     }
 
     /// The wait admission currently projects for a request arriving now.
     pub fn projected_wait(&self) -> Duration {
-        let depth = self
-            .state
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .queue
-            .len();
+        let depth = self.state.lock().queue.len();
         self.projected_wait_for(depth)
     }
 
@@ -225,20 +224,13 @@ impl<T> AdmissionQueue<T> {
     /// [`ShedReason::ShuttingDown`]; already-admitted requests continue
     /// to drain through [`AdmissionQueue::take`].
     pub fn close(&self) {
-        self.state
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .closed = true;
+        self.state.lock().closed = true;
         self.ready.notify_all();
     }
 
     /// Requests currently waiting.
     pub fn len(&self) -> usize {
-        self.state
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .queue
-            .len()
+        self.state.lock().queue.len()
     }
 
     /// True when no request is waiting.
@@ -248,6 +240,7 @@ impl<T> AdmissionQueue<T> {
 
     /// Total requests shed since construction.
     pub fn shed_count(&self) -> u64 {
+        // ordering: monotone tally read for reporting.
         self.shed.load(Ordering::Relaxed)
     }
 }

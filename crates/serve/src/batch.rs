@@ -276,18 +276,30 @@ impl BatchServer {
         let _engine = viewplan_engine::install(self.config.engine);
         let epoch = self.epoch();
         let c = canonicalize(query);
-        if let Some(cache) = &self.cache {
-            if let Some(hit) = cache.get(&c.key, epoch) {
-                return Ok(denormalize(&hit, &c.from_canonical, true, epoch));
+        let Some(cache) = &self.cache else {
+            let computed = Arc::new(self.compute(&c.canonical, spec)?);
+            return Ok(denormalize(&computed, &c.from_canonical, false, epoch));
+        };
+        // Single-flight probe: concurrent requests for the same canonical
+        // query elect one leader; the rest wait for its answer instead of
+        // recomputing it (the duplicate-miss fix, model-checked in
+        // tests/model_interleavings.rs).
+        match cache.get_or_join(&c.key, epoch) {
+            crate::cache::CacheProbe::Hit(hit) => {
+                Ok(denormalize(&hit, &c.from_canonical, true, epoch))
+            }
+            crate::cache::CacheProbe::Miss(flight) => {
+                // A compute error drops `flight` unpublished, aborting
+                // the flight so waiting followers recompute for
+                // themselves rather than inheriting the failure.
+                let computed = Arc::new(self.compute(&c.canonical, spec)?);
+                // The cache itself refuses incomplete answers (poisoning
+                // rule), so a truncated compute is served — and shared
+                // with no one — but not stored.
+                flight.publish(c.canonical, computed.clone());
+                Ok(denormalize(&computed, &c.from_canonical, false, epoch))
             }
         }
-        let computed = Arc::new(self.compute(&c.canonical, spec)?);
-        if let Some(cache) = &self.cache {
-            // The cache itself refuses incomplete answers (poisoning
-            // rule), so a truncated compute is served but not stored.
-            cache.insert(c.key, c.canonical, computed.clone(), epoch);
-        }
-        Ok(denormalize(&computed, &c.from_canonical, false, epoch))
     }
 
     /// Answers a stream of queries on up to `threads` workers (the PR 2

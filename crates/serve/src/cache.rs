@@ -42,21 +42,21 @@
 //! off the hit path, so simplicity wins over an intrusive list.
 //!
 //! Counters (when stats collection is on): `serve.cache_hits`,
-//! `serve.cache_misses`, `serve.cache_evictions`,
-//! `serve.cache_rejected_incomplete`, `serve.cache_invalidated`. The
+//! `serve.cache_misses`, `serve.cache_coalesced`,
+//! `serve.cache_evictions`, `serve.cache_rejected_incomplete`,
+//! `serve.cache_invalidated`. The
 //! same numbers are always available programmatically through
 //! [`RewritingCache::stats`], independent of whether obs collection is
 //! enabled.
 
-use parking_lot::Mutex;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use viewplan_containment::CanonicalQuery;
 use viewplan_cq::ConjunctiveQuery;
 use viewplan_obs as obs;
+use viewplan_sync::{AtomicU64, Condvar, Mutex, Ordering};
 
 use crate::batch::CachedAnswer;
 
@@ -86,6 +86,9 @@ pub struct CacheStats {
     pub hits: u64,
     /// Probes that found nothing (or only a wrong-epoch entry).
     pub misses: u64,
+    /// Hits served by waiting on another request's in-flight compute
+    /// (a subset of `hits`; see [`RewritingCache::get_or_join`]).
+    pub coalesced: u64,
     /// Entries displaced by the LRU policy.
     pub evictions: u64,
     /// Insert attempts refused because the answer was not `Complete`.
@@ -131,13 +134,86 @@ fn note_lookup(hit: bool) {
     }
 }
 
+/// One in-flight compute for a `(key, epoch)` pair. The leader publishes
+/// the finished answer (or an abort) through `state`; followers wait on
+/// `ready` instead of redundantly recomputing the same canonical query.
+struct Flight {
+    state: Mutex<FlightState>,
+    ready: Condvar,
+}
+
+enum FlightState {
+    /// The leader is still computing.
+    Pending,
+    /// The leader finished with a complete answer; followers share it.
+    Published(Arc<CachedAnswer>),
+    /// The leader failed, was dropped, or produced an incomplete answer
+    /// (which the poisoning rule forbids sharing — a follower with a
+    /// healthier budget must recompute rather than inherit truncation).
+    Aborted,
+}
+
+/// The outcome of [`RewritingCache::get_or_join`].
+pub enum CacheProbe<'a> {
+    /// A usable answer: resident in the cache, or published by a
+    /// concurrent leader this probe coalesced onto.
+    Hit(Arc<CachedAnswer>),
+    /// This probe is the leader for its `(key, epoch)`: compute the
+    /// answer and call [`FlightGuard::publish`] (dropping the guard
+    /// without publishing aborts, waking followers to recompute).
+    Miss(FlightGuard<'a>),
+}
+
+/// Leadership token for one in-flight compute (see [`CacheProbe::Miss`]).
+pub struct FlightGuard<'a> {
+    cache: &'a RewritingCache,
+    key: CanonicalQuery,
+    epoch: u64,
+    flight: Arc<Flight>,
+    done: bool,
+}
+
+impl FlightGuard<'_> {
+    /// Stores the computed answer (subject to the cache's poisoning
+    /// rule) and wakes followers: a complete answer is shared with them
+    /// directly; an incomplete one aborts the flight so each follower
+    /// recomputes under its own budget.
+    pub fn publish(mut self, canonical: ConjunctiveQuery, value: Arc<CachedAnswer>) {
+        self.done = true;
+        let complete = !value.completeness.is_incomplete();
+        self.cache
+            .insert(self.key.clone(), canonical, value.clone(), self.epoch);
+        let state = if complete {
+            FlightState::Published(value)
+        } else {
+            FlightState::Aborted
+        };
+        self.cache
+            .finish(&self.key, self.epoch, &self.flight, state);
+    }
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if !self.done {
+            self.cache
+                .finish(&self.key, self.epoch, &self.flight, FlightState::Aborted);
+        }
+    }
+}
+
 /// A bounded, sharded, LRU map from canonical queries to served answers,
 /// versioned by catalog epoch.
 pub struct RewritingCache {
     shards: Vec<Mutex<Shard>>,
     shard_capacity: usize,
+    /// In-flight computes by `(key, epoch)`: the epoch is part of the
+    /// key so a request on a newer catalog snapshot never coalesces onto
+    /// (or waits for) a pre-swap compute.
+    inflight: Mutex<HashMap<(CanonicalQuery, u64), Arc<Flight>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    coalesced: AtomicU64,
     evictions: AtomicU64,
     rejected_incomplete: AtomicU64,
     invalidated: AtomicU64,
@@ -157,8 +233,10 @@ impl RewritingCache {
                 })
                 .collect(),
             shard_capacity: capacity.div_ceil(SHARDS).max(1),
+            inflight: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             rejected_incomplete: AtomicU64::new(0),
             invalidated: AtomicU64::new(0),
@@ -171,30 +249,137 @@ impl RewritingCache {
         &self.shards[(h.finish() as usize) % SHARDS]
     }
 
-    /// Probes the cache for an answer valid at `epoch` (the reader's
-    /// catalog-snapshot epoch), refreshing the entry's recency on a hit.
-    /// An entry tagged with any other epoch is a miss — never a stale
-    /// answer — and is left for [`RewritingCache::retarget`] to settle.
-    pub fn get(&self, key: &CanonicalQuery, epoch: u64) -> Option<Arc<CachedAnswer>> {
+    /// The raw resident-entry probe shared by [`RewritingCache::get`]
+    /// and [`RewritingCache::get_or_join`]: refreshes recency on a hit,
+    /// counts nothing (each public entry point tallies exactly one
+    /// hit-or-miss per call, preserving hits + misses == lookups).
+    fn lookup(&self, key: &CanonicalQuery, epoch: u64) -> Option<Arc<CachedAnswer>> {
         let mut shard = self.shard(key).lock();
         shard.tick += 1;
         let now = shard.tick;
         match shard.map.get_mut(key) {
             Some(entry) if entry.epoch == epoch => {
                 entry.stamp = now;
-                let value = entry.value.clone();
-                drop(shard);
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                note_lookup(true);
+                Some(entry.value.clone())
+            }
+            _ => None,
+        }
+    }
+
+    fn note_hit(&self, coalesced: bool) {
+        // ordering: monotone tallies; `stats` reads each independently.
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        if coalesced {
+            // ordering: monotone tally; see above.
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            obs::counter!("serve.cache_coalesced").incr();
+        }
+        note_lookup(true);
+    }
+
+    /// Probes the cache for an answer valid at `epoch` (the reader's
+    /// catalog-snapshot epoch), refreshing the entry's recency on a hit.
+    /// An entry tagged with any other epoch is a miss — never a stale
+    /// answer — and is left for [`RewritingCache::retarget`] to settle.
+    pub fn get(&self, key: &CanonicalQuery, epoch: u64) -> Option<Arc<CachedAnswer>> {
+        match self.lookup(key, epoch) {
+            Some(value) => {
+                self.note_hit(false);
                 Some(value)
             }
-            _ => {
-                drop(shard);
+            None => {
+                // ordering: monotone tally; `stats` reads it alone.
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 note_lookup(false);
                 None
             }
         }
+    }
+
+    /// Probes the cache with miss coalescing: concurrent requests for
+    /// the same `(key, epoch)` elect one leader ([`CacheProbe::Miss`])
+    /// while the rest wait for its published answer instead of
+    /// recomputing it. This closes the duplicate-miss race where N
+    /// identical requests, all probing before any inserted, ran N
+    /// identical pipeline computes. Exactly one hit-or-miss is tallied
+    /// per call (hits + misses == lookups, the model-checked invariant),
+    /// and a coalesced wait counts as a hit.
+    // lock-order: `inflight` and the flight's `state` are never held
+    // together — the inflight guard is dropped before the state lock is
+    // taken in the follower wait loop.
+    pub fn get_or_join(&self, key: &CanonicalQuery, epoch: u64) -> CacheProbe<'_> {
+        loop {
+            if let Some(value) = self.lookup(key, epoch) {
+                self.note_hit(false);
+                return CacheProbe::Hit(value);
+            }
+            let flight = {
+                let mut inflight = self.inflight.lock();
+                match inflight.get(&(key.clone(), epoch)) {
+                    Some(flight) => flight.clone(),
+                    None => {
+                        // Double-check the cache before taking the
+                        // lead: publish inserts the answer *before*
+                        // finish unregisters its flight, so "no flight"
+                        // after a stale initial probe can mean a whole
+                        // compute came and went in between — its answer
+                        // is resident, and electing a second leader
+                        // here would recompute it (the duplicate-miss
+                        // race the model checker pins).
+                        // lock-order: `inflight` is held across the
+                        // shard lock inside `lookup`; no path acquires
+                        // a shard lock before `inflight`.
+                        if let Some(value) = self.lookup(key, epoch) {
+                            drop(inflight);
+                            self.note_hit(false);
+                            return CacheProbe::Hit(value);
+                        }
+                        let flight = Arc::new(Flight {
+                            state: Mutex::new(FlightState::Pending),
+                            ready: Condvar::new(),
+                        });
+                        inflight.insert((key.clone(), epoch), flight.clone());
+                        // ordering: monotone tally; see `get`.
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        note_lookup(false);
+                        return CacheProbe::Miss(FlightGuard {
+                            cache: self,
+                            key: key.clone(),
+                            epoch,
+                            flight,
+                            done: false,
+                        });
+                    }
+                }
+            };
+            let mut state = flight.state.lock();
+            loop {
+                match &*state {
+                    FlightState::Pending => state = flight.ready.wait(state),
+                    FlightState::Published(value) => {
+                        let value = value.clone();
+                        drop(state);
+                        self.note_hit(true);
+                        return CacheProbe::Hit(value);
+                    }
+                    // The leader gave up (error, panic, or incomplete
+                    // answer): take another full pass — the next
+                    // iteration elects a new leader (possibly us).
+                    FlightState::Aborted => break,
+                }
+            }
+        }
+    }
+
+    /// Resolves a flight: unregisters it and wakes every follower with
+    /// the final state. Called with neither the inflight map nor the
+    /// flight state held.
+    // lock-order: `inflight` is released before the flight's `state` is
+    // taken (same discipline as get_or_join).
+    fn finish(&self, key: &CanonicalQuery, epoch: u64, flight: &Arc<Flight>, state: FlightState) {
+        self.inflight.lock().remove(&(key.clone(), epoch));
+        *flight.state.lock() = state;
+        flight.ready.notify_all();
     }
 
     /// Stores an answer computed at `epoch` for `canonical` — unless it
@@ -212,6 +397,7 @@ impl RewritingCache {
         epoch: u64,
     ) {
         if value.completeness.is_incomplete() {
+            // ordering: monotone tally; `stats` reads it alone.
             self.rejected_incomplete.fetch_add(1, Ordering::Relaxed);
             obs::counter!("serve.cache_rejected_incomplete").incr();
             return;
@@ -234,6 +420,7 @@ impl RewritingCache {
                         .map(|(k, _)| k.clone())
                     {
                         shard.map.remove(&victim);
+                        // ordering: monotone tally; `stats` reads it alone.
                         self.evictions.fetch_add(1, Ordering::Relaxed);
                         obs::counter!("serve.cache_evictions").incr();
                     }
@@ -289,6 +476,7 @@ impl RewritingCache {
             });
         }
         self.invalidated
+            // ordering: monotone tally; `stats` reads it alone.
             .fetch_add(outcome.invalidated, Ordering::Relaxed);
         obs::counter!("serve.cache_invalidated").add(outcome.invalidated);
         outcome
@@ -324,10 +512,19 @@ impl RewritingCache {
     /// Snapshot of the cache's counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
+            // ordering: monotone tallies read independently; a snapshot
+            // concurrent with lookups may straddle an in-flight probe,
+            // which skews a count by at most the probes still running.
             hits: self.hits.load(Ordering::Relaxed),
+            // ordering: see above.
             misses: self.misses.load(Ordering::Relaxed),
+            // ordering: see above.
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            // ordering: see above.
             evictions: self.evictions.load(Ordering::Relaxed),
+            // ordering: see above.
             rejected_incomplete: self.rejected_incomplete.load(Ordering::Relaxed),
+            // ordering: see above.
             invalidated: self.invalidated.load(Ordering::Relaxed),
             entries: self.len(),
         }

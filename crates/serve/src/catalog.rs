@@ -44,13 +44,13 @@
 //! the cache is untouched, and the caller gets an error — a crashed DDL
 //! step must never leave readers on a half-swapped catalog.
 
-use parking_lot::{Mutex, RwLock};
 use std::collections::HashSet;
 use std::sync::Arc;
 use viewplan_core::PreparedViews;
 use viewplan_cq::{ConjunctiveQuery, Symbol, View, ViewSet};
 use viewplan_obs as obs;
 use viewplan_obs::budget::FaultPoint;
+use viewplan_sync::{Mutex, RwLock};
 
 use crate::batch::{BatchServer, CachedAnswer, ServeConfig};
 use crate::cache::RetargetOutcome;
@@ -162,6 +162,9 @@ impl LiveCatalog {
 
     /// The common swap tail (DDL lock held): prepare the new snapshot
     /// off the hot path, publish it, then settle the shared cache.
+    // lock-order: the `ddl` mutex (held by the caller) is always taken
+    // before the `server` write lock, and the write lock is released
+    // before the cache's shard locks (inside retarget) are touched.
     fn swap_to(
         &self,
         current: &Arc<BatchServer>,

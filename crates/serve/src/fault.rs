@@ -12,8 +12,8 @@
 //! assert "exactly one connection was sacrificed, everything else was
 //! answered".
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use viewplan_obs::budget::{Fault, FaultPoint};
+use viewplan_sync::{AtomicU64, Ordering};
 
 /// An armed serving-layer fault: fires exactly once, at the `nth` probe
 /// of its point. A `ServeFaults` built from `None` (or from a
@@ -49,6 +49,8 @@ impl ServeFaults {
         // Fire on the 1 → 0 transition only; saturate at 0 so the fault
         // stays one-shot under concurrent probes.
         self.countdown
+            // ordering: fetch_update's CAS loop already makes the decrement
+            // exactly-once; no other memory is published by a firing fault.
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
             .is_ok_and(|before| before == 1)
     }

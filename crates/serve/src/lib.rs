@@ -40,7 +40,7 @@ pub mod net;
 
 pub use admission::{AdmissionQueue, ShedReason};
 pub use batch::{BatchServer, CachedAnswer, ServeConfig, ServedAnswer};
-pub use cache::{CacheStats, RetargetOutcome, RewritingCache};
+pub use cache::{CacheProbe, CacheStats, FlightGuard, RetargetOutcome, RewritingCache};
 pub use catalog::{DdlOutcome, LiveCatalog};
 pub use fault::ServeFaults;
 pub use net::{NetConfig, NetServer};

@@ -53,13 +53,13 @@
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
-use std::thread::JoinHandle;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use viewplan_cq::{parse_query, ConjunctiveQuery, Symbol, View};
 use viewplan_obs as obs;
 use viewplan_obs::budget::FaultPoint;
+use viewplan_sync::thread::{self, JoinHandle};
+use viewplan_sync::{mpsc, AtomicBool, AtomicU64, Mutex, Ordering};
 
 use crate::admission::AdmissionQueue;
 use crate::catalog::LiveCatalog;
@@ -167,15 +167,21 @@ struct Shared {
     shutdown: AtomicBool,
     accepted: AtomicU64,
     reaped_idle: AtomicU64,
-    handlers: parking_lot::Mutex<Vec<JoinHandle<()>>>,
+    handlers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl Shared {
     fn shutting_down(&self) -> bool {
+        // ordering: cross-thread stop flag polled by acceptors, workers,
+        // and handlers; SeqCst so a shutdown request is totally ordered
+        // against the queue close that follows it.
         self.shutdown.load(Ordering::SeqCst)
     }
 
     fn request_shutdown(&self) {
+        // ordering: see shutting_down — the store must not be reordered
+        // after queue.close(), or a worker could observe a closed queue
+        // while still believing the server is live.
         self.shutdown.store(true, Ordering::SeqCst);
         self.queue.close();
     }
@@ -209,14 +215,14 @@ impl NetServer {
             shutdown: AtomicBool::new(false),
             accepted: AtomicU64::new(0),
             reaped_idle: AtomicU64::new(0),
-            handlers: parking_lot::Mutex::new(Vec::new()),
+            handlers: Mutex::new(Vec::new()),
         });
         let mut acceptors = Vec::new();
         for i in 0..config.accept_threads.max(1) {
             let listener = listener.try_clone()?;
             let shared = shared.clone();
             acceptors.push(
-                std::thread::Builder::new()
+                thread::Builder::new()
                     .name(format!("viewplan-accept-{i}"))
                     .spawn(move || accept_loop(&listener, &shared))?,
             );
@@ -225,7 +231,7 @@ impl NetServer {
         for i in 0..config.workers.max(1) {
             let shared = shared.clone();
             workers.push(
-                std::thread::Builder::new()
+                thread::Builder::new()
                     .name(format!("viewplan-worker-{i}"))
                     .spawn(move || worker_loop(&shared))?,
             );
@@ -245,11 +251,15 @@ impl NetServer {
 
     /// Connections accepted so far.
     pub fn accepted(&self) -> u64 {
+        // ordering: monotone tally read for reporting; no other state
+        // hangs off its value.
         self.shared.accepted.load(Ordering::Relaxed)
     }
 
     /// Idle connections reaped so far.
     pub fn reaped_idle(&self) -> u64 {
+        // ordering: monotone tally read for reporting; no other state
+        // hangs off its value.
         self.shared.reaped_idle.load(Ordering::Relaxed)
     }
 
@@ -269,7 +279,7 @@ impl NetServer {
     /// another thread) stops the server, then joins every thread.
     pub fn wait(&mut self) {
         while !self.shared.shutting_down() {
-            std::thread::sleep(Duration::from_millis(25));
+            thread::sleep(Duration::from_millis(25));
         }
         self.join_all();
     }
@@ -294,6 +304,8 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     while !shared.shutting_down() {
         match listener.accept() {
             Ok((stream, _peer)) => {
+                // ordering: monotone tally; readers only want a recent
+                // count, not synchronization.
                 shared.accepted.fetch_add(1, Ordering::Relaxed);
                 obs::counter!("serve.net_accepted").incr();
                 if shared.catalog.faults().fires(FaultPoint::Accept) {
@@ -304,7 +316,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                     continue;
                 }
                 let shared2 = shared.clone();
-                let spawned = std::thread::Builder::new()
+                let spawned = thread::Builder::new()
                     .name("viewplan-conn".to_string())
                     .spawn(move || handle_connection(stream, &shared2));
                 match spawned {
@@ -316,9 +328,9 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(25));
+                thread::sleep(Duration::from_millis(25));
             }
-            Err(_) => std::thread::sleep(Duration::from_millis(25)),
+            Err(_) => thread::sleep(Duration::from_millis(25)),
         }
     }
 }
@@ -366,6 +378,8 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
         match wait_for_frame(&stream, shared) {
             Waited::Data => {}
             Waited::Idle => {
+                // ordering: monotone tally; readers only want a recent
+                // count, not synchronization.
                 shared.reaped_idle.fetch_add(1, Ordering::Relaxed);
                 obs::counter!("serve.net_reaped_idle").incr();
                 return;

@@ -1103,9 +1103,9 @@ fn batch(args: &[String]) -> Result<(), CliError> {
         Some(c) => {
             let s = c.stats();
             eprintln!(
-                "cache: {} hit(s), {} miss(es), {} eviction(s), \
+                "cache: {} hit(s) ({} coalesced), {} miss(es), {} eviction(s), \
                  {} rejected-incomplete, {} resident",
-                s.hits, s.misses, s.evictions, s.rejected_incomplete, s.entries
+                s.hits, s.coalesced, s.misses, s.evictions, s.rejected_incomplete, s.entries
             );
         }
     }
@@ -1296,8 +1296,9 @@ fn serve(args: &[String]) -> Result<(), CliError> {
         .map(|c| c.stats())
         .unwrap_or_default();
     eprintln!(
-        "served {answered} quer(ies); cache: {} hit(s), {} miss(es); epoch {}",
+        "served {answered} quer(ies); cache: {} hit(s) ({} coalesced), {} miss(es); epoch {}",
         stats.hits,
+        stats.coalesced,
         stats.misses,
         catalog.epoch()
     );

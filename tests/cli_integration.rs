@@ -267,10 +267,11 @@ fn metrics_out_writes_prometheus_exposition() {
     let path_str = path.to_str().unwrap();
     let _ = std::fs::remove_file(&path);
 
-    // Eight workers on purpose: concurrent duplicates can all miss (both
-    // in flight before either inserts), so the exposition must not depend
-    // on a cache *hit* ever landing — the cache registers both lookup
-    // counters on every probe, whichever way it goes.
+    // Eight workers on purpose: single-flight coalescing guarantees that
+    // concurrent duplicates elect one computing leader and the rest share
+    // its answer as hits (the interleaving-model suite pins
+    // hits + misses == lookups across every schedule), so the exposition
+    // always carries both lookup counters.
     let out = viewplan(&[
         "batch",
         "--workload",

@@ -1,7 +1,7 @@
 //! Repo-level lints for the `viewplan` workspace, run as
 //! `cargo run -p xtask -- lint` (and in CI).
 //!
-//! Six checks, all offline and purely textual:
+//! Nine checks, all offline and purely textual:
 //!
 //! 1. **Panic ban** — no `.unwrap()` / `.expect(` / `panic!(` in library
 //!    crates (`crates/*/src`) outside `#[cfg(test)]` code. Audited
@@ -24,6 +24,24 @@
 //!    fixtures, no dead snapshots).
 //! 6. **Justified allows** — every `#[allow(...)]` carries a
 //!    justification comment on the same line or the line above.
+//! 7. **Ordering discipline** — every atomic `Ordering::…` site outside
+//!    the `viewplan-sync` facade carries an `// ordering:` comment
+//!    explaining why that memory ordering suffices, on the same line or
+//!    in the comment block directly above (one block may cover a run of
+//!    consecutive atomic operations). Unjustified remainders live in
+//!    `xtask/sync-allowlist.txt` under the same ratchet discipline as
+//!    the panic ban, so the audit debt can only shrink.
+//! 8. **Raw-sync ban** — `std::thread`, `parking_lot`, and the blocking
+//!    `std::sync` primitives (`Mutex`, `RwLock`, `Condvar`, `mpsc`,
+//!    `atomic`, …) are banned outside `crates/sync/src` and test code:
+//!    all synchronization goes through the `viewplan-sync` facade so the
+//!    interleaving model checker sees every yield point. `Arc`,
+//!    `OnceLock`, and `Weak` are exempt (no blocking, no ordering
+//!    choices).
+//! 9. **Lock order** — a function that textually acquires two or more
+//!    locks (`.lock()` / `.read()` / `.write()`) must carry a
+//!    `// lock-order:` comment documenting the acquisition order, so
+//!    every potential nesting has a written deadlock argument.
 //!
 //! The scans work on a *stripped* view of each file: comment and string
 //! contents are blanked (structure and braces preserved), so `"panic!"`
@@ -577,6 +595,276 @@ fn check_justified_allows(root: &Path, report: &mut LintReport) {
     }
 }
 
+/// The atomic memory-ordering tokens check 7 polices. `std::cmp::Ordering`
+/// variants (`Less`, `Equal`, `Greater`) never match.
+const ATOMIC_ORDERINGS: [&str; 5] = [
+    "Ordering::Relaxed",
+    "Ordering::Acquire",
+    "Ordering::Release",
+    "Ordering::AcqRel",
+    "Ordering::SeqCst",
+];
+
+/// True iff the stripped line performs an atomic operation with an
+/// explicit memory ordering.
+fn has_atomic_ordering(stripped_line: &str) -> bool {
+    ATOMIC_ORDERINGS.iter().any(|t| stripped_line.contains(t))
+}
+
+/// True iff the facade source root (`crates/sync/src`) contains `file`.
+/// The facade is where raw `std::sync` is *supposed* to live (check 8),
+/// but its own `Ordering::…` constants still need justification.
+fn in_sync_facade(root: &Path, file: &Path) -> bool {
+    file.strip_prefix(root.join("crates/sync/src")).is_ok()
+}
+
+/// Counts the atomic-ordering sites on the non-test lines of a file
+/// that lack an `// ordering:` justification. A justification counts if
+/// it is on the same line, or reachable by walking upward through
+/// consecutive lines that are comments or other atomic operations (so
+/// one comment block may cover a run of related atomics).
+pub fn count_unjustified_orderings(text: &str) -> usize {
+    let stripped = strip_code(text);
+    let mask = test_region_mask(&stripped);
+    let originals: Vec<&str> = text.lines().collect();
+    let stripped_lines: Vec<&str> = stripped.lines().collect();
+    let mut unjustified = 0;
+    for (line_no, (&stripped_line, &in_test)) in stripped_lines.iter().zip(&mask).enumerate() {
+        if in_test || !has_atomic_ordering(stripped_line) {
+            continue;
+        }
+        let mut justified = originals
+            .get(line_no)
+            .is_some_and(|l| l.contains("ordering:"));
+        let mut i = line_no;
+        while !justified && i > 0 {
+            i -= 1;
+            let above = originals.get(i).copied().unwrap_or_default().trim();
+            if above.starts_with("//") {
+                justified = above.contains("ordering:");
+                if justified {
+                    break;
+                }
+            } else if !has_atomic_ordering(stripped_lines.get(i).copied().unwrap_or_default()) {
+                break;
+            }
+        }
+        if !justified {
+            unjustified += 1;
+        }
+    }
+    unjustified
+}
+
+/// Check 7: the `// ordering:` justification ratchet over every atomic
+/// `Ordering::…` site (library crates, the facade itself, and the CLI).
+fn check_ordering_justifications(root: &Path, report: &mut LintReport) {
+    let allowlist_path = root.join("xtask/sync-allowlist.txt");
+    let allowlist = match std::fs::read_to_string(&allowlist_path) {
+        Ok(text) => match parse_allowlist(&text) {
+            Ok(a) => a,
+            Err(e) => {
+                report.violations.push(format!("sync-allowlist.txt: {e}"));
+                return;
+            }
+        },
+        Err(_) => BTreeMap::new(),
+    };
+    let mut seen: BTreeMap<String, usize> = BTreeMap::new();
+    let mut roots = library_roots(root);
+    roots.push(root.join("src"));
+    for src_root in roots {
+        for file in rust_files(&src_root) {
+            let Ok(text) = std::fs::read_to_string(&file) else {
+                continue;
+            };
+            let count = count_unjustified_orderings(&text);
+            if count > 0 {
+                seen.insert(rel(root, &file), count);
+            }
+        }
+    }
+    for (path, &actual) in &seen {
+        let allowed = allowlist.get(path).copied().unwrap_or(0);
+        if actual > allowed {
+            report.violations.push(format!(
+                "{path}: {actual} atomic Ordering site(s) without an `// ordering:` \
+                 justification, sync-allowlist permits {allowed} — explain why the chosen \
+                 memory ordering suffices (what the operation publishes, what tolerates \
+                 staleness) on the same line or the comment block above"
+            ));
+        }
+    }
+    for (path, &allowed) in &allowlist {
+        let actual = seen.get(path).copied().unwrap_or(0);
+        if actual < allowed {
+            report.violations.push(format!(
+                "{path}: sync-allowlist permits {allowed} unjustified Ordering site(s) but \
+                 only {actual} remain — ratchet xtask/sync-allowlist.txt down"
+            ));
+        }
+    }
+}
+
+/// Check 8: raw synchronization primitives are confined to the
+/// `viewplan-sync` facade (and test code). Everything else must go
+/// through the facade so the model checker can interpose on every
+/// acquisition, wait, and atomic access.
+fn check_raw_sync_ban(root: &Path, report: &mut LintReport) {
+    // `Arc`/`OnceLock`/`Weak` are exempt: no blocking, no ordering
+    // choice to audit. Everything else under std::sync is facade-only.
+    const BANNED_STD_SYNC: [&str; 11] = [
+        "Mutex",
+        "RwLock",
+        "Condvar",
+        "mpsc",
+        "atomic",
+        "Barrier",
+        "Once",
+        "PoisonError",
+        "LockResult",
+        "TryLockError",
+        "WaitTimeoutResult",
+    ];
+    let banned_after_std_sync = |rest: &str| -> bool {
+        if let Some(group) = rest.strip_prefix('{') {
+            // `use std::sync::{Arc, Mutex};` — scan the group items.
+            let group = group.split('}').next().unwrap_or(group);
+            group
+                .split(|c: char| !c.is_alphanumeric() && c != '_')
+                .any(|tok| BANNED_STD_SYNC.contains(&tok))
+        } else {
+            let ident: String = rest
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            // `Once` must not swallow `OnceLock`.
+            BANNED_STD_SYNC.contains(&ident.as_str())
+        }
+    };
+    let mut roots = library_roots(root);
+    roots.push(root.join("src"));
+    for src_root in roots {
+        for file in rust_files(&src_root) {
+            if in_sync_facade(root, &file) {
+                continue;
+            }
+            let Ok(text) = std::fs::read_to_string(&file) else {
+                continue;
+            };
+            let stripped = strip_code(&text);
+            let mask = test_region_mask(&stripped);
+            for (line_no, (line, &in_test)) in stripped.lines().zip(&mask).enumerate() {
+                if in_test {
+                    continue;
+                }
+                let mut offending = None;
+                if line.contains("parking_lot") {
+                    offending = Some("parking_lot");
+                } else if line.contains("std::thread") {
+                    offending = Some("std::thread");
+                } else {
+                    let mut rest = line;
+                    while let Some(at) = rest.find("std::sync::") {
+                        let after = &rest[at + "std::sync::".len()..];
+                        if banned_after_std_sync(after) {
+                            offending = Some("std::sync");
+                            break;
+                        }
+                        rest = after;
+                    }
+                }
+                if let Some(what) = offending {
+                    report.violations.push(format!(
+                        "{}:{}: raw {what} primitive outside the viewplan-sync facade — \
+                         use viewplan_sync::{{Mutex, RwLock, Condvar, thread, mpsc, \
+                         atomics}} so the interleaving model checker sees every yield point",
+                        rel(root, &file),
+                        line_no + 1
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Check 9: a function that textually acquires two or more locks needs a
+/// written `// lock-order:` argument (within the function, or in the
+/// three lines above its signature).
+fn check_lock_order(root: &Path, report: &mut LintReport) {
+    let mut roots = library_roots(root);
+    roots.push(root.join("src"));
+    for src_root in roots {
+        for file in rust_files(&src_root) {
+            let Ok(text) = std::fs::read_to_string(&file) else {
+                continue;
+            };
+            let stripped = strip_code(&text);
+            let mask = test_region_mask(&stripped);
+            let originals: Vec<&str> = text.lines().collect();
+            let lines: Vec<&str> = stripped.lines().collect();
+            let mut line_no = 0;
+            while line_no < lines.len() {
+                let line = lines[line_no];
+                let is_fn = !mask[line_no]
+                    && (line.trim_start().starts_with("fn ")
+                        || line.contains(" fn ")
+                        || line.contains("\tfn "));
+                if !is_fn {
+                    line_no += 1;
+                    continue;
+                }
+                // The function region runs from the signature to the
+                // close of its first brace block (nested items included
+                // — their lock sites count toward the enclosing fn,
+                // which can only over-ask for a comment, never miss one).
+                let mut depth = 0i64;
+                let mut opened = false;
+                let mut end = line_no;
+                for (j, l) in lines.iter().enumerate().skip(line_no) {
+                    for c in l.chars() {
+                        match c {
+                            '{' => {
+                                depth += 1;
+                                opened = true;
+                            }
+                            '}' => depth -= 1,
+                            _ => {}
+                        }
+                    }
+                    end = j;
+                    // Trait-method declarations (`fn f(&self) -> T;`)
+                    // end at a `;` before any brace opens.
+                    if (!opened && l.contains(';')) || (opened && depth <= 0) {
+                        break;
+                    }
+                }
+                let acquisitions: usize = (line_no..=end)
+                    .map(|j| {
+                        lines[j].matches(".lock()").count()
+                            + lines[j].matches(".read()").count()
+                            + lines[j].matches(".write()").count()
+                    })
+                    .sum();
+                if acquisitions >= 2 {
+                    let documented = (line_no.saturating_sub(3)..=end)
+                        .any(|j| originals.get(j).is_some_and(|l| l.contains("lock-order:")));
+                    if !documented {
+                        report.violations.push(format!(
+                            "{}:{}: function acquires {acquisitions} locks with no \
+                             `// lock-order:` comment — document the acquisition order \
+                             (and why no path reverses it) in or above the function",
+                            rel(root, &file),
+                            line_no + 1
+                        ));
+                    }
+                }
+                line_no = end + 1;
+            }
+        }
+    }
+}
+
 /// Runs every lint over the workspace at `root`.
 pub fn run_lint(root: &Path) -> LintReport {
     let mut report = LintReport::default();
@@ -586,6 +874,9 @@ pub fn run_lint(root: &Path) -> LintReport {
     check_trace_event_uniqueness(root, &mut report);
     check_golden_pairing(root, &mut report);
     check_justified_allows(root, &mut report);
+    check_ordering_justifications(root, &mut report);
+    check_raw_sync_ban(root, &mut report);
+    check_lock_order(root, &mut report);
     report
 }
 
@@ -776,6 +1067,121 @@ real.unwrap();"##;
         let report = run_lint(&repo.root);
         assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
         assert!(report.violations[0].contains("lib.rs:4"));
+    }
+
+    #[test]
+    fn lint_flags_unjustified_atomic_orderings() {
+        let repo = TempRepo::new("ordering");
+        // One justified site (comment block covering a run of atomics),
+        // one bare site, one test-only site; `cmp::Ordering` and doc
+        // comments must not count.
+        repo.write(
+            "crates/demo/src/lib.rs",
+            "/// Sorts by `Ordering::Relaxed`-ish vibes (doc, not code).\n\
+             fn ok(c: &AtomicU64) {\n\
+                 // ordering: monotone tally; readers tolerate staleness.\n\
+                 c.fetch_add(1, Ordering::Relaxed);\n\
+                 c.fetch_add(1, Ordering::Relaxed);\n\
+             }\n\
+             fn bad(c: &AtomicU64) -> u64 { c.load(Ordering::Acquire) }\n\
+             fn cmp(a: u32, b: u32) -> std::cmp::Ordering { a.cmp(&b) }\n\
+             #[cfg(test)]\n\
+             mod tests { fn t(c: &AtomicU64) { c.load(Ordering::SeqCst); } }\n",
+        );
+        let report = run_lint(&repo.root);
+        assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+        assert!(report.violations[0].contains("crates/demo/src/lib.rs"));
+        assert!(report.violations[0].contains("1 atomic Ordering site(s)"));
+    }
+
+    #[test]
+    fn sync_allowlist_permits_audited_sites_and_ratchets_down() {
+        let repo = TempRepo::new("sync-allowlist");
+        repo.write(
+            "crates/demo/src/lib.rs",
+            "fn bad(c: &AtomicU64) -> u64 { c.load(Ordering::Acquire) }\n",
+        );
+        repo.write(
+            "xtask/sync-allowlist.txt",
+            "# audited: pre-facade code, justification pending\n\
+             crates/demo/src/lib.rs 1\n",
+        );
+        assert!(run_lint(&repo.root).is_clean());
+
+        // The site gains its justification: the stale allowance must be
+        // ratcheted out, not silently kept as headroom.
+        repo.write(
+            "crates/demo/src/lib.rs",
+            "fn good(c: &AtomicU64) -> u64 {\n\
+                 // ordering: pairs with the Release store in `publish`.\n\
+                 c.load(Ordering::Acquire)\n\
+             }\n",
+        );
+        let report = run_lint(&repo.root);
+        assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+        assert!(report.violations[0].contains("ratchet xtask/sync-allowlist.txt down"));
+    }
+
+    #[test]
+    fn lint_bans_raw_sync_outside_the_facade() {
+        let repo = TempRepo::new("raw-sync");
+        // Raw primitives in a library crate: banned. The same tokens in
+        // the facade itself, in test code, or naming the exempt types
+        // (Arc/OnceLock): allowed.
+        repo.write(
+            "crates/demo/src/lib.rs",
+            "use std::sync::{Arc, Mutex};\n\
+             fn f() { std::thread::sleep(d); }\n\
+             fn g() -> std::sync::mpsc::Receiver<u32> { todo!() }\n\
+             use std::sync::OnceLock;\n\
+             /// Wraps a `std::sync::Mutex` (doc comment: not a site).\n\
+             fn ok() {}\n\
+             #[cfg(test)]\n\
+             mod tests { use std::thread; fn t() { thread::yield_now(); } }\n",
+        );
+        repo.write(
+            "crates/sync/src/lib.rs",
+            "pub use std::sync::Mutex;\npub use std::thread;\n",
+        );
+        let report = run_lint(&repo.root);
+        let raw: Vec<_> = report
+            .violations
+            .iter()
+            .filter(|v| v.contains("viewplan-sync facade"))
+            .collect();
+        assert_eq!(raw.len(), 3, "{:?}", report.violations);
+        assert!(raw.iter().all(|v| v.contains("crates/demo/src/lib.rs")));
+        assert!(raw.iter().any(|v| v.contains("lib.rs:1")), "use-group site");
+        assert!(
+            raw.iter().any(|v| v.contains("lib.rs:2")),
+            "std::thread site"
+        );
+        assert!(raw.iter().any(|v| v.contains("lib.rs:3")), "mpsc path site");
+    }
+
+    #[test]
+    fn lint_requires_lock_order_comments_for_multi_lock_functions() {
+        let repo = TempRepo::new("lock-order");
+        repo.write(
+            "crates/demo/src/lib.rs",
+            "// lock-order: registry before each entry; writers take only\n\
+             // their own entry, so the nesting cannot invert.\n\
+             fn ok(&self) {\n\
+                 let reg = self.registry.lock();\n\
+                 for e in reg.iter() { e.state.lock().touch(); }\n\
+             }\n\
+             fn bad(&self) {\n\
+                 let a = self.a.lock();\n\
+                 let b = self.b.write();\n\
+             }\n\
+             fn single(&self) { self.a.lock().touch(); }\n\
+             #[cfg(test)]\n\
+             mod tests { fn t(&self) { x.lock(); y.lock(); } }\n",
+        );
+        let report = run_lint(&repo.root);
+        assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+        assert!(report.violations[0].contains("lib.rs:7"));
+        assert!(report.violations[0].contains("lock-order"));
     }
 
     #[test]
